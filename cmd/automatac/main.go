@@ -1,0 +1,212 @@
+// Command automatac validates, merges and visualises Starlink automata.
+//
+// Usage:
+//
+//	automatac check <file.automaton.xml|file.merged.xml>
+//	automatac dot <file.automaton.xml|file.merged.xml>
+//	automatac merge -equiv <file.equiv> -name <name> [-o out.xml] <a1.xml> <a2.xml>
+//	automatac mergeable -equiv <file.equiv> <a1.xml> <a2.xml>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"starlink/internal/automata"
+	"starlink/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "automatac:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: automatac check|dot|merge ...")
+	}
+	switch args[0] {
+	case "check":
+		return withFile(args, func(path string, data []byte) error {
+			kind, err := describe(path, data)
+			if err != nil {
+				return err
+			}
+			fmt.Println(kind)
+			return nil
+		})
+	case "dot":
+		return withFile(args, func(path string, data []byte) error {
+			if strings.HasSuffix(path, ".merged.xml") {
+				m, err := automata.UnmarshalMerged(strings.NewReader(string(data)))
+				if err != nil {
+					return err
+				}
+				fmt.Print(m.DOT())
+				return nil
+			}
+			a, err := automata.ParseAutomaton(string(data))
+			if err != nil {
+				return err
+			}
+			fmt.Print(a.DOT())
+			return nil
+		})
+	case "merge":
+		return merge(args[1:])
+	case "mergeable":
+		return mergeable(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func withFile(args []string, f func(path string, data []byte) error) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: automatac %s <file>", args[0])
+	}
+	data, err := os.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	return f(args[1], data)
+}
+
+func describe(path string, data []byte) (string, error) {
+	if strings.HasSuffix(path, ".merged.xml") {
+		m, err := automata.UnmarshalMerged(strings.NewReader(string(data)))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("merged %s: %d states (%d bicolored), %d transitions, %s",
+			m.Name, len(m.States), len(m.BicoloredStates()), len(m.Transitions), m.Strength), nil
+	}
+	a, err := automata.ParseAutomaton(string(data))
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("automaton %s (color %d): %d states, %d transitions, %d operations",
+		a.Name, a.Color, len(a.States), len(a.Transitions), len(a.Operations())), nil
+}
+
+// mergeable prints the Definition 7 verdict plus the per-operation
+// pairing report.
+func mergeable(args []string) error {
+	fs := flag.NewFlagSet("mergeable", flag.ContinueOnError)
+	equivFile := fs.String("equiv", "", "equivalence table file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("usage: automatac mergeable [-equiv f] <a1.xml> <a2.xml>")
+	}
+	load := func(path string) (*automata.Automaton, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return automata.ParseAutomaton(string(data))
+	}
+	a1, err := load(rest[0])
+	if err != nil {
+		return err
+	}
+	a2, err := load(rest[1])
+	if err != nil {
+		return err
+	}
+	var eq *automata.Equivalence
+	if *equivFile != "" {
+		data, err := os.ReadFile(*equivFile)
+		if err != nil {
+			return err
+		}
+		eq, err = core.ParseEquivalence(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	merged, err := automata.Merge(a1, a2, automata.MergeOptions{Equiv: eq})
+	if err != nil {
+		fmt.Printf("%s and %s are NOT mergeable: %v\n", a1.Name, a2.Name, err)
+		return err
+	}
+	fmt.Printf("%s and %s are mergeable (%s)\n", a1.Name, a2.Name, merged.Strength)
+	for _, p := range merged.Pairings {
+		targets := ""
+		for i, op := range p.A2Ops {
+			if i > 0 {
+				targets += " + "
+			}
+			targets += op.Request
+		}
+		if targets == "" {
+			targets = "-"
+		}
+		fmt.Printf("  %-40s %-14s %s\n", p.A1Request, p.Kind, targets)
+	}
+	return nil
+}
+
+func merge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	equivFile := fs.String("equiv", "", "equivalence table file")
+	name := fs.String("name", "", "merged automaton name")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("usage: automatac merge [-equiv f] [-name n] [-o out] <a1.xml> <a2.xml>")
+	}
+	load := func(path string) (*automata.Automaton, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return automata.ParseAutomaton(string(data))
+	}
+	a1, err := load(rest[0])
+	if err != nil {
+		return err
+	}
+	a2, err := load(rest[1])
+	if err != nil {
+		return err
+	}
+	var eq *automata.Equivalence
+	if *equivFile != "" {
+		data, err := os.ReadFile(*equivFile)
+		if err != nil {
+			return err
+		}
+		eq, err = core.ParseEquivalence(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	merged, err := automata.Merge(a1, a2, automata.MergeOptions{Name: *name, Equiv: eq})
+	if err != nil {
+		return err
+	}
+	data, err := merged.EncodeXML()
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(string(data))
+		return nil
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "merged %s (%s, %d bicolored states) -> %s\n",
+		merged.Name, merged.Strength, len(merged.BicoloredStates()), *out)
+	return nil
+}

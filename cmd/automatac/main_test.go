@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"starlink/internal/casestudy"
+)
+
+func writeModels(t *testing.T) (dir, flickrPath, picasaPath, equivPath, mergedPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	fl, err := casestudy.FlickrUsage().EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := casestudy.PicasaUsage().EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := casestudy.XMLRPCMediator().EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flickrPath = filepath.Join(dir, "flickr.automaton.xml")
+	picasaPath = filepath.Join(dir, "picasa.automaton.xml")
+	equivPath = filepath.Join(dir, "fp.equiv")
+	mergedPath = filepath.Join(dir, "m.merged.xml")
+	for path, data := range map[string][]byte{
+		flickrPath: fl,
+		picasaPath: pi,
+		equivPath:  []byte(casestudy.EquivalenceDoc),
+		mergedPath: mg,
+	} {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, flickrPath, picasaPath, equivPath, mergedPath
+}
+
+func TestCheckAndDot(t *testing.T) {
+	_, fl, _, _, mg := writeModels(t)
+	for _, args := range [][]string{
+		{"check", fl},
+		{"check", mg},
+		{"dot", fl},
+		{"dot", mg},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestMergeCommand(t *testing.T) {
+	dir, fl, pi, eq, _ := writeModels(t)
+	out := filepath.Join(dir, "out.merged.xml")
+	if err := run([]string{"merge", "-equiv", eq, "-name", "demo", "-o", out, fl, pi}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", out}); err != nil {
+		t.Fatalf("merged output does not validate: %v", err)
+	}
+	// To stdout.
+	if err := run([]string{"merge", "-equiv", eq, fl, pi}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, fl, pi, _, _ := writeModels(t)
+	cases := [][]string{
+		nil,
+		{"zap"},
+		{"check"},
+		{"check", "/no/such"},
+		{"dot", "/no/such"},
+		{"merge", fl},
+		{"merge", "-equiv", "/no/such", fl, pi},
+		{"merge", fl, pi}, // no equivalence: not mergeable
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestMergeableCommand(t *testing.T) {
+	_, fl, pi, eq, _ := writeModels(t)
+	if err := run([]string{"mergeable", "-equiv", eq, fl, pi}); err != nil {
+		t.Fatal(err)
+	}
+	// Without an equivalence table the pair is not mergeable.
+	if err := run([]string{"mergeable", fl, pi}); err == nil {
+		t.Error("not-mergeable pair reported success")
+	}
+	if err := run([]string{"mergeable", fl}); err == nil {
+		t.Error("missing operand accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Command mdlc validates and exercises Message Description Language
+// documents.
+//
+// Usage:
+//
+//	mdlc check <file.mdl>             validate and summarise a document
+//	mdlc parse <file.mdl> <packet>    parse a packet file and print the
+//	                                  abstract message tree (use "-" for
+//	                                  stdin)
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"starlink/internal/mdl"
+	"starlink/internal/mdl/binenc"
+	"starlink/internal/mdl/textenc"
+	"starlink/internal/mdl/xmlenc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mdlc:", err)
+		os.Exit(1)
+	}
+}
+
+func registry() *mdl.Registry {
+	reg := &mdl.Registry{}
+	binenc.Register(reg)
+	textenc.Register(reg)
+	xmlenc.Register(reg)
+	return reg
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: mdlc check|parse <file.mdl> [packet]")
+	}
+	data, err := os.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	spec, err := mdl.ParseString(string(data))
+	if err != nil {
+		return err
+	}
+	codec, err := registry().NewCodec(spec)
+	if err != nil {
+		return err
+	}
+	switch args[0] {
+	case "check":
+		fmt.Printf("spec %s (%s encoding): %d message layout(s)\n",
+			spec.Name, spec.Encoding, len(spec.Messages))
+		for _, ms := range spec.Messages {
+			fmt.Printf("  %-20s %d item(s), %d rule(s)\n", ms.Name, len(ms.Items), len(ms.Rules))
+			for _, r := range ms.Rules {
+				fmt.Printf("    rule %s = %s\n", r.Field, r.Value)
+			}
+		}
+		return nil
+	case "parse":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: mdlc parse <file.mdl> <packet|->")
+		}
+		var packet []byte
+		if args[2] == "-" {
+			packet, err = io.ReadAll(os.Stdin)
+		} else {
+			packet, err = os.ReadFile(args[2])
+		}
+		if err != nil {
+			return err
+		}
+		msg, err := codec.Parse(packet)
+		if err != nil {
+			return err
+		}
+		fmt.Println(msg.String())
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}

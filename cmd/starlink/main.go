@@ -1,0 +1,183 @@
+// Command starlink runs an application-middleware mediator from model
+// files, and exports the built-in case-study models.
+//
+// Usage:
+//
+//	starlink run -models <dir> -mediator <name> [-listen addr]
+//	starlink export-models <dir>
+//	starlink list -models <dir>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"syscall"
+
+	"starlink/internal/automata"
+	"starlink/internal/casestudy"
+	"starlink/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "starlink:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: starlink run|export-models|list ...")
+	}
+	switch args[0] {
+	case "run":
+		return runMediator(args[1:])
+	case "export-models":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: starlink export-models <dir>")
+		}
+		return ExportCaseStudyModels(args[1])
+	case "list":
+		return listModels(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func runMediator(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	modelsDir := fs.String("models", "models", "models directory")
+	name := fs.String("mediator", "", "mediator spec name")
+	listen := fs.String("listen", "", "listen address override")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-mediator is required")
+	}
+	models, err := core.LoadModels(*modelsDir)
+	if err != nil {
+		return err
+	}
+	med, err := models.StartMediator(*name, *listen)
+	if err != nil {
+		return err
+	}
+	defer med.Close()
+	fmt.Printf("mediator %s listening on %s\n", *name, med.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+func listModels(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	modelsDir := fs.String("models", "models", "models directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	models, err := core.LoadModels(*modelsDir)
+	if err != nil {
+		return err
+	}
+	printSorted := func(kind string, names []string) {
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-12s %s\n", kind, n)
+		}
+	}
+	printSorted("automaton", keys(models.Automata))
+	printSorted("merged", keys(models.Merged))
+	printSorted("mdl", keys(models.MDL))
+	printSorted("routes", keys(models.Routes))
+	printSorted("equiv", keys(models.Equivalences))
+	printSorted("mediator", keys(models.Mediators))
+	return nil
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ExportCaseStudyModels writes the Flickr/Picasa and Add/Plus models to
+// dir in their on-disk DSL forms.
+func ExportCaseStudyModels(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writeAutomaton := func(file string, a *automata.Automaton) error {
+		data, err := a.EncodeXML()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, file), data, 0o644)
+	}
+	writeMerged := func(file string, m *automata.Merged) error {
+		data, err := m.EncodeXML()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, file), data, 0o644)
+	}
+	if err := writeAutomaton("flickr-usage.automaton.xml", casestudy.FlickrUsage()); err != nil {
+		return err
+	}
+	if err := writeAutomaton("picasa-usage.automaton.xml", casestudy.PicasaUsage()); err != nil {
+		return err
+	}
+	if err := writeAutomaton("add-usage.automaton.xml", casestudy.AddUsage()); err != nil {
+		return err
+	}
+	if err := writeAutomaton("plus-usage.automaton.xml", casestudy.PlusUsage()); err != nil {
+		return err
+	}
+	if err := writeMerged("flickr-xmlrpc-to-picasa-rest.merged.xml", casestudy.XMLRPCMediator()); err != nil {
+		return err
+	}
+	if err := writeMerged("flickr-soap-to-picasa-rest.merged.xml", casestudy.SOAPMediator()); err != nil {
+		return err
+	}
+	autoMerged, err := automata.Merge(casestudy.FlickrUsage(), casestudy.PicasaUsage(), automata.MergeOptions{
+		Name:  "AFlickr+APicasa-auto",
+		Equiv: casestudy.Equivalence(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeMerged("flickr-picasa-auto.merged.xml", autoMerged); err != nil {
+		return err
+	}
+	if err := writeMerged("ssdp-to-slp.merged.xml", casestudy.DiscoveryMediator()); err != nil {
+		return err
+	}
+	if err := writeMerged("picasa-to-flickr.merged.xml", casestudy.ReverseMediator()); err != nil {
+		return err
+	}
+	files := map[string]string{
+		"upnp-to-slp.typemap":    casestudy.DiscoveryTypeMapDoc,
+		"discovery.mediator":     casestudy.DiscoveryMediatorSpecDoc,
+		"picasa.routes":          casestudy.PicasaRoutesDoc,
+		"flickr-picasa.equiv":    casestudy.EquivalenceDoc,
+		"giop.mdl":               casestudy.GIOPMDLDoc,
+		"http.mdl":               casestudy.HTTPMDLDoc,
+		"flickr-xmlrpc.mediator": casestudy.XMLRPCMediatorSpecDoc,
+		"flickr-soap.mediator":   casestudy.SOAPMediatorSpecDoc,
+	}
+	for file, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, file), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("exported %d model files to %s\n", 9+len(files), dir)
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExportAndList(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "models")
+	if err := run([]string{"export-models", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 12 {
+		t.Errorf("exported %d files", len(entries))
+	}
+	if err := run([]string{"list", "-models", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"zap"},
+		{"export-models"},
+		{"list", "-models", "/no/such"},
+		{"run", "-models", "/no/such", "-mediator", "x"},
+		{"run"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+	// Unknown mediator spec in a valid models dir.
+	dir := filepath.Join(t.TempDir(), "m")
+	if err := run([]string{"export-models", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-models", dir, "-mediator", "nope"}); err == nil {
+		t.Error("unknown mediator accepted")
+	}
+}

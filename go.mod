@@ -1,0 +1,3 @@
+module starlink
+
+go 1.22

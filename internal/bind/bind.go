@@ -1,0 +1,60 @@
+// Package bind implements Starlink's binding rules (paper Section 4.3):
+// the mapping between abstract application actions — an action label plus
+// named input/output fields — and the concrete messages of a particular
+// middleware protocol. Binding an API usage automaton to a protocol
+// yields an executable application-middleware automaton (Fig. 7); at
+// runtime the automata engine calls a Binder at every message transition.
+//
+// One Binder exists per middleware family (XML-RPC, SOAP, REST, GIOP).
+// Each is generic over applications: application-specific information
+// enters only through models — the MsgDef field lists of the API usage
+// automaton (positional-parameter naming) and, for REST, a route table.
+//
+// Abstract action messages follow one convention everywhere:
+//
+//   - a request's fields are flat primitives named as in the MsgDef;
+//   - a reply's fields are primitives and/or repeated structured children
+//     (e.g. one "entry" struct per search result).
+package bind
+
+import (
+	"errors"
+
+	"starlink/internal/message"
+	"starlink/internal/network"
+)
+
+// Errors reported by binders.
+var (
+	// ErrUnknownAction is returned when no rule covers an action label.
+	ErrUnknownAction = errors.New("bind: unknown action")
+	// ErrBadMessage is wrapped when a concrete message cannot be bound.
+	ErrBadMessage = errors.New("bind: cannot bind message")
+)
+
+// Binder maps between concrete protocol packets and abstract action
+// messages, in both directions and for both requests and replies.
+// Implementations must be safe for concurrent use.
+type Binder interface {
+	// ParseRequest decodes a concrete request packet.
+	ParseRequest(packet []byte) (action string, abs *message.Message, err error)
+	// BuildRequest encodes an abstract action message as a request packet.
+	BuildRequest(action string, abs *message.Message) ([]byte, error)
+	// ParseReply decodes the reply packet of a previously issued action.
+	ParseReply(action string, packet []byte) (*message.Message, error)
+	// BuildReply encodes an abstract reply for an action.
+	BuildReply(action string, abs *message.Message) ([]byte, error)
+	// Framer returns the wire framer for this protocol.
+	Framer() network.Framer
+}
+
+// ErrorReplier is an optional Binder capability: building a
+// protocol-level error reply (an XML-RPC fault, a SOAP Fault, a JSON-RPC
+// error, a GIOP system exception, an HTTP 500) so that a mediation
+// failure reaches the client as a proper fault instead of a dropped
+// connection. req is the abstract request being answered (for
+// correlation ids); it may be nil.
+type ErrorReplier interface {
+	// BuildErrorReply encodes a fault for the given action.
+	BuildErrorReply(action string, req *message.Message, errMsg string) ([]byte, error)
+}

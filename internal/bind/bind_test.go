@@ -1,0 +1,445 @@
+package bind
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"starlink/internal/automata"
+	"starlink/internal/casestudy"
+	"starlink/internal/message"
+)
+
+func TestXMLRPCRequestRoundTrip(t *testing.T) {
+	b := &XMLRPCBinder{Path: "/xml-rpc", Defs: casestudy.FlickrUsage().Messages}
+	abs := message.New(casestudy.FlickrSearch,
+		message.NewPrimitive("api_key", message.TypeString, "k"),
+		message.NewPrimitive("text", message.TypeString, "tree"),
+		message.NewPrimitive("per_page", message.TypeInt64, 3),
+	)
+	packet, err := b.BuildRequest(casestudy.FlickrSearch, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(packet), "POST /xml-rpc HTTP/1.1\r\n") {
+		t.Errorf("packet start: %q", packet[:40])
+	}
+	action, back, err := b.ParseRequest(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != casestudy.FlickrSearch {
+		t.Errorf("action = %q", action)
+	}
+	if v, _ := back.GetString("text"); v != "tree" {
+		t.Errorf("text = %q", v)
+	}
+	if v, _ := back.GetInt("per_page"); v != 3 {
+		t.Errorf("per_page = %d", v)
+	}
+}
+
+func TestXMLRPCPositionalParamsNamedFromDefs(t *testing.T) {
+	defs := map[string]automata.MsgDef{
+		"op": {Name: "op", Fields: []string{"alpha", "beta"}},
+	}
+	b := &XMLRPCBinder{Path: "/x", Defs: defs}
+	// Hand-build a positional call (two scalar params).
+	other := &XMLRPCBinder{Path: "/x"}
+	_ = other
+	packet := buildRawXMLRPC(t, "op", `<param><value><string>a</string></value></param><param><value><int>2</int></value></param>`)
+	action, abs, err := b.ParseRequest(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "op" {
+		t.Errorf("action = %q", action)
+	}
+	if v, _ := abs.GetString("alpha"); v != "a" {
+		t.Errorf("alpha = %q", v)
+	}
+	if v, _ := abs.GetInt("beta"); v != 2 {
+		t.Errorf("beta = %d", v)
+	}
+	// Extra params beyond the def get positional names.
+	packet2 := buildRawXMLRPC(t, "op", `<param><value><string>a</string></value></param><param><value><string>b</string></value></param><param><value><string>c</string></value></param>`)
+	_, abs2, err := b.ParseRequest(packet2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := abs2.GetString("param3"); v != "c" {
+		t.Errorf("param3 = %q", v)
+	}
+}
+
+func buildRawXMLRPC(t *testing.T, method, paramsXML string) []byte {
+	t.Helper()
+	body := `<?xml version="1.0"?><methodCall><methodName>` + method +
+		`</methodName><params>` + paramsXML + `</params></methodCall>`
+	raw := "POST /x HTTP/1.1\r\nContent-Type: text/xml\r\nContent-Length: " +
+		itoa(len(body)) + "\r\n\r\n" + body
+	return []byte(raw)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestXMLRPCReplyRoundTrip(t *testing.T) {
+	b := &XMLRPCBinder{Path: "/x"}
+	abs := message.New(casestudy.FlickrSearchReply,
+		message.NewArray("photos",
+			message.NewStruct("item",
+				message.NewPrimitive("id", message.TypeString, "p1"),
+				message.NewPrimitive("title", message.TypeString, "tree"),
+			),
+			message.NewStruct("item",
+				message.NewPrimitive("id", message.TypeString, "p2"),
+				message.NewPrimitive("title", message.TypeString, "oak"),
+			),
+		),
+		message.NewPrimitive("total", message.TypeInt64, 2),
+	)
+	packet, err := b.BuildReply(casestudy.FlickrSearch, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := b.ParseReply(casestudy.FlickrSearch, packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.GetInt("total"); v != 2 {
+		t.Errorf("total = %d", v)
+	}
+	if v, _ := back.GetString("photos.item[1].id"); v != "p2" {
+		t.Errorf("photos.item[1].id = %q", v)
+	}
+}
+
+func TestXMLRPCScalarReply(t *testing.T) {
+	b := &XMLRPCBinder{Path: "/x"}
+	abs := message.New("add.reply", message.NewPrimitive("result", message.TypeInt64, 42))
+	packet, err := b.BuildReply("add", abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := b.ParseReply("add", packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.GetInt("result"); v != 42 {
+		t.Errorf("result = %d", v)
+	}
+}
+
+func TestSOAPRoundTrips(t *testing.T) {
+	b := &SOAPBinder{Path: "/soap"}
+	abs := message.New("Plus",
+		message.NewPrimitive("x", message.TypeString, "20"),
+		message.NewPrimitive("y", message.TypeString, "22"),
+	)
+	packet, err := b.BuildRequest("Plus", abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, back, err := b.ParseRequest(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "Plus" {
+		t.Errorf("action = %q", action)
+	}
+	if v, _ := back.GetString("y"); v != "22" {
+		t.Errorf("y = %q", v)
+	}
+
+	replyAbs := message.New("Plus.reply", message.NewPrimitive("result", message.TypeString, "42"))
+	rp, err := b.BuildReply("Plus", replyAbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rback, err := b.ParseReply("Plus", rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rback.GetString("result"); v != "42" {
+		t.Errorf("result = %q", v)
+	}
+	if rback.Name != "Plus.reply" {
+		t.Errorf("reply name = %q", rback.Name)
+	}
+}
+
+func TestSOAPRepeatedReplyParams(t *testing.T) {
+	b := &SOAPBinder{Path: "/soap"}
+	abs := message.New("search.reply",
+		message.NewPrimitive("photo_id", message.TypeString, "p1"),
+		message.NewPrimitive("photo_id", message.TypeString, "p2"),
+	)
+	packet, err := b.BuildReply("search", abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := b.ParseReply("search", packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, f := range back.Fields {
+		if f.Label == "photo_id" {
+			ids = append(ids, f.ValueString())
+		}
+	}
+	if len(ids) != 2 || ids[1] != "p2" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+const picasaRoutesDoc = `
+# Picasa GData routes (Fig. 1)
+route picasa.photos.search GET /data/feed/api/all q=q max-results=max-results -> feed
+route picasa.getComments GET /data/feed/api/photoid/{photo_id} kind=kind -> feed
+route picasa.addComment POST /data/feed/api/photoid/{photo_id} body=entry -> entry
+`
+
+func TestParseRoutes(t *testing.T) {
+	routes, err := ParseRoutes(picasaRoutesDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 3 {
+		t.Fatalf("routes = %d", len(routes))
+	}
+	if routes[0].Query["q"] != "q" || routes[0].ReplyKind != "feed" {
+		t.Errorf("route0 = %+v", routes[0])
+	}
+	if routes[2].BodyField != "entry" || routes[2].Method != "POST" {
+		t.Errorf("route2 = %+v", routes[2])
+	}
+}
+
+func TestParseRoutesErrors(t *testing.T) {
+	bad := []string{
+		"route a GET /x",
+		"r a GET /x -> feed",
+		"route a GET /x -> banana",
+		"route a GET /x q -> feed",
+		"",
+		"# only comments",
+	}
+	for _, doc := range bad {
+		if _, err := ParseRoutes(doc); err == nil {
+			t.Errorf("ParseRoutes(%q) accepted", doc)
+		}
+	}
+}
+
+func newRESTBinder(t *testing.T) *RESTBinder {
+	t.Helper()
+	routes, err := ParseRoutes(picasaRoutesDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRESTBinder(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRESTBuildRequestFig9(t *testing.T) {
+	b := newRESTBinder(t)
+	abs := message.New(casestudy.PicasaSearch,
+		message.NewPrimitive("q", message.TypeString, "tree"),
+		message.NewPrimitive("max-results", message.TypeString, "3"),
+	)
+	packet, err := b.BuildRequest(casestudy.PicasaSearch, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, _, _ := strings.Cut(string(packet), "\r\n")
+	if line != "GET /data/feed/api/all?max-results=3&q=tree HTTP/1.1" {
+		t.Errorf("request line = %q", line)
+	}
+}
+
+func TestRESTRequestRoundTripWithPathVarAndBody(t *testing.T) {
+	b := newRESTBinder(t)
+	abs := message.New(casestudy.PicasaAddComment,
+		message.NewPrimitive("photo_id", message.TypeString, "photo 1"),
+		message.NewStruct("entry",
+			message.NewPrimitive("summary", message.TypeString, "nice"),
+			message.NewPrimitive("author", message.TypeString, "bob"),
+		),
+	)
+	packet, err := b.BuildRequest(casestudy.PicasaAddComment, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, back, err := b.ParseRequest(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != casestudy.PicasaAddComment {
+		t.Errorf("action = %q", action)
+	}
+	if v, _ := back.GetString("photo_id"); v != "photo 1" {
+		t.Errorf("photo_id = %q", v)
+	}
+	if v, _ := back.GetString("entry.summary"); v != "nice" {
+		t.Errorf("summary = %q", v)
+	}
+}
+
+func TestRESTReplyFeed(t *testing.T) {
+	b := newRESTBinder(t)
+	replyAbs := message.New(casestudy.PicasaSearchReply,
+		message.NewStruct("entry",
+			message.NewPrimitive("id", message.TypeString, "p1"),
+			message.NewPrimitive("title", message.TypeString, "tree"),
+			message.NewPrimitive("src", message.TypeString, "http://x/1.jpg"),
+		),
+		message.NewStruct("entry",
+			message.NewPrimitive("id", message.TypeString, "p2"),
+			message.NewPrimitive("title", message.TypeString, "oak"),
+		),
+	)
+	packet, err := b.BuildReply(casestudy.PicasaSearch, replyAbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := b.ParseReply(casestudy.PicasaSearch, packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []*message.Field
+	for _, f := range back.Fields {
+		if f.Label == "entry" {
+			entries = append(entries, f)
+		}
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Child("src").ValueString() != "http://x/1.jpg" {
+		t.Errorf("src = %q", entries[0].Child("src").ValueString())
+	}
+}
+
+func TestRESTErrors(t *testing.T) {
+	b := newRESTBinder(t)
+	if _, err := b.BuildRequest("nope", message.New("nope")); !errors.Is(err, ErrUnknownAction) {
+		t.Errorf("unknown action err = %v", err)
+	}
+	// Missing path variable.
+	if _, err := b.BuildRequest(casestudy.PicasaGetComments, message.New(casestudy.PicasaGetComments)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("missing path var err = %v", err)
+	}
+	// Missing body field.
+	abs := message.New(casestudy.PicasaAddComment,
+		message.NewPrimitive("photo_id", message.TypeString, "p1"))
+	if _, err := b.BuildRequest(casestudy.PicasaAddComment, abs); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("missing body err = %v", err)
+	}
+	// Reply with error status.
+	badReply := []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")
+	if _, err := b.ParseReply(casestudy.PicasaSearch, badReply); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("404 reply err = %v", err)
+	}
+	// Request matching no route.
+	noRoute := []byte("GET /unknown HTTP/1.1\r\n\r\n")
+	if _, _, err := b.ParseRequest(noRoute); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("no route err = %v", err)
+	}
+}
+
+func TestGIOPBinderRoundTrips(t *testing.T) {
+	defs := map[string]automata.MsgDef{
+		"Add":       {Name: "Add", Fields: []string{"x", "y"}},
+		"Add.reply": {Name: "Add.reply", Fields: []string{"z"}},
+	}
+	b, err := NewGIOPBinder("calc", defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := message.New("Add",
+		message.NewPrimitive("x", message.TypeInt64, 20),
+		message.NewPrimitive("y", message.TypeInt64, 22),
+	)
+	packet, err := b.BuildRequest("Add", abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, back, err := b.ParseRequest(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "Add" {
+		t.Errorf("action = %q", action)
+	}
+	if v, _ := back.GetInt("x"); v != 20 {
+		t.Errorf("x = %d", v)
+	}
+	if back.Field("_giop_request_id") == nil {
+		t.Error("request id not stashed")
+	}
+
+	// Reply: id correlation through the stashed field.
+	replyAbs := message.New("Add.reply",
+		message.NewPrimitive("z", message.TypeInt64, 42),
+	)
+	replyAbs.Add(back.Field("_giop_request_id"))
+	rPacket, err := b.BuildReply("Add", replyAbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBack, err := b.ParseReply("Add", rPacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rBack.GetInt("z"); v != 42 {
+		t.Errorf("z = %d", v)
+	}
+}
+
+func TestGIOPBinderErrors(t *testing.T) {
+	b, err := NewGIOPBinder("calc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.ParseRequest([]byte("garbage")); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("garbage err = %v", err)
+	}
+	if _, err := b.ParseReply("Add", []byte("junk")); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("junk reply err = %v", err)
+	}
+}
+
+func TestFillAndMatchTemplate(t *testing.T) {
+	abs := message.New("m", message.NewPrimitive("id", message.TypeString, "a/b"))
+	got, err := fillTemplate("/photoid/{id}", abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, ok := matchTemplate("/photoid/{id}", got)
+	if !ok || vars["id"] != "a/b" {
+		t.Errorf("match = %v, %v", vars, ok)
+	}
+	if _, ok := matchTemplate("/a/{x}", "/b/c"); ok {
+		t.Error("mismatched literal accepted")
+	}
+	if _, ok := matchTemplate("/a/{x}", "/a"); ok {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := fillTemplate("/p/{missing}", message.New("m")); err == nil {
+		t.Error("missing variable accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package bind
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"starlink/internal/mdl"
+	"starlink/internal/message"
+	"starlink/internal/network"
+	"starlink/internal/protocol/slp"
+	"starlink/internal/protocol/ssdp"
+)
+
+// DiscoverySearch is the abstract action label shared by the discovery
+// binders: an SSDP M-SEARCH and an SLP ServiceRequest both bind to it.
+const DiscoverySearch = "discovery.search"
+
+// datagramFramer satisfies network.Framer for message-per-datagram
+// protocols; the UDP transport ignores framing, so these methods are only
+// used on the (unsupported) stream path.
+type datagramFramer struct{}
+
+var _ network.Framer = datagramFramer{}
+
+// ReadMessage implements network.Framer (not used over UDP).
+func (datagramFramer) ReadMessage(*bufio.Reader) ([]byte, error) {
+	return nil, fmt.Errorf("bind: datagram protocol over a stream transport")
+}
+
+// WriteMessage implements network.Framer.
+func (datagramFramer) WriteMessage(w io.Writer, data []byte) error {
+	_, err := w.Write(data)
+	return err
+}
+
+// SSDPBinder binds the discovery.search action to SSDP M-SEARCH /
+// 200 OK messages. Abstract request fields: st, mx. Abstract reply
+// fields: st, usn, location.
+type SSDPBinder struct{}
+
+var _ Binder = (*SSDPBinder)(nil)
+
+// Framer implements Binder.
+func (b *SSDPBinder) Framer() network.Framer { return datagramFramer{} }
+
+// ParseRequest implements Binder.
+func (b *SSDPBinder) ParseRequest(packet []byte) (string, *message.Message, error) {
+	s, err := ssdp.ParseSearch(packet)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	abs := message.New(DiscoverySearch,
+		message.NewPrimitive("st", message.TypeString, s.ST),
+		message.NewPrimitive("mx", message.TypeInt64, int64(s.MX)),
+	)
+	return DiscoverySearch, abs, nil
+}
+
+// BuildRequest implements Binder.
+func (b *SSDPBinder) BuildRequest(action string, abs *message.Message) ([]byte, error) {
+	if action != DiscoverySearch {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAction, action)
+	}
+	st, _ := abs.GetString("st")
+	mx, err := abs.GetInt("mx")
+	if err != nil {
+		mx = 1
+	}
+	return ssdp.SearchRequest{ST: st, MX: int(mx)}.Marshal(), nil
+}
+
+// ParseReply implements Binder.
+func (b *SSDPBinder) ParseReply(action string, packet []byte) (*message.Message, error) {
+	resp, err := ssdp.ParseResponse(packet)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return message.New(action+".reply",
+		message.NewPrimitive("st", message.TypeString, resp.ST),
+		message.NewPrimitive("usn", message.TypeString, resp.USN),
+		message.NewPrimitive("location", message.TypeString, resp.Location),
+	), nil
+}
+
+// BuildReply implements Binder.
+func (b *SSDPBinder) BuildReply(action string, abs *message.Message) ([]byte, error) {
+	get := func(label string) string {
+		if f := abs.Field(label); f != nil {
+			return f.ValueString()
+		}
+		return ""
+	}
+	return ssdp.SearchResponse{
+		ST:       get("st"),
+		USN:      get("usn"),
+		Location: get("location"),
+	}.Marshal(), nil
+}
+
+// SLPBinder binds discovery.search to SLP ServiceRequest/ServiceReply
+// through the binary MDL codec. Abstract request fields: servicetype,
+// scope. Abstract reply fields: repeated urlentry structs {url,
+// lifetime}.
+type SLPBinder struct {
+	codec   mdl.Codec
+	nextXID atomic.Uint64
+}
+
+var _ Binder = (*SLPBinder)(nil)
+
+// NewSLPBinder compiles the SLP MDL document.
+func NewSLPBinder() (*SLPBinder, error) {
+	codec, err := slp.NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	return &SLPBinder{codec: codec}, nil
+}
+
+// Framer implements Binder.
+func (b *SLPBinder) Framer() network.Framer { return datagramFramer{} }
+
+// BuildRequest implements Binder.
+func (b *SLPBinder) BuildRequest(action string, abs *message.Message) ([]byte, error) {
+	if action != DiscoverySearch {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAction, action)
+	}
+	st, _ := abs.GetString("servicetype")
+	scope, _ := abs.GetString("scope")
+	if scope == "" {
+		scope = "DEFAULT"
+	}
+	return b.codec.Compose(slp.NewRequest(b.nextXID.Add(1), st, scope))
+}
+
+// ParseReply implements Binder.
+func (b *SLPBinder) ParseReply(action string, packet []byte) (*message.Message, error) {
+	reply, err := b.codec.Parse(packet)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if reply.Name != "ServiceReply" {
+		return nil, fmt.Errorf("%w: got %s", ErrBadMessage, reply.Name)
+	}
+	if code, _ := reply.GetInt("ErrorCode"); code != 0 {
+		return nil, fmt.Errorf("%w: SLP error code %d", ErrBadMessage, code)
+	}
+	abs := message.New(action + ".reply")
+	for _, e := range slp.EntriesOf(reply) {
+		abs.Add(message.NewStruct("urlentry",
+			message.NewPrimitive("url", message.TypeString, e.URL),
+			message.NewPrimitive("lifetime", message.TypeInt64, int64(e.Lifetime)),
+		))
+	}
+	return abs, nil
+}
+
+// ParseRequest implements Binder (for SLP-facing server roles).
+func (b *SLPBinder) ParseRequest(packet []byte) (string, *message.Message, error) {
+	req, err := b.codec.Parse(packet)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if req.Name != "ServiceRequest" {
+		return "", nil, fmt.Errorf("%w: got %s", ErrBadMessage, req.Name)
+	}
+	st, _ := req.GetString("ServiceType")
+	scope, _ := req.GetString("Scope")
+	xid, _ := req.GetInt("XID")
+	abs := message.New(DiscoverySearch,
+		message.NewPrimitive("servicetype", message.TypeString, st),
+		message.NewPrimitive("scope", message.TypeString, scope),
+		message.NewPrimitive("_slp_xid", message.TypeUint64, uint64(xid)),
+	)
+	return DiscoverySearch, abs, nil
+}
+
+// BuildReply implements Binder (for SLP-facing server roles).
+func (b *SLPBinder) BuildReply(action string, abs *message.Message) ([]byte, error) {
+	var xid uint64
+	if f := abs.Field("_slp_xid"); f != nil {
+		if v, ok := f.Value.(uint64); ok {
+			xid = v
+		}
+	}
+	var entries []slp.URLEntry
+	for _, f := range abs.Fields {
+		if f.Label != "urlentry" {
+			continue
+		}
+		e := slp.URLEntry{Lifetime: 1800}
+		if c := f.Child("url"); c != nil {
+			e.URL = c.ValueString()
+		}
+		if c := f.Child("lifetime"); c != nil {
+			if n, ok := c.Value.(int64); ok {
+				e.Lifetime = uint16(n)
+			}
+		}
+		entries = append(entries, e)
+	}
+	return b.codec.Compose(slp.NewReply(xid, 0, entries))
+}

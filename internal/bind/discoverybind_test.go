@@ -1,0 +1,278 @@
+package bind
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"starlink/internal/automata"
+	"starlink/internal/message"
+)
+
+func TestSSDPBinderRoundTrips(t *testing.T) {
+	b := &SSDPBinder{}
+	abs := message.New(DiscoverySearch,
+		message.NewPrimitive("st", message.TypeString, "urn:x:Printer:1"),
+		message.NewPrimitive("mx", message.TypeInt64, 2),
+	)
+	packet, err := b.BuildRequest(DiscoverySearch, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(packet), "M-SEARCH * HTTP/1.1") {
+		t.Errorf("packet = %q", packet[:20])
+	}
+	action, back, err := b.ParseRequest(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != DiscoverySearch {
+		t.Errorf("action = %q", action)
+	}
+	if v, _ := back.GetString("st"); v != "urn:x:Printer:1" {
+		t.Errorf("st = %q", v)
+	}
+	if v, _ := back.GetInt("mx"); v != 2 {
+		t.Errorf("mx = %d", v)
+	}
+
+	reply := message.New(DiscoverySearch+".reply",
+		message.NewPrimitive("st", message.TypeString, "urn:x:Printer:1"),
+		message.NewPrimitive("usn", message.TypeString, "uuid:1"),
+		message.NewPrimitive("location", message.TypeString, "http://p/desc.xml"),
+	)
+	rp, err := b.BuildReply(DiscoverySearch, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rback, err := b.ParseReply(DiscoverySearch, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rback.GetString("location"); v != "http://p/desc.xml" {
+		t.Errorf("location = %q", v)
+	}
+}
+
+func TestSSDPBinderErrors(t *testing.T) {
+	b := &SSDPBinder{}
+	if _, err := b.BuildRequest("wrong.action", message.New("x")); !errors.Is(err, ErrUnknownAction) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := b.ParseRequest([]byte("junk")); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := b.ParseReply(DiscoverySearch, []byte("junk")); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("err = %v", err)
+	}
+	// Missing mx defaults to 1.
+	abs := message.New(DiscoverySearch, message.NewPrimitive("st", message.TypeString, "urn:y"))
+	packet, err := b.BuildRequest(DiscoverySearch, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(packet), "MX: 1") {
+		t.Errorf("default MX missing: %q", packet)
+	}
+}
+
+func TestSLPBinderRoundTrips(t *testing.T) {
+	b, err := NewSLPBinder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := message.New(DiscoverySearch,
+		message.NewPrimitive("servicetype", message.TypeString, "service:printer:lpr"),
+	)
+	packet, err := b.BuildRequest(DiscoverySearch, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, back, err := b.ParseRequest(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != DiscoverySearch {
+		t.Errorf("action = %q", action)
+	}
+	if v, _ := back.GetString("servicetype"); v != "service:printer:lpr" {
+		t.Errorf("servicetype = %q", v)
+	}
+	if v, _ := back.GetString("scope"); v != "DEFAULT" {
+		t.Errorf("default scope = %q", v)
+	}
+	if back.Field("_slp_xid") == nil {
+		t.Error("xid not stashed")
+	}
+
+	reply := message.New(DiscoverySearch+".reply",
+		message.NewStruct("urlentry",
+			message.NewPrimitive("url", message.TypeString, "service:printer:lpr://a"),
+			message.NewPrimitive("lifetime", message.TypeInt64, 99),
+		),
+		back.Field("_slp_xid"),
+	)
+	rp, err := b.BuildReply(DiscoverySearch, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rback, err := b.ParseReply(DiscoverySearch, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rback.GetString("urlentry.url"); v != "service:printer:lpr://a" {
+		t.Errorf("url = %q", v)
+	}
+	if v, _ := rback.GetInt("urlentry.lifetime"); v != 99 {
+		t.Errorf("lifetime = %d", v)
+	}
+}
+
+func TestSLPBinderErrors(t *testing.T) {
+	b, err := NewSLPBinder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.BuildRequest("zap", message.New("x")); !errors.Is(err, ErrUnknownAction) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := b.ParseRequest([]byte("junk")); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := b.ParseReply(DiscoverySearch, []byte("junk")); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("err = %v", err)
+	}
+	// A request packet on the reply path is rejected.
+	req, _ := b.BuildRequest(DiscoverySearch, message.New(DiscoverySearch,
+		message.NewPrimitive("servicetype", message.TypeString, "x")))
+	if _, err := b.ParseReply(DiscoverySearch, req); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("request-as-reply err = %v", err)
+	}
+	// Error-code replies are rejected.
+	errReply := message.New(DiscoverySearch + ".reply")
+	errReply.Add(message.NewPrimitive("_slp_xid", message.TypeUint64, 1))
+	packet, err := b.BuildReply(DiscoverySearch, errReply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ParseReply(DiscoverySearch, packet); err != nil {
+		t.Fatalf("empty reply should parse (code 0): %v", err)
+	}
+}
+
+func TestDatagramFramer(t *testing.T) {
+	f := datagramFramer{}
+	if _, err := f.ReadMessage(nil); err == nil {
+		t.Error("stream read accepted")
+	}
+	var sb strings.Builder
+	if err := f.WriteMessage(&sb, []byte("x")); err != nil || sb.String() != "x" {
+		t.Errorf("write = %q, %v", sb.String(), err)
+	}
+}
+
+func TestJSONRPCBinderRequestRoundTrip(t *testing.T) {
+	b := &JSONRPCBinder{Path: "/jsonrpc", Defs: map[string]automata.MsgDef{
+		"op": {Name: "op", Fields: []string{"alpha", "beta"}},
+	}}
+	abs := message.New("op",
+		message.NewPrimitive("alpha", message.TypeString, "a"),
+		message.NewPrimitive("beta", message.TypeInt64, 2),
+	)
+	packet, err := b.BuildRequest("op", abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, back, err := b.ParseRequest(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "op" {
+		t.Errorf("action = %q", action)
+	}
+	if v, _ := back.GetString("alpha"); v != "a" {
+		t.Errorf("alpha = %q", v)
+	}
+	if v, _ := back.GetInt("beta"); v != 2 {
+		t.Errorf("beta = %d", v)
+	}
+	if back.Field("_jsonrpc_id") == nil {
+		t.Error("id not stashed")
+	}
+}
+
+func TestJSONRPCBinderPositionalParams(t *testing.T) {
+	b := &JSONRPCBinder{Path: "/j", Defs: map[string]automata.MsgDef{
+		"add": {Name: "add", Fields: []string{"x", "y"}},
+	}}
+	raw := `{"method":"add","params":[20,22.5,true],"id":3}`
+	packet := []byte("POST /j HTTP/1.1\r\nContent-Length: " + itoa(len(raw)) + "\r\n\r\n" + raw)
+	action, abs, err := b.ParseRequest(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "add" {
+		t.Errorf("action = %q", action)
+	}
+	if v, _ := abs.GetInt("x"); v != 20 {
+		t.Errorf("x = %d", v)
+	}
+	if v, _ := abs.Get("y"); v != 22.5 {
+		t.Errorf("y = %v", v)
+	}
+	if v, _ := abs.Get("param3"); v != true {
+		t.Errorf("param3 = %v", v)
+	}
+}
+
+func TestJSONRPCBinderReplyRoundTrips(t *testing.T) {
+	b := &JSONRPCBinder{Path: "/j"}
+	reply := message.New("op.reply",
+		message.NewArray("photos",
+			message.NewStruct("item", message.NewPrimitive("id", message.TypeString, "p1")),
+		),
+		message.NewPrimitive("total", message.TypeInt64, 1),
+		message.NewPrimitive("_jsonrpc_id", message.TypeUint64, 5),
+	)
+	packet, err := b.BuildReply("op", reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := b.ParseReply("op", packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.GetString("photos.item[0].id"); v != "p1" {
+		t.Errorf("photos = %v", back)
+	}
+	if v, _ := back.GetInt("total"); v != 1 {
+		t.Errorf("total = %d", v)
+	}
+
+	// Scalar result convention.
+	scalar := message.New("op.reply",
+		message.NewPrimitive("result", message.TypeInt64, 42),
+		message.NewPrimitive("_jsonrpc_id", message.TypeUint64, 6),
+	)
+	sp, err := b.BuildReply("op", scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sback, err := b.ParseReply("op", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sback.GetInt("result"); v != 42 {
+		t.Errorf("result = %d", v)
+	}
+}
+
+func TestJSONRPCBinderErrors(t *testing.T) {
+	b := &JSONRPCBinder{Path: "/j"}
+	if _, _, err := b.ParseRequest([]byte("junk")); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := b.ParseReply("op", []byte("junk")); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("err = %v", err)
+	}
+}

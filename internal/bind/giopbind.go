@@ -1,0 +1,191 @@
+package bind
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"starlink/internal/automata"
+	"starlink/internal/mdl"
+	"starlink/internal/message"
+	"starlink/internal/network"
+	"starlink/internal/protocol/giop"
+)
+
+// GIOPBinder binds abstract actions to GIOP request/reply messages
+// through the binary-MDL codec — the Fig. 7 IIOP binding:
+//
+//	?Action    = GIOPRequest.Operation
+//	!Action    = correlated by RequestID
+//	ParameterN = GIOPRequest.ParameterArray.ParameterN
+//
+// Positional parameters take their abstract names from the API usage
+// automaton's MsgDef field order.
+type GIOPBinder struct {
+	// ObjectKey targets the remote object on BuildRequest.
+	ObjectKey string
+	// Defs names positional parameters per action; reply parameter names
+	// come from the "<action>.reply" entry.
+	Defs map[string]automata.MsgDef
+
+	codec  mdl.Codec
+	nextID atomic.Uint64
+}
+
+var _ Binder = (*GIOPBinder)(nil)
+
+// NewGIOPBinder compiles the GIOP MDL document.
+func NewGIOPBinder(objectKey string, defs map[string]automata.MsgDef) (*GIOPBinder, error) {
+	codec, err := giop.NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	return &GIOPBinder{ObjectKey: objectKey, Defs: defs, codec: codec}, nil
+}
+
+// Framer implements Binder.
+func (b *GIOPBinder) Framer() network.Framer { return network.GIOPFramer{} }
+
+func (b *GIOPBinder) paramNames(msgName string) []string {
+	if b.Defs == nil {
+		return nil
+	}
+	return b.Defs[msgName].Fields
+}
+
+// ParseRequest implements Binder.
+func (b *GIOPBinder) ParseRequest(packet []byte) (string, *message.Message, error) {
+	concrete, err := b.codec.Parse(packet)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if concrete.Name != "GIOPRequest" {
+		return "", nil, fmt.Errorf("%w: expected GIOPRequest, got %s", ErrBadMessage, concrete.Name)
+	}
+	action, err := concrete.GetString("Operation")
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	abs := message.New(action)
+	bindPositional(abs, concrete, b.paramNames(action))
+	// Remember the request id so the reply can be correlated.
+	if id, err := concrete.GetInt("RequestID"); err == nil {
+		abs.Add(message.NewPrimitive("_giop_request_id", message.TypeUint64, uint64(id)))
+	}
+	return action, abs, nil
+}
+
+func bindPositional(abs, concrete *message.Message, names []string) {
+	arr, err := concrete.Lookup("ParameterArray")
+	if err != nil {
+		return
+	}
+	for i, p := range arr.Children {
+		label := fmt.Sprintf("param%d", i+1)
+		if i < len(names) {
+			label = names[i]
+		}
+		cp := p.Clone()
+		cp.Label = label
+		abs.Add(cp)
+	}
+}
+
+// BuildRequest implements Binder: abstract fields become positional CDR
+// parameters in MsgDef order.
+func (b *GIOPBinder) BuildRequest(action string, abs *message.Message) ([]byte, error) {
+	params := b.positionalParams(action, abs)
+	req := giop.NewRequest(b.nextID.Add(1), b.ObjectKey, action, params)
+	return b.codec.Compose(req)
+}
+
+// positionalParams orders abstract fields by the action's MsgDef; fields
+// not in the def follow in message order.
+func (b *GIOPBinder) positionalParams(msgName string, abs *message.Message) []*message.Field {
+	names := b.paramNames(msgName)
+	var params []*message.Field
+	used := map[string]bool{}
+	for _, n := range names {
+		if f := abs.Field(n); f != nil {
+			cp := f.Clone()
+			cp.Label = "Parameter"
+			params = append(params, cp)
+			used[n] = true
+		}
+	}
+	for _, f := range abs.Fields {
+		if used[f.Label] || f.Label == "_giop_request_id" {
+			continue
+		}
+		if len(names) > 0 && contains(names, f.Label) {
+			continue
+		}
+		cp := f.Clone()
+		cp.Label = "Parameter"
+		params = append(params, cp)
+	}
+	return params
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildErrorReply implements ErrorReplier with a GIOP system exception.
+func (b *GIOPBinder) BuildErrorReply(action string, req *message.Message, errMsg string) ([]byte, error) {
+	var id uint64
+	if req != nil {
+		if f := req.Field("_giop_request_id"); f != nil {
+			if v, ok := f.Value.(uint64); ok {
+				id = v
+			}
+		}
+	}
+	reply := giop.NewReply(id, giop.StatusSystemException,
+		[]*message.Field{giop.StringParam("mediation failed: " + errMsg)})
+	return b.codec.Compose(reply)
+}
+
+var _ ErrorReplier = (*GIOPBinder)(nil)
+
+// ParseReply implements Binder.
+func (b *GIOPBinder) ParseReply(action string, packet []byte) (*message.Message, error) {
+	concrete, err := b.codec.Parse(packet)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if concrete.Name != "GIOPReply" {
+		return nil, fmt.Errorf("%w: expected GIOPReply, got %s", ErrBadMessage, concrete.Name)
+	}
+	status, _ := concrete.GetInt("ReplyStatus")
+	if status != giop.StatusNoException {
+		return nil, fmt.Errorf("%w: action %s: reply status %d", ErrBadMessage, action, status)
+	}
+	abs := message.New(action + ".reply")
+	bindPositional(abs, concrete, b.paramNames(action+".reply"))
+	return abs, nil
+}
+
+// BuildReply implements Binder. The request id is taken from the
+// "_giop_request_id" field that ParseRequest stashed in the abstract
+// request — the engine copies it into the reply environment.
+func (b *GIOPBinder) BuildReply(action string, abs *message.Message) ([]byte, error) {
+	var id uint64
+	if f := abs.Field("_giop_request_id"); f != nil {
+		if v, ok := f.Value.(uint64); ok {
+			id = v
+		}
+	}
+	filtered := message.New(abs.Name)
+	for _, f := range abs.Fields {
+		if f.Label != "_giop_request_id" {
+			filtered.Add(f)
+		}
+	}
+	reply := giop.NewReply(id, giop.StatusNoException, b.positionalParams(action+".reply", filtered))
+	return b.codec.Compose(reply)
+}

@@ -1,0 +1,236 @@
+package bind
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"starlink/internal/automata"
+	"starlink/internal/message"
+	"starlink/internal/network"
+	"starlink/internal/protocol/httpwire"
+	"starlink/internal/protocol/jsonrpc"
+)
+
+// JSONRPCBinder binds abstract actions to JSON-RPC 1.0 over HTTP. Like
+// the XML-RPC binder it supports both the single-object-parameter
+// convention (members become named abstract fields) and positional
+// parameters named from the API usage automaton's MsgDefs.
+type JSONRPCBinder struct {
+	// Path is the HTTP endpoint path.
+	Path string
+	// Defs names positional request parameters.
+	Defs map[string]automata.MsgDef
+
+	nextID atomic.Uint64
+}
+
+var _ Binder = (*JSONRPCBinder)(nil)
+
+// Framer implements Binder.
+func (b *JSONRPCBinder) Framer() network.Framer { return network.HTTPFramer{} }
+
+// ParseRequest implements Binder.
+func (b *JSONRPCBinder) ParseRequest(packet []byte) (string, *message.Message, error) {
+	req, err := httpwire.ParseRequest(packet)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	id, action, params, err := jsonrpc.ParseCall(req.Body)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	abs := message.New(action)
+	if len(params) == 1 {
+		if obj, ok := params[0].(map[string]any); ok {
+			for _, k := range sortedAnyKeys(obj) {
+				abs.Add(jsonToField(k, obj[k]))
+			}
+			abs.Add(message.NewPrimitive("_jsonrpc_id", message.TypeUint64, id))
+			return action, abs, nil
+		}
+	}
+	names := b.Defs[action].Fields
+	for i, p := range params {
+		label := fmt.Sprintf("param%d", i+1)
+		if i < len(names) {
+			label = names[i]
+		}
+		abs.Add(jsonToField(label, p))
+	}
+	abs.Add(message.NewPrimitive("_jsonrpc_id", message.TypeUint64, id))
+	return action, abs, nil
+}
+
+// BuildRequest implements Binder: abstract fields become one object
+// parameter.
+func (b *JSONRPCBinder) BuildRequest(action string, abs *message.Message) ([]byte, error) {
+	obj := map[string]any{}
+	for _, f := range abs.Fields {
+		if f.Label == "_jsonrpc_id" {
+			continue
+		}
+		obj[f.Label] = fieldToJSON(f)
+	}
+	body, err := jsonrpc.MarshalCall(b.nextID.Add(1), action, obj)
+	if err != nil {
+		return nil, err
+	}
+	req := &httpwire.Request{
+		Method:  "POST",
+		Target:  b.Path,
+		Headers: map[string]string{"Content-Type": "application/json"},
+		Body:    body,
+	}
+	return req.Marshal(), nil
+}
+
+// ParseReply implements Binder.
+func (b *JSONRPCBinder) ParseReply(action string, packet []byte) (*message.Message, error) {
+	resp, err := httpwire.ParseResponse(packet)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	_, result, err := jsonrpc.ParseResponse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s reply: %w", action, err)
+	}
+	abs := message.New(action + ".reply")
+	switch v := result.(type) {
+	case map[string]any:
+		for _, k := range sortedAnyKeys(v) {
+			abs.Add(jsonToField(k, v[k]))
+		}
+	default:
+		abs.Add(jsonToField("result", result))
+	}
+	return abs, nil
+}
+
+// BuildReply implements Binder.
+func (b *JSONRPCBinder) BuildReply(action string, abs *message.Message) ([]byte, error) {
+	var id uint64
+	obj := map[string]any{}
+	for _, f := range abs.Fields {
+		if f.Label == "_jsonrpc_id" {
+			if v, ok := f.Value.(uint64); ok {
+				id = v
+			}
+			continue
+		}
+		obj[f.Label] = fieldToJSON(f)
+	}
+	var result any = obj
+	if len(obj) == 1 {
+		if v, ok := obj["result"]; ok {
+			result = v
+		}
+	}
+	body, err := jsonrpc.MarshalResult(id, result)
+	if err != nil {
+		return nil, err
+	}
+	resp := &httpwire.Response{
+		Status:  200,
+		Headers: map[string]string{"Content-Type": "application/json"},
+		Body:    body,
+	}
+	return resp.Marshal(), nil
+}
+
+// BuildErrorReply implements ErrorReplier with a JSON-RPC error.
+func (b *JSONRPCBinder) BuildErrorReply(action string, req *message.Message, errMsg string) ([]byte, error) {
+	var id uint64
+	if req != nil {
+		if f := req.Field("_jsonrpc_id"); f != nil {
+			if v, ok := f.Value.(uint64); ok {
+				id = v
+			}
+		}
+	}
+	body, err := jsonrpc.MarshalError(id, "mediation failed: "+errMsg)
+	if err != nil {
+		return nil, err
+	}
+	resp := &httpwire.Response{
+		Status:  200,
+		Headers: map[string]string{"Content-Type": "application/json"},
+		Body:    body,
+	}
+	return resp.Marshal(), nil
+}
+
+var _ ErrorReplier = (*JSONRPCBinder)(nil)
+
+// jsonToField maps a JSON value onto the abstract field convention.
+func jsonToField(label string, v any) *message.Field {
+	switch x := v.(type) {
+	case map[string]any:
+		f := message.NewStruct(label)
+		for _, k := range sortedAnyKeys(x) {
+			f.Add(jsonToField(k, x[k]))
+		}
+		return f
+	case []any:
+		f := message.NewArray(label)
+		for _, e := range x {
+			f.Add(jsonToField("item", e))
+		}
+		return f
+	case string:
+		return message.NewPrimitive(label, message.TypeString, x)
+	case float64:
+		// JSON numbers arrive as float64; keep integral values as ints so
+		// MTL arithmetic and positional GIOP parameters stay exact.
+		if x == float64(int64(x)) {
+			return message.NewPrimitive(label, message.TypeInt64, int64(x))
+		}
+		return message.NewPrimitive(label, message.TypeFloat64, x)
+	case bool:
+		return message.NewPrimitive(label, message.TypeBool, x)
+	case nil:
+		return message.NewPrimitive(label, message.TypeString, "")
+	default:
+		return message.NewPrimitive(label, message.TypeString, fmt.Sprint(x))
+	}
+}
+
+// fieldToJSON is the inverse mapping.
+func fieldToJSON(f *message.Field) any {
+	if f.Type.Primitive() {
+		switch v := f.Value.(type) {
+		case string, bool, float64:
+			return v
+		case int64:
+			return v
+		case uint64:
+			return v
+		default:
+			return f.ValueString()
+		}
+	}
+	if f.Type == message.TypeArray || allChildrenShareLabel(f) {
+		arr := make([]any, 0, len(f.Children))
+		for _, c := range f.Children {
+			arr = append(arr, fieldToJSON(c))
+		}
+		return arr
+	}
+	obj := map[string]any{}
+	for _, c := range f.Children {
+		obj[c.Label] = fieldToJSON(c)
+	}
+	return obj
+}
+
+func sortedAnyKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,411 @@
+package bind
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+
+	"starlink/internal/mdl"
+	"starlink/internal/mdl/textenc"
+	"starlink/internal/message"
+	"starlink/internal/network"
+	"starlink/internal/protocol/rest"
+)
+
+// HTTPMDL is the text-MDL document describing HTTP requests and
+// responses; the REST binder interprets it through the text engine, so
+// the DSL-generated parser/composer sits in the mediation hot path (the
+// paper's Fig. 9 message flow). It is re-exported from textenc, which
+// owns the canonical definition.
+const HTTPMDL = textenc.HTTPMDL
+
+// Route is one entry of the REST binding table: how an abstract action
+// maps onto an HTTP resource (the GET/POST syntax column of Fig. 1).
+type Route struct {
+	// Action is the abstract action label.
+	Action string
+	// Method is the HTTP verb.
+	Method string
+	// PathTemplate is the resource path, with {field} placeholders filled
+	// from abstract request fields.
+	PathTemplate string
+	// Query maps query-parameter names to abstract field labels.
+	Query map[string]string
+	// BodyField names the abstract field marshalled as an Atom <entry>
+	// request body ("" for none).
+	BodyField string
+	// ReplyKind is "feed" or "entry".
+	ReplyKind string
+}
+
+// ParseRoutes reads a route table document, one route per line:
+//
+//	# comments allowed
+//	route <action> <METHOD> <path-template> [q=field ...] [body=field] -> feed|entry
+func ParseRoutes(doc string) ([]Route, error) {
+	var out []Route
+	for lineNo, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		head, kind, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("bind: routes line %d: missing \"->\"", lineNo+1)
+		}
+		fields := strings.Fields(head)
+		if len(fields) < 4 || fields[0] != "route" {
+			return nil, fmt.Errorf("bind: routes line %d: want \"route <action> <METHOD> <path>\"", lineNo+1)
+		}
+		r := Route{
+			Action:       fields[1],
+			Method:       fields[2],
+			PathTemplate: fields[3],
+			Query:        map[string]string{},
+			ReplyKind:    strings.TrimSpace(kind),
+		}
+		if r.ReplyKind != "feed" && r.ReplyKind != "entry" {
+			return nil, fmt.Errorf("bind: routes line %d: reply kind %q", lineNo+1, r.ReplyKind)
+		}
+		for _, kv := range fields[4:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("bind: routes line %d: bad mapping %q", lineNo+1, kv)
+			}
+			if k == "body" {
+				r.BodyField = v
+			} else {
+				r.Query[k] = v
+			}
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bind: route table is empty")
+	}
+	return out, nil
+}
+
+// RESTBinder binds abstract actions to a GData-style REST API through a
+// route table and the HTTP text-MDL codec.
+type RESTBinder struct {
+	routes []Route
+	codec  mdl.Codec
+}
+
+var _ Binder = (*RESTBinder)(nil)
+
+// NewRESTBinder compiles the HTTP MDL and installs the route table.
+func NewRESTBinder(routes []Route) (*RESTBinder, error) {
+	spec, err := mdl.ParseString(HTTPMDL)
+	if err != nil {
+		return nil, fmt.Errorf("bind: parse HTTP MDL: %w", err)
+	}
+	codec, err := textenc.New(spec)
+	if err != nil {
+		return nil, fmt.Errorf("bind: compile HTTP MDL: %w", err)
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("bind: REST binder needs at least one route")
+	}
+	return &RESTBinder{routes: routes, codec: codec}, nil
+}
+
+// Framer implements Binder.
+func (b *RESTBinder) Framer() network.Framer { return network.HTTPFramer{} }
+
+func (b *RESTBinder) route(action string) (Route, error) {
+	for _, r := range b.routes {
+		if r.Action == action {
+			return r, nil
+		}
+	}
+	return Route{}, fmt.Errorf("%w: %q", ErrUnknownAction, action)
+}
+
+// BuildRequest implements Binder: fills the route's path template and
+// query parameters from the abstract fields and composes the HTTP request
+// through the text-MDL codec.
+func (b *RESTBinder) BuildRequest(action string, abs *message.Message) ([]byte, error) {
+	r, err := b.route(action)
+	if err != nil {
+		return nil, err
+	}
+	path, err := fillTemplate(r.PathTemplate, abs)
+	if err != nil {
+		return nil, fmt.Errorf("action %s: %w", action, err)
+	}
+	concrete := message.New("HTTPRequest",
+		message.NewPrimitive("Method", message.TypeString, r.Method),
+		message.NewPrimitive("Version", message.TypeString, "HTTP/1.1"),
+		message.NewPrimitive("Path", message.TypeString, path),
+		message.NewStruct("Headers",
+			message.NewPrimitive("Accept", message.TypeString, "application/atom+xml"),
+		),
+	)
+	q := message.NewStruct("Query")
+	for _, qp := range sortedKeys(r.Query) {
+		f := abs.Field(r.Query[qp])
+		if f == nil {
+			continue // optional parameter absent
+		}
+		q.Add(message.NewPrimitive(qp, message.TypeString, f.ValueString()))
+	}
+	concrete.Add(q)
+	body := ""
+	if r.BodyField != "" {
+		f := abs.Field(r.BodyField)
+		if f == nil {
+			return nil, fmt.Errorf("%w: action %s: body field %q missing", ErrBadMessage, action, r.BodyField)
+		}
+		e := entryFromAbstract(f)
+		data, err := rest.MarshalEntry(e)
+		if err != nil {
+			return nil, err
+		}
+		body = string(data)
+	}
+	concrete.Add(message.NewPrimitive("Body", message.TypeString, body))
+	return b.codec.Compose(concrete)
+}
+
+// ParseReply implements Binder: decodes the HTTP response through the
+// text-MDL codec and maps the Atom payload onto abstract fields.
+func (b *RESTBinder) ParseReply(action string, packet []byte) (*message.Message, error) {
+	r, err := b.route(action)
+	if err != nil {
+		return nil, err
+	}
+	concrete, err := b.codec.Parse(packet)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	status, _ := concrete.GetString("Status")
+	if status != "200" && status != "201" {
+		return nil, fmt.Errorf("%w: action %s: HTTP status %s", ErrBadMessage, action, status)
+	}
+	body, _ := concrete.GetString("Body")
+	abs := message.New(action + ".reply")
+	switch r.ReplyKind {
+	case "feed":
+		feed, err := rest.ParseFeed([]byte(body))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range feed.Entries {
+			abs.Add(abstractFromEntry(e))
+		}
+	default:
+		e, err := rest.ParseEntry([]byte(body))
+		if err != nil {
+			return nil, err
+		}
+		abs.Add(abstractFromEntry(e))
+	}
+	return abs, nil
+}
+
+// ParseRequest implements Binder: matches the request against the route
+// table (for mediators whose *client-facing* side is REST).
+func (b *RESTBinder) ParseRequest(packet []byte) (string, *message.Message, error) {
+	concrete, err := b.codec.Parse(packet)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	method, _ := concrete.GetString("Method")
+	path, _ := concrete.GetString("Path")
+	for _, r := range b.routes {
+		vars, ok := matchTemplate(r.PathTemplate, path)
+		if !ok || r.Method != method {
+			continue
+		}
+		// Query mappings present in the request must match route fields.
+		abs := message.New(r.Action)
+		for k, v := range vars {
+			abs.Add(message.NewPrimitive(k, message.TypeString, v))
+		}
+		if qf, err := concrete.Lookup("Query"); err == nil {
+			for _, qp := range qf.Children {
+				label, ok := r.Query[qp.Label]
+				if !ok {
+					label = qp.Label
+				}
+				abs.Add(message.NewPrimitive(label, message.TypeString, qp.ValueString()))
+			}
+		}
+		if r.BodyField != "" {
+			body, _ := concrete.GetString("Body")
+			e, err := rest.ParseEntry([]byte(body))
+			if err != nil {
+				return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+			}
+			ef := abstractFromEntry(e)
+			ef.Label = r.BodyField
+			abs.Add(ef)
+		}
+		return r.Action, abs, nil
+	}
+	return "", nil, fmt.Errorf("%w: %s %s matches no route", ErrBadMessage, method, path)
+}
+
+// BuildReply implements Binder: renders abstract entry fields as an Atom
+// feed (or single entry) response.
+func (b *RESTBinder) BuildReply(action string, abs *message.Message) ([]byte, error) {
+	r, err := b.route(action)
+	if err != nil {
+		return nil, err
+	}
+	var body []byte
+	status := "200"
+	if r.ReplyKind == "feed" {
+		feed := rest.Feed{Title: action}
+		for _, f := range abs.Fields {
+			if f.Label == "entry" {
+				feed.Entries = append(feed.Entries, entryFromAbstract(f))
+			}
+		}
+		body, err = rest.MarshalFeed(feed)
+	} else {
+		status = "201"
+		var src *message.Field
+		for _, f := range abs.Fields {
+			if f.Label == "entry" {
+				src = f
+				break
+			}
+		}
+		if src == nil {
+			src = message.NewStruct("entry", abs.Fields...)
+		}
+		body, err = rest.MarshalEntry(entryFromAbstract(src))
+	}
+	if err != nil {
+		return nil, err
+	}
+	concrete := message.New("HTTPResponse",
+		message.NewPrimitive("Version", message.TypeString, "HTTP/1.1"),
+		message.NewPrimitive("Status", message.TypeString, status),
+		message.NewPrimitive("Reason", message.TypeString, "OK"),
+		message.NewStruct("Headers",
+			message.NewPrimitive("Content-Type", message.TypeString, "application/atom+xml"),
+		),
+		message.NewPrimitive("Body", message.TypeString, string(body)),
+	)
+	return b.codec.Compose(concrete)
+}
+
+// BuildErrorReply implements ErrorReplier with an HTTP 500.
+func (b *RESTBinder) BuildErrorReply(action string, _ *message.Message, errMsg string) ([]byte, error) {
+	concrete := message.New("HTTPResponse",
+		message.NewPrimitive("Version", message.TypeString, "HTTP/1.1"),
+		message.NewPrimitive("Status", message.TypeString, "500"),
+		message.NewPrimitive("Reason", message.TypeString, "Mediation Failed"),
+		message.NewStruct("Headers",
+			message.NewPrimitive("Content-Type", message.TypeString, "text/plain"),
+		),
+		message.NewPrimitive("Body", message.TypeString, "mediation failed: "+errMsg),
+	)
+	return b.codec.Compose(concrete)
+}
+
+var _ ErrorReplier = (*RESTBinder)(nil)
+
+// entryFromAbstract reads the abstract entry convention (id, title,
+// summary, author, src, type children) into a rest.Entry.
+func entryFromAbstract(f *message.Field) rest.Entry {
+	get := func(label string) string {
+		if c := f.Child(label); c != nil {
+			return c.ValueString()
+		}
+		return ""
+	}
+	return rest.Entry{
+		ID:          get("id"),
+		Title:       get("title"),
+		Summary:     get("summary"),
+		Author:      get("author"),
+		ContentSrc:  get("src"),
+		ContentType: get("type"),
+	}
+}
+
+// abstractFromEntry is the inverse mapping.
+func abstractFromEntry(e rest.Entry) *message.Field {
+	f := message.NewStruct("entry",
+		message.NewPrimitive("id", message.TypeString, e.ID),
+		message.NewPrimitive("title", message.TypeString, e.Title),
+	)
+	if e.Summary != "" {
+		f.Add(message.NewPrimitive("summary", message.TypeString, e.Summary))
+	}
+	if e.Author != "" {
+		f.Add(message.NewPrimitive("author", message.TypeString, e.Author))
+	}
+	if e.ContentSrc != "" {
+		f.Add(message.NewPrimitive("src", message.TypeString, e.ContentSrc))
+	}
+	if e.ContentType != "" {
+		f.Add(message.NewPrimitive("type", message.TypeString, e.ContentType))
+	}
+	return f
+}
+
+func fillTemplate(tmpl string, abs *message.Message) (string, error) {
+	var b strings.Builder
+	for {
+		i := strings.IndexByte(tmpl, '{')
+		if i < 0 {
+			b.WriteString(tmpl)
+			return b.String(), nil
+		}
+		j := strings.IndexByte(tmpl, '}')
+		if j < i {
+			return "", fmt.Errorf("malformed path template")
+		}
+		b.WriteString(tmpl[:i])
+		name := tmpl[i+1 : j]
+		f := abs.Field(name)
+		if f == nil {
+			return "", fmt.Errorf("%w: path variable %q missing", ErrBadMessage, name)
+		}
+		b.WriteString(url.PathEscape(f.ValueString()))
+		tmpl = tmpl[j+1:]
+	}
+}
+
+func matchTemplate(tmpl, path string) (map[string]string, bool) {
+	tParts := strings.Split(tmpl, "/")
+	pParts := strings.Split(path, "/")
+	if len(tParts) != len(pParts) {
+		return nil, false
+	}
+	vars := map[string]string{}
+	for i := range tParts {
+		t := tParts[i]
+		if strings.HasPrefix(t, "{") && strings.HasSuffix(t, "}") {
+			val, err := url.PathUnescape(pParts[i])
+			if err != nil {
+				return nil, false
+			}
+			vars[t[1:len(t)-1]] = val
+			continue
+		}
+		if t != pParts[i] {
+			return nil, false
+		}
+	}
+	return vars, true
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

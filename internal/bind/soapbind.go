@@ -1,0 +1,134 @@
+package bind
+
+import (
+	"fmt"
+
+	"starlink/internal/message"
+	"starlink/internal/network"
+	"starlink/internal/protocol/httpwire"
+	"starlink/internal/protocol/soap"
+)
+
+// SOAPBinder binds abstract actions to SOAP 1.1 RPC envelopes over HTTP.
+//
+// Binding rules (the Fig. 7 table for SOAP):
+//
+//	!Action    = SOAPRequest.MethodName  (the body element)
+//	?Action    = SOAPReply.MethodName
+//	ParameterN = SOAPRequest.ParameterArray.ParameterN (named body children)
+//
+// Abstract request fields map one-to-one onto named parameter elements;
+// repeated reply parameters become repeated abstract fields.
+type SOAPBinder struct {
+	// Path is the HTTP endpoint path.
+	Path string
+}
+
+var _ Binder = (*SOAPBinder)(nil)
+
+// Framer implements Binder.
+func (b *SOAPBinder) Framer() network.Framer { return network.HTTPFramer{} }
+
+// ParseRequest implements Binder.
+func (b *SOAPBinder) ParseRequest(packet []byte) (string, *message.Message, error) {
+	req, err := httpwire.ParseRequest(packet)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	action, params, err := soap.ParseRequest(req.Body)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	abs := message.New(action)
+	for _, p := range params {
+		abs.Add(message.NewPrimitive(p.Name, message.TypeString, p.Value))
+	}
+	return action, abs, nil
+}
+
+// BuildRequest implements Binder.
+func (b *SOAPBinder) BuildRequest(action string, abs *message.Message) ([]byte, error) {
+	params := fieldsToParams(abs.Fields)
+	body, err := soap.MarshalRequest(action, params)
+	if err != nil {
+		return nil, err
+	}
+	req := &httpwire.Request{
+		Method: "POST",
+		Target: b.Path,
+		Headers: map[string]string{
+			"Content-Type": "text/xml; charset=utf-8",
+			"SOAPAction":   `"` + action + `"`,
+		},
+		Body: body,
+	}
+	return req.Marshal(), nil
+}
+
+// ParseReply implements Binder.
+func (b *SOAPBinder) ParseReply(action string, packet []byte) (*message.Message, error) {
+	resp, err := httpwire.ParseResponse(packet)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	_, results, err := soap.ParseResponse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s reply: %w", action, err)
+	}
+	abs := message.New(action + ".reply")
+	for _, p := range results {
+		abs.Add(message.NewPrimitive(p.Name, message.TypeString, p.Value))
+	}
+	return abs, nil
+}
+
+// BuildReply implements Binder.
+func (b *SOAPBinder) BuildReply(action string, abs *message.Message) ([]byte, error) {
+	body, err := soap.MarshalResponse(action, fieldsToParams(abs.Fields))
+	if err != nil {
+		return nil, err
+	}
+	resp := &httpwire.Response{
+		Status:  200,
+		Headers: map[string]string{"Content-Type": "text/xml; charset=utf-8"},
+		Body:    body,
+	}
+	return resp.Marshal(), nil
+}
+
+// BuildErrorReply implements ErrorReplier with a SOAP Fault.
+func (b *SOAPBinder) BuildErrorReply(action string, _ *message.Message, errMsg string) ([]byte, error) {
+	body, err := soap.MarshalFault(&soap.Fault{Code: "Server", Message: "mediation failed: " + errMsg})
+	if err != nil {
+		return nil, err
+	}
+	resp := &httpwire.Response{
+		Status:  500,
+		Headers: map[string]string{"Content-Type": "text/xml; charset=utf-8"},
+		Body:    body,
+	}
+	return resp.Marshal(), nil
+}
+
+var _ ErrorReplier = (*SOAPBinder)(nil)
+
+// fieldsToParams flattens abstract fields to named SOAP parameters.
+// Structured fields flatten to one parameter per leaf; repeated fields
+// become repeated parameters.
+func fieldsToParams(fields []*message.Field) []soap.Param {
+	var out []soap.Param
+	for _, f := range fields {
+		if f.Type.Primitive() {
+			out = append(out, soap.Param{Name: f.Label, Value: f.ValueString()})
+			continue
+		}
+		for _, c := range f.Children {
+			if c.Type.Primitive() {
+				out = append(out, soap.Param{Name: c.Label, Value: c.ValueString()})
+			} else {
+				out = append(out, fieldsToParams(c.Children)...)
+			}
+		}
+	}
+	return out
+}

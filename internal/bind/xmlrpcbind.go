@@ -1,0 +1,226 @@
+package bind
+
+import (
+	"fmt"
+	"strings"
+
+	"starlink/internal/automata"
+	"starlink/internal/message"
+	"starlink/internal/network"
+	"starlink/internal/protocol/httpwire"
+	"starlink/internal/protocol/xmlrpc"
+)
+
+// XMLRPCBinder binds abstract actions to XML-RPC over HTTP.
+//
+// Binding rules (the Fig. 7 table, instantiated for XML-RPC):
+//
+//	?Action    = MethodCall.methodName
+//	!Action    = the action of the pending call (XML-RPC replies carry none)
+//	ParameterN = MethodCall.params.param[N]  — or, when the call follows the
+//	             Flickr convention of one struct parameter, members by name
+//
+// Replies map generically: a struct result becomes one field per member,
+// an array member becomes a structured field with one "item" child per
+// element, a scalar result becomes the field "result".
+type XMLRPCBinder struct {
+	// Path is the HTTP endpoint path.
+	Path string
+	// Defs names positional request parameters (from the API usage
+	// automaton's message templates).
+	Defs map[string]automata.MsgDef
+}
+
+var _ Binder = (*XMLRPCBinder)(nil)
+
+// Framer implements Binder.
+func (b *XMLRPCBinder) Framer() network.Framer { return network.HTTPFramer{} }
+
+// ParseRequest implements Binder.
+func (b *XMLRPCBinder) ParseRequest(packet []byte) (string, *message.Message, error) {
+	req, err := httpwire.ParseRequest(packet)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	action, params, err := xmlrpc.ParseCall(req.Body)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	abs := message.New(action)
+	if len(params) == 1 {
+		if st, ok := params[0].(map[string]xmlrpc.Value); ok {
+			for _, k := range sortedValueKeys(st) {
+				abs.Add(valueToField(k, st[k]))
+			}
+			return action, abs, nil
+		}
+	}
+	names := b.Defs[action].Fields
+	for i, p := range params {
+		label := fmt.Sprintf("param%d", i+1)
+		if i < len(names) {
+			label = names[i]
+		}
+		abs.Add(valueToField(label, p))
+	}
+	return action, abs, nil
+}
+
+// BuildRequest implements Binder: the abstract fields become the members
+// of a single struct parameter (the Flickr calling convention).
+func (b *XMLRPCBinder) BuildRequest(action string, abs *message.Message) ([]byte, error) {
+	st := map[string]xmlrpc.Value{}
+	for _, f := range abs.Fields {
+		st[f.Label] = fieldToValue(f)
+	}
+	body, err := xmlrpc.MarshalCall(action, st)
+	if err != nil {
+		return nil, err
+	}
+	req := &httpwire.Request{
+		Method:  "POST",
+		Target:  b.Path,
+		Headers: map[string]string{"Content-Type": "text/xml"},
+		Body:    body,
+	}
+	return req.Marshal(), nil
+}
+
+// ParseReply implements Binder.
+func (b *XMLRPCBinder) ParseReply(action string, packet []byte) (*message.Message, error) {
+	resp, err := httpwire.ParseResponse(packet)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	result, err := xmlrpc.ParseResponse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s reply: %w", action, err)
+	}
+	abs := message.New(action + ".reply")
+	switch v := result.(type) {
+	case map[string]xmlrpc.Value:
+		for _, k := range sortedValueKeys(v) {
+			abs.Add(valueToField(k, v[k]))
+		}
+	default:
+		abs.Add(valueToField("result", result))
+	}
+	return abs, nil
+}
+
+// BuildReply implements Binder: abstract fields become a struct result.
+func (b *XMLRPCBinder) BuildReply(action string, abs *message.Message) ([]byte, error) {
+	var result xmlrpc.Value
+	if len(abs.Fields) == 1 && abs.Fields[0].Label == "result" {
+		result = fieldToValue(abs.Fields[0])
+	} else {
+		st := map[string]xmlrpc.Value{}
+		for _, f := range abs.Fields {
+			st[f.Label] = fieldToValue(f)
+		}
+		result = st
+	}
+	body, err := xmlrpc.MarshalResponse(result)
+	if err != nil {
+		return nil, err
+	}
+	resp := &httpwire.Response{
+		Status:  200,
+		Headers: map[string]string{"Content-Type": "text/xml"},
+		Body:    body,
+	}
+	return resp.Marshal(), nil
+}
+
+// BuildErrorReply implements ErrorReplier with an XML-RPC fault.
+func (b *XMLRPCBinder) BuildErrorReply(action string, _ *message.Message, errMsg string) ([]byte, error) {
+	body, err := xmlrpc.MarshalFault(&xmlrpc.Fault{Code: 500, Message: "mediation failed: " + errMsg})
+	if err != nil {
+		return nil, err
+	}
+	resp := &httpwire.Response{
+		Status:  200,
+		Headers: map[string]string{"Content-Type": "text/xml"},
+		Body:    body,
+	}
+	return resp.Marshal(), nil
+}
+
+var _ ErrorReplier = (*XMLRPCBinder)(nil)
+
+// valueToField maps an XML-RPC value onto the abstract field convention.
+func valueToField(label string, v xmlrpc.Value) *message.Field {
+	switch x := v.(type) {
+	case map[string]xmlrpc.Value:
+		f := message.NewStruct(label)
+		for _, k := range sortedValueKeys(x) {
+			f.Add(valueToField(k, x[k]))
+		}
+		return f
+	case []xmlrpc.Value:
+		f := message.NewArray(label)
+		for _, e := range x {
+			f.Add(valueToField("item", e))
+		}
+		return f
+	case string:
+		return message.NewPrimitive(label, message.TypeString, x)
+	case int64:
+		return message.NewPrimitive(label, message.TypeInt64, x)
+	case bool:
+		return message.NewPrimitive(label, message.TypeBool, x)
+	case float64:
+		return message.NewPrimitive(label, message.TypeFloat64, x)
+	default:
+		return message.NewPrimitive(label, message.TypeString, fmt.Sprint(x))
+	}
+}
+
+// fieldToValue is the inverse mapping.
+func fieldToValue(f *message.Field) xmlrpc.Value {
+	if f.Type.Primitive() {
+		switch v := f.Value.(type) {
+		case string, int64, bool, float64:
+			return v
+		default:
+			return f.ValueString()
+		}
+	}
+	if f.Type == message.TypeArray || allChildrenShareLabel(f) {
+		var arr []xmlrpc.Value
+		for _, c := range f.Children {
+			arr = append(arr, fieldToValue(c))
+		}
+		return arr
+	}
+	st := map[string]xmlrpc.Value{}
+	for _, c := range f.Children {
+		st[c.Label] = fieldToValue(c)
+	}
+	return st
+}
+
+func allChildrenShareLabel(f *message.Field) bool {
+	if len(f.Children) < 2 {
+		return false
+	}
+	for _, c := range f.Children {
+		if c.Label != f.Children[0].Label {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedValueKeys(m map[string]xmlrpc.Value) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && strings.Compare(keys[j], keys[j-1]) < 0; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

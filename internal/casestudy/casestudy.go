@@ -1,0 +1,156 @@
+// Package casestudy holds the Flickr/Picasa models of the paper's
+// motivating scenario (Section 2) and evaluation (Section 5): the API
+// usage automata of Fig. 2, the semantic-equivalence table that stands in
+// for the ontology the paper leaves to future work, and the
+// hand-constructed merged automaton of Fig. 3.
+package casestudy
+
+import "starlink/internal/automata"
+
+// Abstract message names used by the Flickr API usage automaton. The
+// ".reply" suffix distinguishes the received message of an invocation.
+const (
+	FlickrSearch        = "flickr.photos.search"
+	FlickrSearchReply   = "flickr.photos.search.reply"
+	FlickrGetInfo       = "flickr.photos.getInfo"
+	FlickrGetInfoReply  = "flickr.photos.getInfo.reply"
+	FlickrGetComments   = "flickr.photos.comments.getList"
+	FlickrCommentsReply = "flickr.photos.comments.getList.reply"
+	FlickrAddComment    = "flickr.photos.comments.addComment"
+	FlickrAddReply      = "flickr.photos.comments.addComment.reply"
+)
+
+// Abstract message names used by the Picasa API usage automaton.
+const (
+	PicasaSearch        = "picasa.photos.search"
+	PicasaSearchReply   = "picasa.photos.search.reply"
+	PicasaGetComments   = "picasa.getComments"
+	PicasaCommentsReply = "picasa.getComments.reply"
+	PicasaAddComment    = "picasa.addComment"
+	PicasaAddReply      = "picasa.addComment.reply"
+)
+
+// FlickrUsage returns A_Flickr (Fig. 2, restricted to the evaluation's
+// search -> getInfo -> getComments -> addComment behaviour): the call
+// graph a Flickr client follows.
+func FlickrUsage() *automata.Automaton {
+	return &automata.Automaton{
+		Name:  "AFlickr",
+		Color: 1,
+		Start: "s0",
+		Final: []string{"s8"},
+		States: []string{
+			"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8",
+		},
+		Transitions: []automata.Transition{
+			{From: "s0", To: "s1", Action: automata.Send, Message: FlickrSearch},
+			{From: "s1", To: "s2", Action: automata.Receive, Message: FlickrSearchReply},
+			{From: "s2", To: "s3", Action: automata.Send, Message: FlickrGetInfo},
+			{From: "s3", To: "s4", Action: automata.Receive, Message: FlickrGetInfoReply},
+			{From: "s4", To: "s5", Action: automata.Send, Message: FlickrGetComments},
+			{From: "s5", To: "s6", Action: automata.Receive, Message: FlickrCommentsReply},
+			{From: "s6", To: "s7", Action: automata.Send, Message: FlickrAddComment},
+			{From: "s7", To: "s8", Action: automata.Receive, Message: FlickrAddReply},
+		},
+		Messages: map[string]automata.MsgDef{
+			FlickrSearch: {
+				Name:     FlickrSearch,
+				Fields:   []string{"api_key", "text", "per_page", "page"},
+				Optional: []string{"api_key", "per_page", "page"},
+			},
+			FlickrSearchReply: {
+				Name:   FlickrSearchReply,
+				Fields: []string{"photo_id"},
+			},
+			FlickrGetInfo: {
+				Name:     FlickrGetInfo,
+				Fields:   []string{"api_key", "photo_id"},
+				Optional: []string{"api_key"},
+			},
+			FlickrGetInfoReply: {
+				Name:   FlickrGetInfoReply,
+				Fields: []string{"title", "url"},
+			},
+			FlickrGetComments: {
+				Name:     FlickrGetComments,
+				Fields:   []string{"api_key", "photo_id", "min_comment_date", "max_comment_date"},
+				Optional: []string{"api_key", "min_comment_date", "max_comment_date"},
+			},
+			FlickrCommentsReply: {
+				Name:   FlickrCommentsReply,
+				Fields: []string{"comment"},
+			},
+			FlickrAddComment: {
+				Name:     FlickrAddComment,
+				Fields:   []string{"api_key", "photo_id", "comment_text"},
+				Optional: []string{"api_key"},
+			},
+			FlickrAddReply: {
+				Name:   FlickrAddReply,
+				Fields: []string{"comment_id"},
+			},
+		},
+	}
+}
+
+// PicasaUsage returns A_Picasa (Fig. 2): search, list comments, add a
+// comment — with the photo URL delivered directly in the search feed.
+func PicasaUsage() *automata.Automaton {
+	return &automata.Automaton{
+		Name:  "APicasa",
+		Color: 2,
+		Start: "s0",
+		Final: []string{"s6"},
+		States: []string{
+			"s0", "s1", "s2", "s3", "s4", "s5", "s6",
+		},
+		Transitions: []automata.Transition{
+			{From: "s0", To: "s1", Action: automata.Send, Message: PicasaSearch},
+			{From: "s1", To: "s2", Action: automata.Receive, Message: PicasaSearchReply},
+			{From: "s2", To: "s3", Action: automata.Send, Message: PicasaGetComments},
+			{From: "s3", To: "s4", Action: automata.Receive, Message: PicasaCommentsReply},
+			{From: "s4", To: "s5", Action: automata.Send, Message: PicasaAddComment},
+			{From: "s5", To: "s6", Action: automata.Receive, Message: PicasaAddReply},
+		},
+		Messages: map[string]automata.MsgDef{
+			PicasaSearch: {
+				Name:     PicasaSearch,
+				Fields:   []string{"q", "max-results"},
+				Optional: []string{"max-results"},
+			},
+			PicasaSearchReply: {
+				Name:   PicasaSearchReply,
+				Fields: []string{"id", "title", "src"},
+			},
+			PicasaGetComments: {
+				Name:     PicasaGetComments,
+				Fields:   []string{"id", "kind"},
+				Optional: []string{"kind"},
+			},
+			PicasaCommentsReply: {
+				Name:   PicasaCommentsReply,
+				Fields: []string{"comment"},
+			},
+			PicasaAddComment: {
+				Name:   PicasaAddComment,
+				Fields: []string{"id", "entry"},
+			},
+			PicasaAddReply: {
+				Name:   PicasaAddReply,
+				Fields: []string{"comment_id"},
+			},
+		},
+	}
+}
+
+// Equivalence returns the semantic-equivalence table ≅ between Flickr and
+// Picasa field labels (the developer-provided stand-in for an ontology).
+func Equivalence() *automata.Equivalence {
+	return automata.NewEquivalence(
+		[2]string{"text", "q"},
+		[2]string{"per_page", "max-results"},
+		[2]string{"photo_id", "id"},
+		[2]string{"url", "src"},
+		[2]string{"comment_text", "entry"},
+	)
+}

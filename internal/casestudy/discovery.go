@@ -1,0 +1,63 @@
+package casestudy
+
+import (
+	"starlink/internal/automata"
+	"starlink/internal/mtl"
+)
+
+// Discovery case: a UPnP/SSDP client multicasts M-SEARCH for
+// "urn:schemas-upnp-org:service:Printer:1" while the only registry on the
+// network is an SLP Directory Agent advertising "service:printer:lpr".
+// The heterogeneity is combined, exactly as in the photo case: different
+// middleware (SSDP's HTTP-over-UDP vs SLP's binary format) AND different
+// application vocabulary (UPnP URNs vs SLP service: types) — so a
+// protocol-level discovery bridge alone cannot connect them.
+
+// ServiceTypeMap translates UPnP search targets to SLP service types; it
+// is registered as the MTL function maptype() — a developer-provided
+// semantic table, like the field-equivalence tables.
+var ServiceTypeMap = map[string]string{
+	"urn:schemas-upnp-org:service:Printer:1":    "service:printer:lpr",
+	"urn:schemas-upnp-org:service:Scanner:1":    "service:scanner:sane",
+	"urn:schemas-upnp-org:device:MediaServer:1": "service:media:http",
+}
+
+// DiscoveryTypeMapDoc is the on-disk form of the vocabulary map (the
+// ".typemap" model artifact).
+const DiscoveryTypeMapDoc = `
+# UPnP search targets -> SLP service types
+urn:schemas-upnp-org:service:Printer:1 = service:printer:lpr
+urn:schemas-upnp-org:service:Scanner:1 = service:scanner:sane
+urn:schemas-upnp-org:device:MediaServer:1 = service:media:http
+`
+
+// DiscoveryFuncs returns the custom MTL functions the discovery mediator
+// needs (the maptype vocabulary translation).
+func DiscoveryFuncs() map[string]mtl.Func {
+	return map[string]mtl.Func{"maptype": mtl.TableFunc(ServiceTypeMap)}
+}
+
+// DiscoveryMediator returns the merged automaton mediating SSDP (color 1,
+// the client side) to SLP (color 2): one intertwined discovery.search
+// operation with γ translations mapping the vocabularies.
+func DiscoveryMediator() *automata.Merged {
+	b := newMediator("SSDP-to-SLP-discovery", 1, 2)
+	req := b.msg(1, automata.Send, "discovery.search")
+	b.bicolor(1, 2)
+	slpReq := b.next()
+	b.gamma(`
+`+slpReq+`.Msg.servicetype = maptype(`+req+`.Msg.st)
+`+slpReq+`.Msg.scope = "DEFAULT"
+`, 2)
+	b.msg(2, automata.Send, "discovery.search")
+	slpRep := b.msg(2, automata.Receive, "discovery.search.reply")
+	b.bicolor(1, 2)
+	out := b.next()
+	b.gamma(`
+`+out+`.Msg.st = `+req+`.Msg.st
+`+out+`.Msg.usn = concat("uuid:starlink-mediated::", `+req+`.Msg.st)
+`+out+`.Msg.location = `+slpRep+`.Msg.urlentry.url
+`, 1)
+	b.msg(1, automata.Receive, "discovery.search.reply")
+	return b.finish(automata.StronglyMerged)
+}

@@ -1,0 +1,57 @@
+package casestudy
+
+import (
+	"starlink/internal/mdl/textenc"
+	"starlink/internal/protocol/giop"
+)
+
+// EquivalenceDoc is the on-disk form of the Flickr/Picasa semantic
+// equivalence table (the developer-provided ≅ relation).
+const EquivalenceDoc = `
+# Flickr <-> Picasa field equivalences (the ontology substitute)
+text = q
+per_page = max-results
+photo_id = id
+url = src
+comment_text = entry
+`
+
+// GIOPMDLDoc re-exports the GIOP message description for the models
+// directory.
+const GIOPMDLDoc = giop.MDLDoc
+
+// HTTPMDLDoc re-exports the HTTP text-MDL for the models directory.
+const HTTPMDLDoc = textenc.HTTPMDL
+
+// XMLRPCMediatorSpecDoc deploys the XML-RPC case-study mediator. Target
+// and hostmap addresses are placeholders for a real deployment; tests and
+// examples override them.
+const XMLRPCMediatorSpecDoc = `
+# Flickr XML-RPC client -> Picasa REST service
+merged Flickr-XMLRPC-to-Picasa-REST
+listen 127.0.0.1:9001
+side 1 xmlrpc path=/services/xmlrpc defs=AFlickr server
+side 2 rest routes=picasa target=127.0.0.1:9002
+hostmap https://picasaweb.google.com = 127.0.0.1:9002
+`
+
+// SOAPMediatorSpecDoc deploys the SOAP case-study mediator.
+const SOAPMediatorSpecDoc = `
+# Flickr SOAP client -> Picasa REST service
+merged Flickr-SOAP-to-Picasa-REST
+listen 127.0.0.1:9003
+side 1 soap path=/services/soap server
+side 2 rest routes=picasa target=127.0.0.1:9002
+hostmap https://picasaweb.google.com = 127.0.0.1:9002
+`
+
+// DiscoveryMediatorSpecDoc deploys the SSDP->SLP discovery mediator. The
+// target address is a placeholder overridden at deployment.
+const DiscoveryMediatorSpecDoc = `
+# UPnP/SSDP control point -> SLP Directory Agent
+merged SSDP-to-SLP-discovery
+listen 127.0.0.1:1900
+typemap upnp-to-slp
+side 1 ssdp server udp
+side 2 slp udp target=127.0.0.1:427
+`

@@ -1,0 +1,313 @@
+package casestudy
+
+import "starlink/internal/automata"
+
+// PicasaRoutesDoc is the REST binding route table for the Picasa side
+// (the GET/POST syntax column of Fig. 1), in the bind package's route
+// DSL.
+const PicasaRoutesDoc = `
+# Picasa GData routes (Fig. 1)
+route picasa.photos.search GET /data/feed/api/all q=q max-results=max-results -> feed
+route picasa.getComments GET /data/feed/api/photoid/{photo_id} kind=kind -> feed
+route picasa.addComment POST /data/feed/api/photoid/{photo_id} body=entry -> entry
+`
+
+// PicasaHost is the logical host the Fig. 9 SetHost translation targets;
+// deployments map it to the real service address through the engine's
+// HostMap.
+const PicasaHost = "https://picasaweb.google.com"
+
+// mediatorBuilder assembles a linear concrete merged automaton with the
+// m0, m1, ... naming discipline used by the MTL below.
+type mediatorBuilder struct {
+	m   *automata.Merged
+	cur string
+	n   int
+}
+
+func newMediator(name string, c1, c2 int) *mediatorBuilder {
+	b := &mediatorBuilder{m: &automata.Merged{Name: name, Color1: c1, Color2: c2}}
+	b.cur = b.add(c1)
+	b.m.Start = b.cur
+	return b
+}
+
+func (b *mediatorBuilder) add(colors ...int) string {
+	name := "m" + itoa(b.n)
+	b.n++
+	b.m.States = append(b.m.States, automata.MergedState{Name: name, Colors: colors})
+	return name
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+// next returns the name the NEXT created state will get — used to write
+// γ MTL that targets the state it flows into.
+func (b *mediatorBuilder) next() string { return "m" + itoa(b.n) }
+
+func (b *mediatorBuilder) msg(color int, act automata.Action, msgName string) string {
+	to := b.add(color)
+	b.m.Transitions = append(b.m.Transitions, automata.MergedTransition{
+		From: b.cur, To: to, Kind: automata.KindMessage,
+		Color: color, Action: act, Message: msgName,
+	})
+	b.cur = to
+	return to
+}
+
+func (b *mediatorBuilder) gamma(mtlSrc string, colors ...int) string {
+	to := b.add(colors...)
+	b.m.Transitions = append(b.m.Transitions, automata.MergedTransition{
+		From: b.cur, To: to, Kind: automata.KindGamma, MTL: mtlSrc,
+	})
+	b.cur = to
+	return to
+}
+
+func (b *mediatorBuilder) bicolor(colors ...int) {
+	for i := range b.m.States {
+		if b.m.States[i].Name != b.cur {
+			continue
+		}
+		b.m.States[i].Colors = colors
+		return
+	}
+}
+
+func (b *mediatorBuilder) finish(strength automata.Strength) *automata.Merged {
+	b.m.Final = []string{b.cur}
+	b.m.Strength = strength
+	return b.m
+}
+
+// XMLRPCMediator returns the developer-constructed concrete merged
+// automaton for the "Flickr XML-RPC client -> Picasa REST service" case
+// (Figs. 3, 9 and 10 made executable). Color 1 is the Flickr side, color
+// 2 the Picasa side.
+func XMLRPCMediator() *automata.Merged {
+	b := newMediator("Flickr-XMLRPC-to-Picasa-REST", 1, 2)
+
+	// -- search (Fig. 9) --
+	req := b.msg(1, automata.Send, FlickrSearch)
+	b.bicolor(1, 2)
+	picReq := b.next()
+	b.gamma(`
+# Fig. 9: S3.HTTPGet.Parameter1 = S2.MethodCall.Params.param1 ; SetHost(...)
+sethost("`+PicasaHost+`")
+`+picReq+`.Msg.q = `+req+`.Msg.text
+try `+picReq+`.Msg.max-results = `+req+`.Msg.per_page
+`, 2)
+	b.msg(2, automata.Send, PicasaSearch)
+	feed := b.msg(2, automata.Receive, PicasaSearchReply)
+	b.bicolor(1, 2)
+	reply := b.next()
+	b.gamma(`
+# Fig. 9: for all <entry>: cache(Photo, entryN); build the Flickr photo list
+`+reply+`.Msg.photos = newarray("photos")
+foreach e in `+feed+`.Msg.entry {
+  cache(e.id, e)
+  p = newstruct("item")
+  p.id = e.id
+  p.title = e.title
+  try p.owner = e.author
+  `+reply+`.Msg.photos.item[] = p
+}
+`+reply+`.Msg.total = count(`+feed+`.Msg)
+`, 1)
+	b.msg(1, automata.Receive, FlickrSearchReply)
+
+	// -- getInfo (Fig. 10): answered from the cache, no Picasa call --
+	info := b.msg(1, automata.Send, FlickrGetInfo)
+	infoReply := b.next()
+	b.gamma(`
+# Fig. 10: Entry = getCache(photo_id); fill the Flickr <photo> structure
+entry = getcache(`+info+`.Msg.photo_id)
+`+infoReply+`.Msg.id = `+info+`.Msg.photo_id
+`+infoReply+`.Msg.title = entry.title
+`+infoReply+`.Msg.url = entry.src
+try `+infoReply+`.Msg.owner = entry.author
+`, 1)
+	b.msg(1, automata.Receive, FlickrGetInfoReply)
+
+	// -- getComments --
+	gc := b.msg(1, automata.Send, FlickrGetComments)
+	b.bicolor(1, 2)
+	pgc := b.next()
+	b.gamma(`
+`+pgc+`.Msg.photo_id = `+gc+`.Msg.photo_id
+`+pgc+`.Msg.kind = "comment"
+`, 2)
+	b.msg(2, automata.Send, PicasaGetComments)
+	cFeed := b.msg(2, automata.Receive, PicasaCommentsReply)
+	b.bicolor(1, 2)
+	cReply := b.next()
+	b.gamma(`
+`+cReply+`.Msg.comments = newarray("comments")
+foreach e in `+cFeed+`.Msg.entry {
+  c = newstruct("item")
+  c.id = e.id
+  c.text = e.summary
+  try c.author = e.author
+  `+cReply+`.Msg.comments.item[] = c
+}
+`, 1)
+	b.msg(1, automata.Receive, FlickrCommentsReply)
+
+	// -- addComment --
+	ac := b.msg(1, automata.Send, FlickrAddComment)
+	b.bicolor(1, 2)
+	pac := b.next()
+	b.gamma(`
+`+pac+`.Msg.photo_id = `+ac+`.Msg.photo_id
+e = newstruct("entry")
+e.summary = `+ac+`.Msg.comment_text
+e.author = "flickr-user"
+`+pac+`.Msg.entry = e
+`, 2)
+	b.msg(2, automata.Send, PicasaAddComment)
+	acRep := b.msg(2, automata.Receive, PicasaAddReply)
+	b.bicolor(1, 2)
+	final := b.next()
+	b.gamma(final+`.Msg.comment_id = `+acRep+`.Msg.entry.id
+`, 1)
+	b.msg(1, automata.Receive, FlickrAddReply)
+
+	return b.finish(automata.StronglyMerged)
+}
+
+// SOAPMediator returns the concrete merged automaton for the "Flickr SOAP
+// client -> Picasa REST service" case. The application merge is the same
+// as XMLRPCMediator; only the reply shaping differs because the SOAP
+// Flickr API returns flat repeated parameters instead of nested structs —
+// exactly the point of Section 4.4: one application model, two concrete
+// bindings.
+func SOAPMediator() *automata.Merged {
+	b := newMediator("Flickr-SOAP-to-Picasa-REST", 1, 2)
+
+	// -- search --
+	req := b.msg(1, automata.Send, FlickrSearch)
+	b.bicolor(1, 2)
+	picReq := b.next()
+	b.gamma(`
+sethost("`+PicasaHost+`")
+`+picReq+`.Msg.q = `+req+`.Msg.text
+try `+picReq+`.Msg.max-results = `+req+`.Msg.per_page
+`, 2)
+	b.msg(2, automata.Send, PicasaSearch)
+	feed := b.msg(2, automata.Receive, PicasaSearchReply)
+	b.bicolor(1, 2)
+	reply := b.next()
+	b.gamma(`
+foreach e in `+feed+`.Msg.entry {
+  cache(e.id, e)
+  `+reply+`.Msg.photo_id[] = e.id
+}
+`+reply+`.Msg.total = count(`+feed+`.Msg)
+`, 1)
+	b.msg(1, automata.Receive, FlickrSearchReply)
+
+	// -- getInfo (cache) --
+	info := b.msg(1, automata.Send, FlickrGetInfo)
+	infoReply := b.next()
+	b.gamma(`
+entry = getcache(`+info+`.Msg.photo_id)
+`+infoReply+`.Msg.id = `+info+`.Msg.photo_id
+`+infoReply+`.Msg.title = entry.title
+`+infoReply+`.Msg.url = entry.src
+try `+infoReply+`.Msg.owner = entry.author
+`, 1)
+	b.msg(1, automata.Receive, FlickrGetInfoReply)
+
+	// -- getComments --
+	gc := b.msg(1, automata.Send, FlickrGetComments)
+	b.bicolor(1, 2)
+	pgc := b.next()
+	b.gamma(`
+`+pgc+`.Msg.photo_id = `+gc+`.Msg.photo_id
+`+pgc+`.Msg.kind = "comment"
+`, 2)
+	b.msg(2, automata.Send, PicasaGetComments)
+	cFeed := b.msg(2, automata.Receive, PicasaCommentsReply)
+	b.bicolor(1, 2)
+	cReply := b.next()
+	b.gamma(`
+foreach e in `+cFeed+`.Msg.entry {
+  `+cReply+`.Msg.comment[] = concat(e.author, ": ", e.summary)
+}
+`, 1)
+	b.msg(1, automata.Receive, FlickrCommentsReply)
+
+	// -- addComment --
+	ac := b.msg(1, automata.Send, FlickrAddComment)
+	b.bicolor(1, 2)
+	pac := b.next()
+	b.gamma(`
+`+pac+`.Msg.photo_id = `+ac+`.Msg.photo_id
+e = newstruct("entry")
+e.summary = `+ac+`.Msg.comment_text
+e.author = "flickr-user"
+`+pac+`.Msg.entry = e
+`, 2)
+	b.msg(2, automata.Send, PicasaAddComment)
+	acRep := b.msg(2, automata.Receive, PicasaAddReply)
+	b.bicolor(1, 2)
+	final := b.next()
+	b.gamma(final+`.Msg.comment_id = `+acRep+`.Msg.entry.id
+`, 1)
+	b.msg(1, automata.Receive, FlickrAddReply)
+
+	return b.finish(automata.StronglyMerged)
+}
+
+// ---- The Fig. 7/8 addition example: IIOP Add(x,y) vs SOAP Plus(x,y) ----
+
+// AddUsage is the IIOP client's API usage automaton: one Add invocation.
+func AddUsage() *automata.Automaton {
+	return &automata.Automaton{
+		Name: "AAdd", Color: 1, Start: "s0", Final: []string{"s2"},
+		States: []string{"s0", "s1", "s2"},
+		Transitions: []automata.Transition{
+			{From: "s0", To: "s1", Action: automata.Send, Message: "Add"},
+			{From: "s1", To: "s2", Action: automata.Receive, Message: "Add.reply"},
+		},
+		Messages: map[string]automata.MsgDef{
+			"Add":       {Name: "Add", Fields: []string{"x", "y"}},
+			"Add.reply": {Name: "Add.reply", Fields: []string{"z"}},
+		},
+	}
+}
+
+// PlusUsage is the SOAP service's API usage automaton: one Plus
+// invocation with the same parameters under a different operation name —
+// the Fig. 8 mismatch.
+func PlusUsage() *automata.Automaton {
+	return &automata.Automaton{
+		Name: "APlus", Color: 2, Start: "s0", Final: []string{"s2"},
+		States: []string{"s0", "s1", "s2"},
+		Transitions: []automata.Transition{
+			{From: "s0", To: "s1", Action: automata.Send, Message: "Plus"},
+			{From: "s1", To: "s2", Action: automata.Receive, Message: "Plus.reply"},
+		},
+		Messages: map[string]automata.MsgDef{
+			"Plus":       {Name: "Plus", Fields: []string{"x", "y"}},
+			"Plus.reply": {Name: "Plus.reply", Fields: []string{"result"}},
+		},
+	}
+}
+
+// AddPlusEquivalence maps the addition example's field labels.
+func AddPlusEquivalence() *automata.Equivalence {
+	return automata.NewEquivalence(
+		[2]string{"z", "result"},
+	)
+}

@@ -1,0 +1,89 @@
+package casestudy
+
+import "starlink/internal/automata"
+
+// ReverseMediator returns the merged automaton for the opposite direction
+// of the case study: a Picasa REST client (color 1) served by the Flickr
+// XML-RPC service (color 2). It demonstrates that the binding layer is
+// symmetric — the REST binder acts as the *server* side here, matching
+// incoming requests against the route table, while XML-RPC plays the
+// client-role service side.
+//
+// The Picasa usage protocol is search -> getComments -> addComment; each
+// operation intertwines one-to-one with a Flickr operation (Flickr's
+// extra getInfo is simply never invoked — an extra-message mismatch in
+// the other direction, resolved by omission).
+func ReverseMediator() *automata.Merged {
+	b := newMediator("Picasa-REST-to-Flickr-XMLRPC", 1, 2)
+
+	// -- search --
+	req := b.msg(1, automata.Send, PicasaSearch)
+	b.bicolor(1, 2)
+	fReq := b.next()
+	b.gamma(`
+`+fReq+`.Msg.text = `+req+`.Msg.q
+try `+fReq+`.Msg.per_page = `+req+`.Msg.max-results
+`, 2)
+	b.msg(2, automata.Send, FlickrSearch)
+	fRep := b.msg(2, automata.Receive, FlickrSearchReply)
+	b.bicolor(1, 2)
+	rep := b.next()
+	// The Flickr search reply binds as a "photos" array of item structs
+	// {id, owner, title}; reshape them as feed entries. Flickr gives no
+	// URL without getInfo, so entries carry id/title/author only.
+	b.gamma(`
+foreach p in `+fRep+`.Msg.photos.item {
+  e = newstruct("entry")
+  e.id = p.id
+  e.title = p.title
+  try e.author = p.owner
+  `+rep+`.Msg.entry[] = e
+}
+`, 1)
+	b.msg(1, automata.Receive, PicasaSearchReply)
+
+	// -- getComments --
+	gc := b.msg(1, automata.Send, PicasaGetComments)
+	b.bicolor(1, 2)
+	fgc := b.next()
+	b.gamma(fgc+`.Msg.photo_id = `+gc+`.Msg.photo_id
+`, 2)
+	b.msg(2, automata.Send, FlickrGetComments)
+	fcr := b.msg(2, automata.Receive, FlickrCommentsReply)
+	b.bicolor(1, 2)
+	crep := b.next()
+	b.gamma(`
+foreach c in `+fcr+`.Msg.comments.item {
+  e = newstruct("entry")
+  e.id = c.id
+  e.title = "comment"
+  e.summary = c.text
+  try e.author = c.author
+  `+crep+`.Msg.entry[] = e
+}
+`, 1)
+	b.msg(1, automata.Receive, PicasaCommentsReply)
+
+	// -- addComment --
+	ac := b.msg(1, automata.Send, PicasaAddComment)
+	b.bicolor(1, 2)
+	fac := b.next()
+	b.gamma(`
+`+fac+`.Msg.photo_id = `+ac+`.Msg.photo_id
+`+fac+`.Msg.comment_text = `+ac+`.Msg.entry.summary
+`, 2)
+	b.msg(2, automata.Send, FlickrAddComment)
+	facr := b.msg(2, automata.Receive, FlickrAddReply)
+	b.bicolor(1, 2)
+	arep := b.next()
+	b.gamma(`
+e = newstruct("entry")
+e.id = `+facr+`.Msg.comment_id
+e.title = "comment"
+e.summary = `+ac+`.Msg.entry.summary
+`+arep+`.Msg.entry = e
+`, 1)
+	b.msg(1, automata.Receive, PicasaAddReply)
+
+	return b.finish(automata.StronglyMerged)
+}

@@ -1,0 +1,449 @@
+// Package core assembles Starlink mediators from model files: it loads
+// the DSL artifacts (k-colored automata XML, merged automata XML, MDL
+// documents, REST route tables, equivalence tables, mediator deployment
+// specs) from a models directory and wires binders, engine and network
+// together. The public starlink package is a thin facade over this.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"starlink/internal/automata"
+	"starlink/internal/bind"
+	"starlink/internal/engine"
+	"starlink/internal/mdl"
+	"starlink/internal/mdl/binenc"
+	"starlink/internal/mdl/textenc"
+	"starlink/internal/mdl/xmlenc"
+	"starlink/internal/mtl"
+	"starlink/internal/network"
+)
+
+// Errors reported by the core layer.
+var (
+	// ErrModel is wrapped by model loading/validation failures.
+	ErrModel = errors.New("core: invalid model")
+	// ErrSpec is wrapped by mediator spec failures.
+	ErrSpec = errors.New("core: invalid mediator spec")
+)
+
+// Models is the set of artifacts loaded from a models directory:
+//
+//	*.automaton.xml  k-colored API usage / protocol automata
+//	*.merged.xml     concrete merged automata
+//	*.mdl            message description documents
+//	*.routes         REST binding route tables
+//	*.equiv          semantic-equivalence tables ("a = b" per line)
+//	*.typemap        vocabulary maps ("from = to" per line), exposed to MTL
+//	                 as the maptype() function
+//	*.mediator       mediator deployment specs
+type Models struct {
+	// Automata by automaton name.
+	Automata map[string]*automata.Automaton
+	// Merged automata by name.
+	Merged map[string]*automata.Merged
+	// MDL specs by spec name.
+	MDL map[string]*mdl.Spec
+	// Routes tables by file base name.
+	Routes map[string][]bind.Route
+	// Equivalences by file base name.
+	Equivalences map[string]*automata.Equivalence
+	// TypeMaps holds vocabulary maps by file base name.
+	TypeMaps map[string]map[string]string
+	// Mediators holds deployment specs by file base name.
+	Mediators map[string]*MediatorSpec
+	// Registry resolves MDL encodings; all built-in engines registered.
+	Registry *mdl.Registry
+}
+
+// NewModels returns an empty model set with the built-in MDL engines.
+func NewModels() *Models {
+	reg := &mdl.Registry{}
+	binenc.Register(reg)
+	textenc.Register(reg)
+	xmlenc.Register(reg)
+	return &Models{
+		Automata:     make(map[string]*automata.Automaton),
+		Merged:       make(map[string]*automata.Merged),
+		MDL:          make(map[string]*mdl.Spec),
+		Routes:       make(map[string][]bind.Route),
+		Equivalences: make(map[string]*automata.Equivalence),
+		TypeMaps:     make(map[string]map[string]string),
+		Mediators:    make(map[string]*MediatorSpec),
+		Registry:     reg,
+	}
+}
+
+// LoadModels reads every model artifact under dir (non-recursive).
+func LoadModels(dir string) (*Models, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: read models dir: %w", err)
+	}
+	m := NewModels()
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if err := m.LoadFile(path); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// LoadFile loads one model artifact, dispatching on its extension.
+func (m *Models) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("core: read %s: %w", path, err)
+	}
+	name := filepath.Base(path)
+	switch {
+	case strings.HasSuffix(name, ".automaton.xml"):
+		a, err := automata.ParseAutomaton(string(data))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrModel, name, err)
+		}
+		m.Automata[a.Name] = a
+	case strings.HasSuffix(name, ".merged.xml"):
+		mg, err := automata.UnmarshalMerged(strings.NewReader(string(data)))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrModel, name, err)
+		}
+		m.Merged[mg.Name] = mg
+	case strings.HasSuffix(name, ".mdl"):
+		spec, err := mdl.ParseString(string(data))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrModel, name, err)
+		}
+		m.MDL[spec.Name] = spec
+	case strings.HasSuffix(name, ".routes"):
+		routes, err := bind.ParseRoutes(string(data))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrModel, name, err)
+		}
+		m.Routes[trimExt(name, ".routes")] = routes
+	case strings.HasSuffix(name, ".equiv"):
+		eq, err := ParseEquivalence(string(data))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrModel, name, err)
+		}
+		m.Equivalences[trimExt(name, ".equiv")] = eq
+	case strings.HasSuffix(name, ".typemap"):
+		tm, err := ParseTypeMap(string(data))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrModel, name, err)
+		}
+		m.TypeMaps[trimExt(name, ".typemap")] = tm
+	case strings.HasSuffix(name, ".mediator"):
+		spec, err := ParseMediatorSpec(string(data))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrModel, name, err)
+		}
+		m.Mediators[trimExt(name, ".mediator")] = spec
+	default:
+		// Unknown artifacts (e.g. README) are ignored.
+	}
+	return nil
+}
+
+func trimExt(name, ext string) string { return strings.TrimSuffix(name, ext) }
+
+// ParseEquivalence reads an equivalence table: one "label = label" pair
+// per line, # comments allowed.
+func ParseEquivalence(doc string) (*automata.Equivalence, error) {
+	eq := automata.NewEquivalence()
+	count := 0
+	for lineNo, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, b, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("line %d: want \"label = label\"", lineNo+1)
+		}
+		eq.Add(strings.TrimSpace(a), strings.TrimSpace(b))
+		count++
+	}
+	if count == 0 {
+		return nil, errors.New("empty equivalence table")
+	}
+	return eq, nil
+}
+
+// ParseTypeMap reads a vocabulary map: one "from = to" pair per line,
+// # comments allowed.
+func ParseTypeMap(doc string) (map[string]string, error) {
+	out := map[string]string{}
+	for lineNo, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		from, to, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("line %d: want \"from = to\"", lineNo+1)
+		}
+		out[strings.TrimSpace(from)] = strings.TrimSpace(to)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty vocabulary map")
+	}
+	return out, nil
+}
+
+// SideSpec configures one color of a mediator deployment.
+type SideSpec struct {
+	// Color is the automaton color this side serves.
+	Color int
+	// Protocol selects the binder: xmlrpc | jsonrpc | soap | rest | giop | ssdp | slp.
+	Protocol string
+	// Path is the HTTP endpoint path (xmlrpc/soap).
+	Path string
+	// ObjectKey targets the GIOP object (giop).
+	ObjectKey string
+	// Routes names the route table (rest).
+	Routes string
+	// Defs names the automaton whose MsgDefs provide positional parameter
+	// names (xmlrpc/giop).
+	Defs string
+	// Target is the service address for client-role sides.
+	Target string
+	// Server marks the client-facing color.
+	Server bool
+	// Transport is "tcp" (default) or "udp".
+	Transport string
+}
+
+// MediatorSpec is a parsed deployment spec:
+//
+//	merged <name>
+//	listen <addr>
+//	side <color> <protocol> [key=value ...] [server] [udp]
+//	hostmap <logical-host> = <addr>
+//	typemap <name>
+type MediatorSpec struct {
+	// MergedName names the merged automaton to execute.
+	MergedName string
+	// Listen is the client-facing address.
+	Listen string
+	// Sides configures each color.
+	Sides []SideSpec
+	// HostMap resolves sethost logical hosts.
+	HostMap map[string]string
+	// TypeMap names a loaded vocabulary map exposed as maptype().
+	TypeMap string
+}
+
+// ParseMediatorSpec reads a deployment spec document.
+func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
+	spec := &MediatorSpec{HostMap: map[string]string{}}
+	for lineNo, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "merged":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: merged <name>", ErrSpec, lineNo+1)
+			}
+			spec.MergedName = fields[1]
+		case "listen":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: listen <addr>", ErrSpec, lineNo+1)
+			}
+			spec.Listen = fields[1]
+		case "side":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("%w: line %d: side <color> <protocol> ...", ErrSpec, lineNo+1)
+			}
+			var side SideSpec
+			if _, err := fmt.Sscanf(fields[1], "%d", &side.Color); err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad color %q", ErrSpec, lineNo+1, fields[1])
+			}
+			side.Protocol = fields[2]
+			for _, kv := range fields[3:] {
+				if kv == "server" {
+					side.Server = true
+					continue
+				}
+				if kv == "udp" {
+					side.Transport = "udp"
+					continue
+				}
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("%w: line %d: bad option %q", ErrSpec, lineNo+1, kv)
+				}
+				switch k {
+				case "path":
+					side.Path = v
+				case "objectkey":
+					side.ObjectKey = v
+				case "routes":
+					side.Routes = v
+				case "defs":
+					side.Defs = v
+				case "target":
+					side.Target = v
+				default:
+					return nil, fmt.Errorf("%w: line %d: unknown option %q", ErrSpec, lineNo+1, k)
+				}
+			}
+			spec.Sides = append(spec.Sides, side)
+		case "typemap":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: typemap <name>", ErrSpec, lineNo+1)
+			}
+			spec.TypeMap = fields[1]
+		case "hostmap":
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "hostmap"))
+			host, addr, ok := strings.Cut(rest, "=")
+			if !ok {
+				return nil, fmt.Errorf("%w: line %d: hostmap <host> = <addr>", ErrSpec, lineNo+1)
+			}
+			spec.HostMap[strings.TrimSpace(host)] = strings.TrimSpace(addr)
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrSpec, lineNo+1, fields[0])
+		}
+	}
+	if spec.MergedName == "" {
+		return nil, fmt.Errorf("%w: no merged automaton named", ErrSpec)
+	}
+	if len(spec.Sides) == 0 {
+		return nil, fmt.Errorf("%w: no sides configured", ErrSpec)
+	}
+	return spec, nil
+}
+
+// BuildBinder constructs the binder a side spec describes.
+func (m *Models) BuildBinder(side SideSpec) (bind.Binder, error) {
+	defs := map[string]automata.MsgDef{}
+	if side.Defs != "" {
+		a, ok := m.Automata[side.Defs]
+		if !ok {
+			return nil, fmt.Errorf("%w: defs automaton %q not loaded", ErrSpec, side.Defs)
+		}
+		defs = a.Messages
+	}
+	switch side.Protocol {
+	case "xmlrpc":
+		return &bind.XMLRPCBinder{Path: side.Path, Defs: defs}, nil
+	case "soap":
+		return &bind.SOAPBinder{Path: side.Path}, nil
+	case "rest":
+		routes, ok := m.Routes[side.Routes]
+		if !ok {
+			return nil, fmt.Errorf("%w: route table %q not loaded", ErrSpec, side.Routes)
+		}
+		return bind.NewRESTBinder(routes)
+	case "giop":
+		return bind.NewGIOPBinder(side.ObjectKey, defs)
+	case "jsonrpc":
+		return &bind.JSONRPCBinder{Path: side.Path, Defs: defs}, nil
+	case "ssdp":
+		return &bind.SSDPBinder{}, nil
+	case "slp":
+		return bind.NewSLPBinder()
+	default:
+		return nil, fmt.Errorf("%w: unknown protocol %q", ErrSpec, side.Protocol)
+	}
+}
+
+// BuildMediator assembles (but does not start) a mediator from a spec.
+func (m *Models) BuildMediator(spec *MediatorSpec) (*engine.Mediator, error) {
+	merged, ok := m.Merged[spec.MergedName]
+	if !ok {
+		return nil, fmt.Errorf("%w: merged automaton %q not loaded", ErrSpec, spec.MergedName)
+	}
+	cfg := engine.Config{
+		Merged:  merged,
+		Sides:   make(map[int]*engine.Side, len(spec.Sides)),
+		HostMap: spec.HostMap,
+	}
+	if spec.TypeMap != "" {
+		tm, ok := m.TypeMaps[spec.TypeMap]
+		if !ok {
+			return nil, fmt.Errorf("%w: vocabulary map %q not loaded", ErrSpec, spec.TypeMap)
+		}
+		cfg.Funcs = map[string]mtl.Func{"maptype": mtl.TableFunc(tm)}
+	}
+	for _, ss := range spec.Sides {
+		binder, err := m.BuildBinder(ss)
+		if err != nil {
+			return nil, err
+		}
+		transport := ss.Transport
+		if transport == "" {
+			transport = "tcp"
+		}
+		cfg.Sides[ss.Color] = &engine.Side{
+			Binder: binder,
+			Net:    network.Semantics{Transport: transport, Mode: "sync"},
+			Target: ss.Target,
+		}
+		if ss.Server {
+			cfg.ServerColor = ss.Color
+		}
+	}
+	return engine.New(cfg)
+}
+
+// StartMediator builds and starts the named mediator spec, listening on
+// listenOverride when non-empty (else the spec's listen address).
+func (m *Models) StartMediator(name, listenOverride string) (*engine.Mediator, error) {
+	spec, ok := m.Mediators[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: mediator spec %q not loaded", ErrSpec, name)
+	}
+	med, err := m.BuildMediator(spec)
+	if err != nil {
+		return nil, err
+	}
+	listen := spec.Listen
+	if listenOverride != "" {
+		listen = listenOverride
+	}
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	if err := med.Start(listen); err != nil {
+		return nil, err
+	}
+	return med, nil
+}
+
+// Merge builds a merged automaton from two loaded usage automata and an
+// equivalence table.
+func (m *Models) Merge(a1Name, a2Name, equivName, mergedName string) (*automata.Merged, error) {
+	a1, ok := m.Automata[a1Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: automaton %q not loaded", ErrModel, a1Name)
+	}
+	a2, ok := m.Automata[a2Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: automaton %q not loaded", ErrModel, a2Name)
+	}
+	var eq *automata.Equivalence
+	if equivName != "" {
+		eq, ok = m.Equivalences[equivName]
+		if !ok {
+			return nil, fmt.Errorf("%w: equivalence table %q not loaded", ErrModel, equivName)
+		}
+	}
+	merged, err := automata.Merge(a1, a2, automata.MergeOptions{Name: mergedName, Equiv: eq})
+	if err != nil {
+		return nil, err
+	}
+	m.Merged[merged.Name] = merged
+	return merged, nil
+}

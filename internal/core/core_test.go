@@ -1,0 +1,402 @@
+package core_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"starlink/internal/automata"
+	"starlink/internal/casestudy"
+	"starlink/internal/core"
+	"starlink/internal/protocol/slp"
+	"starlink/internal/protocol/ssdp"
+	"starlink/internal/protocol/xmlrpc"
+	"starlink/internal/services/photostore"
+	"starlink/internal/services/picasa"
+)
+
+// writeCaseStudyModels materialises the case-study model files into a
+// temporary directory (what `starlink export-models` produces).
+func writeCaseStudyModels(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc := func(a *automata.Automaton) []byte {
+		t.Helper()
+		data, err := a.EncodeXML()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	encM := func(m *automata.Merged) []byte {
+		t.Helper()
+		data, err := m.EncodeXML()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	write("flickr-usage.automaton.xml", enc(casestudy.FlickrUsage()))
+	write("picasa-usage.automaton.xml", enc(casestudy.PicasaUsage()))
+	write("flickr-xmlrpc-to-picasa-rest.merged.xml", encM(casestudy.XMLRPCMediator()))
+	write("picasa.routes", []byte(casestudy.PicasaRoutesDoc))
+	write("flickr-picasa.equiv", []byte(casestudy.EquivalenceDoc))
+	write("giop.mdl", []byte(casestudy.GIOPMDLDoc))
+	write("flickr-xmlrpc.mediator", []byte(casestudy.XMLRPCMediatorSpecDoc))
+	write("README.txt", []byte("ignored artifact"))
+	return dir
+}
+
+func TestLoadModels(t *testing.T) {
+	dir := writeCaseStudyModels(t)
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Automata["AFlickr"] == nil || m.Automata["APicasa"] == nil {
+		t.Error("usage automata not loaded")
+	}
+	if m.Merged["Flickr-XMLRPC-to-Picasa-REST"] == nil {
+		t.Error("merged automaton not loaded")
+	}
+	if m.MDL["GIOP"] == nil {
+		t.Error("MDL not loaded")
+	}
+	if len(m.Routes["picasa"]) != 3 {
+		t.Errorf("routes = %d", len(m.Routes["picasa"]))
+	}
+	eq := m.Equivalences["flickr-picasa"]
+	if eq == nil || !eq.Equivalent("text", "q") {
+		t.Error("equivalence table not loaded")
+	}
+	spec := m.Mediators["flickr-xmlrpc"]
+	if spec == nil || spec.MergedName != "Flickr-XMLRPC-to-Picasa-REST" {
+		t.Errorf("mediator spec = %+v", spec)
+	}
+}
+
+func TestLoadModelsErrors(t *testing.T) {
+	if _, err := core.LoadModels("/no/such/dir"); err == nil {
+		t.Error("missing dir accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.automaton.xml"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.LoadModels(dir); !errors.Is(err, core.ErrModel) {
+		t.Errorf("bad automaton err = %v", err)
+	}
+	for name, content := range map[string]string{
+		"bad.merged.xml": "junk",
+		"bad.mdl":        "junk",
+		"bad.routes":     "junk",
+		"bad.equiv":      "no pairs here",
+		"bad.mediator":   "zap",
+	} {
+		d := t.TempDir()
+		if err := os.WriteFile(filepath.Join(d, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.LoadModels(d); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseEquivalence(t *testing.T) {
+	eq, err := core.ParseEquivalence("# c\n a = b \nx=y\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Equivalent("a", "b") || !eq.Equivalent("y", "x") {
+		t.Error("pairs not loaded")
+	}
+	if _, err := core.ParseEquivalence("nonsense line"); err == nil {
+		t.Error("bad line accepted")
+	}
+	if _, err := core.ParseEquivalence("# nothing"); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestParseMediatorSpecErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"merged x",                              // no sides
+		"side 1 xmlrpc server",                  // no merged
+		"merged x\nside one xmlrpc",             // bad color
+		"merged x\nside 1 xmlrpc foo",           // bad option
+		"merged x\nside 1 xmlrpc a=b",           // unknown option
+		"merged x\nside 1 xmlrpc\nwat 1",        // unknown directive
+		"merged x\nmerged",                      // malformed merged
+		"merged x\nlisten",                      // malformed listen
+		"merged x\nside 1",                      // short side
+		"merged x\nside 1 xmlrpc\nhostmap nope", // malformed hostmap
+	}
+	for _, doc := range cases {
+		if _, err := core.ParseMediatorSpec(doc); !errors.Is(err, core.ErrSpec) {
+			t.Errorf("ParseMediatorSpec(%q) err = %v", doc, err)
+		}
+	}
+}
+
+func TestBuildBinderErrors(t *testing.T) {
+	m := core.NewModels()
+	cases := []core.SideSpec{
+		{Protocol: "warp"},
+		{Protocol: "rest", Routes: "missing"},
+		{Protocol: "xmlrpc", Defs: "missing"},
+	}
+	for _, ss := range cases {
+		if _, err := m.BuildBinder(ss); err == nil {
+			t.Errorf("BuildBinder(%+v) accepted", ss)
+		}
+	}
+}
+
+func TestMergeFromModels(t *testing.T) {
+	dir := writeCaseStudyModels(t)
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := m.Merge("AFlickr", "APicasa", "flickr-picasa", "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Strength != automata.StronglyMerged {
+		t.Errorf("strength = %v", merged.Strength)
+	}
+	if m.Merged["auto"] == nil {
+		t.Error("merge result not registered")
+	}
+	for _, bad := range [][3]string{
+		{"nope", "APicasa", "flickr-picasa"},
+		{"AFlickr", "nope", "flickr-picasa"},
+		{"AFlickr", "APicasa", "nope"},
+	} {
+		if _, err := m.Merge(bad[0], bad[1], bad[2], "x"); err == nil {
+			t.Errorf("Merge(%v) accepted", bad)
+		}
+	}
+}
+
+// TestMediatorFromDiskModels runs the whole case study driven purely by
+// on-disk model files — the deployment path of Section 5.1: load models,
+// start the mediator, point the unmodified client at it.
+func TestMediatorFromDiskModels(t *testing.T) {
+	store := photostore.New()
+	pic, err := picasa.New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pic.Close()
+
+	dir := writeCaseStudyModels(t)
+	// Point the spec's placeholder addresses at the live service.
+	specPath := filepath.Join(dir, "flickr-xmlrpc.mediator")
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.ReplaceAll(string(data), "127.0.0.1:9002", pic.Addr())
+	if err := os.WriteFile(specPath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := m.StartMediator("flickr-xmlrpc", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+	v, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree", "per_page": int64(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	photos := v.(map[string]xmlrpc.Value)["photos"].([]xmlrpc.Value)
+	if len(photos) != 2 {
+		t.Errorf("photos = %d", len(photos))
+	}
+	if _, err := m.StartMediator("missing", ""); !errors.Is(err, core.ErrSpec) {
+		t.Errorf("missing spec err = %v", err)
+	}
+}
+
+// TestE9Evolution is experiment E9: the Picasa API evolves (v2 renames
+// the q and max-results parameters to query and limit). Interoperability
+// is restored by editing ONE line of the route model; the merged
+// automaton, the binding code and the client are untouched.
+func TestE9Evolution(t *testing.T) {
+	store := photostore.New()
+	picV2, err := picasa.NewWithConfig(store, picasa.Config{
+		SearchParam: "query", LimitParam: "limit",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer picV2.Close()
+
+	dir := writeCaseStudyModels(t)
+	// The one-line model edit: remap the search route's query parameters.
+	v2Routes := strings.ReplaceAll(casestudy.PicasaRoutesDoc,
+		"q=q max-results=max-results", "query=q limit=max-results")
+	if err := os.WriteFile(filepath.Join(dir, "picasa.routes"), []byte(v2Routes), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "flickr-xmlrpc.mediator")
+	data, _ := os.ReadFile(specPath)
+	patched := strings.ReplaceAll(string(data), "127.0.0.1:9002", picV2.Addr())
+	if err := os.WriteFile(specPath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := m.StartMediator("flickr-xmlrpc", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+	v, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree", "per_page": int64(3),
+	})
+	if err != nil {
+		t.Fatalf("v2 search through one-line model edit: %v", err)
+	}
+	photos := v.(map[string]xmlrpc.Value)["photos"].([]xmlrpc.Value)
+	if len(photos) != 3 {
+		t.Errorf("v2 photos = %d", len(photos))
+	}
+
+	// Control: WITHOUT the model edit, the v1 routes no longer work
+	// against the v2 API (the evolution really broke the wire contract).
+	v1Dir := writeCaseStudyModels(t)
+	v1Spec := filepath.Join(v1Dir, "flickr-xmlrpc.mediator")
+	d2, _ := os.ReadFile(v1Spec)
+	if err := os.WriteFile(v1Spec, []byte(strings.ReplaceAll(string(d2), "127.0.0.1:9002", picV2.Addr())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := core.LoadModels(v1Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medStale, err := m1.StartMediator("flickr-xmlrpc", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer medStale.Close()
+	cStale := xmlrpc.NewClient(medStale.Addr(), "/services/xmlrpc")
+	defer cStale.Close()
+	if _, err := cStale.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree",
+	}); err == nil {
+		t.Error("stale v1 routes unexpectedly worked against the v2 API")
+	}
+}
+
+// TestDiscoveryMediatorFromDiskModels drives the SSDP->SLP discovery
+// mediation entirely from model files, including the vocabulary map
+// (.typemap) artifact.
+func TestDiscoveryMediatorFromDiskModels(t *testing.T) {
+	da, err := slp.NewDirectoryAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer da.Close()
+	da.Register("service:printer:lpr", slp.URLEntry{
+		URL: "service:printer:lpr://modeled.example", Lifetime: 60,
+	})
+
+	dir := t.TempDir()
+	merged, err := casestudy.DiscoveryMediator().EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := strings.ReplaceAll(casestudy.DiscoveryMediatorSpecDoc, "127.0.0.1:427", da.Addr())
+	for name, data := range map[string][]byte{
+		"ssdp-to-slp.merged.xml": merged,
+		"upnp-to-slp.typemap":    []byte(casestudy.DiscoveryTypeMapDoc),
+		"discovery.mediator":     []byte(spec),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TypeMaps["upnp-to-slp"]) != 3 {
+		t.Errorf("typemap = %v", m.TypeMaps["upnp-to-slp"])
+	}
+	med, err := m.StartMediator("discovery", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	responses, err := ssdp.Search(med.Addr(), "urn:schemas-upnp-org:service:Printer:1", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if responses[0].Location != "service:printer:lpr://modeled.example" {
+		t.Errorf("location = %q", responses[0].Location)
+	}
+}
+
+func TestParseTypeMapErrors(t *testing.T) {
+	if _, err := core.ParseTypeMap("bogus line"); err == nil {
+		t.Error("bad line accepted")
+	}
+	if _, err := core.ParseTypeMap("# only comments"); err == nil {
+		t.Error("empty map accepted")
+	}
+	tm, err := core.ParseTypeMap(" a = b \n# c\nd=e")
+	if err != nil || tm["a"] != "b" || tm["d"] != "e" {
+		t.Errorf("tm = %v, %v", tm, err)
+	}
+}
+
+func TestMediatorSpecTypemapAndUDP(t *testing.T) {
+	spec, err := core.ParseMediatorSpec("merged m\ntypemap v\nside 1 ssdp server udp\nside 2 slp udp target=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TypeMap != "v" {
+		t.Errorf("typemap = %q", spec.TypeMap)
+	}
+	if !spec.Sides[0].Server || spec.Sides[0].Transport != "udp" {
+		t.Errorf("side0 = %+v", spec.Sides[0])
+	}
+	if _, err := core.ParseMediatorSpec("merged m\ntypemap"); err == nil {
+		t.Error("malformed typemap directive accepted")
+	}
+	// Unknown typemap at build time.
+	m := core.NewModels()
+	spec.MergedName = "m"
+	if _, err := m.BuildMediator(spec); err == nil {
+		t.Error("missing merged+typemap accepted")
+	}
+}

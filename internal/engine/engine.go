@@ -1,0 +1,574 @@
+// Package engine is Starlink's automata engine (paper Section 4.2): it
+// interprets a concrete merged k-colored automaton at runtime, driving the
+// sequence of receiving, sending, parsing, composing and translating
+// messages that realises an application-middleware mediator.
+//
+// Roles follow the paper's deployment (Fig. 6): the mediator acts as the
+// *server* towards the color-1 application (whose requests are redirected
+// to it) and as a *client* towards the color-2 application. Transitions
+// keep the application perspective of the models, so on the server color
+// a "!" transition means the mediator receives, and a "?" transition
+// means it sends the translated reply; on the client color the actions
+// read naturally.
+//
+// Message handles: a received message binds to the transition's To state;
+// a sent message is composed (by the preceding γ translation) at the
+// transition's From state. γ-transitions execute pre-compiled MTL
+// programs against the session environment; the MTL cache keyword
+// persists for the lifetime of a client connection, which is what the
+// Fig. 10 getInfo resolution relies on.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/bind"
+	"starlink/internal/message"
+	"starlink/internal/mtl"
+	"starlink/internal/network"
+)
+
+// Errors reported by the engine.
+var (
+	// ErrConfig is wrapped by all configuration validation errors.
+	ErrConfig = errors.New("engine: invalid configuration")
+	// ErrUnexpectedAction is returned when a client performs an action the
+	// automaton does not expect at the current state.
+	ErrUnexpectedAction = errors.New("engine: unexpected action")
+	// ErrStuck is returned when the automaton has no executable transition.
+	ErrStuck = errors.New("engine: automaton stuck")
+)
+
+// Side configures one color of the mediator.
+type Side struct {
+	// Binder maps between concrete packets and abstract action messages.
+	Binder bind.Binder
+	// Net carries the color's network semantics (transport defaults tcp).
+	Net network.Semantics
+	// Target is the service address for client-role colors (ignored on the
+	// server color).
+	Target string
+}
+
+// Config assembles a mediator.
+type Config struct {
+	// Merged is the concrete merged automaton to interpret.
+	Merged *automata.Merged
+	// ServerColor is the color whose application connects *to* the
+	// mediator (defaults to Merged.Color1).
+	ServerColor int
+	// Sides configures each color.
+	Sides map[int]*Side
+	// HostMap resolves logical hosts set by the MTL sethost keyword to
+	// real addresses (the simulation stand-in for DNS/deployment).
+	HostMap map[string]string
+	// Funcs adds extra MTL functions.
+	Funcs map[string]mtl.Func
+	// ExchangeTimeout bounds each network exchange (default 10s).
+	ExchangeTimeout time.Duration
+}
+
+// Stats are a mediator's lifetime counters.
+type Stats struct {
+	// Sessions is the number of client connections accepted.
+	Sessions uint64
+	// Flows is the number of complete automaton traversals.
+	Flows uint64
+	// Translations is the number of γ transitions executed.
+	Translations uint64
+	// MessagesIn and MessagesOut count messages received from and sent to
+	// either side.
+	MessagesIn, MessagesOut uint64
+	// Failures is the number of sessions that ended with an error other
+	// than the client disconnecting between flows.
+	Failures uint64
+}
+
+// statCounters is the internal atomic form of Stats.
+type statCounters struct {
+	sessions, flows, translations atomic.Uint64
+	messagesIn, messagesOut       atomic.Uint64
+	failures                      atomic.Uint64
+}
+
+// Mediator executes merged automata, one session per accepted client
+// connection.
+type Mediator struct {
+	cfg      Config
+	programs map[int]*mtl.Program // transition index -> compiled MTL
+	listener network.Listener
+	stats    statCounters
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[network.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Stats returns a snapshot of the mediator's counters.
+func (m *Mediator) Stats() Stats {
+	return Stats{
+		Sessions:     m.stats.sessions.Load(),
+		Flows:        m.stats.flows.Load(),
+		Translations: m.stats.translations.Load(),
+		MessagesIn:   m.stats.messagesIn.Load(),
+		MessagesOut:  m.stats.messagesOut.Load(),
+		Failures:     m.stats.failures.Load(),
+	}
+}
+
+// New validates the configuration and pre-compiles all γ MTL programs.
+func New(cfg Config) (*Mediator, error) {
+	if cfg.Merged == nil {
+		return nil, fmt.Errorf("%w: no merged automaton", ErrConfig)
+	}
+	if cfg.ServerColor == 0 {
+		cfg.ServerColor = cfg.Merged.Color1
+	}
+	if cfg.ExchangeTimeout == 0 {
+		cfg.ExchangeTimeout = 10 * time.Second
+	}
+	colors := map[int]bool{}
+	for _, t := range cfg.Merged.Transitions {
+		if t.Kind == automata.KindMessage {
+			colors[t.Color] = true
+		}
+	}
+	for c := range colors {
+		side := cfg.Sides[c]
+		if side == nil || side.Binder == nil {
+			return nil, fmt.Errorf("%w: no binder for color %d", ErrConfig, c)
+		}
+		if c != cfg.ServerColor && side.Target == "" {
+			return nil, fmt.Errorf("%w: no target address for client color %d", ErrConfig, c)
+		}
+	}
+	if !colors[cfg.ServerColor] {
+		return nil, fmt.Errorf("%w: server color %d has no transitions", ErrConfig, cfg.ServerColor)
+	}
+	m := &Mediator{
+		cfg:      cfg,
+		programs: make(map[int]*mtl.Program),
+		conns:    make(map[network.Conn]struct{}),
+	}
+	for i, t := range cfg.Merged.Transitions {
+		if t.Kind != automata.KindGamma {
+			continue
+		}
+		prog, err := mtl.Parse(stripComments(t.MTL))
+		if err != nil {
+			return nil, fmt.Errorf("%w: γ %s->%s: %v", ErrConfig, t.From, t.To, err)
+		}
+		m.programs[i] = prog
+	}
+	return m, nil
+}
+
+// stripComments drops generator comment lines so auto-generated MTL with
+// unresolved-field notes still compiles.
+func stripComments(src string) string {
+	lines := strings.Split(src, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "#") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// Start listens for client-side connections.
+func (m *Mediator) Start(listenAddr string) error {
+	side := m.cfg.Sides[m.cfg.ServerColor]
+	var eng network.Engine
+	l, err := eng.Listen(side.Net, listenAddr, side.Binder.Framer())
+	if err != nil {
+		return err
+	}
+	m.listener = l
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return nil
+}
+
+// Addr returns the client-facing address.
+func (m *Mediator) Addr() string { return m.listener.Addr().String() }
+
+func (m *Mediator) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		m.conns[conn] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		m.stats.sessions.Add(1)
+		go func() {
+			defer m.wg.Done()
+			s := &session{med: m, client: conn, services: make(map[int]network.Conn)}
+			s.run()
+		}()
+	}
+}
+
+// Close stops the mediator and waits for all sessions.
+func (m *Mediator) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	var err error
+	if m.listener != nil {
+		err = m.listener.Close()
+	}
+	for c := range m.conns {
+		c.Close()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+	return err
+}
+
+func (m *Mediator) removeConn(c network.Conn) {
+	m.mu.Lock()
+	delete(m.conns, c)
+	m.mu.Unlock()
+}
+
+// session is one client connection's execution of the automaton. The
+// automaton restarts after reaching a final state so a client can run the
+// whole behaviour repeatedly on one connection.
+type session struct {
+	med      *Mediator
+	client   network.Conn
+	services map[int]network.Conn
+	cache    mtl.Cache
+	// hostOverride holds sethost retargets per color.
+	hostOverride string
+	// pendingAction / pendingRequest track a client request that has not
+	// been answered yet, so a mediation failure can be reported as a
+	// protocol-level fault instead of a dropped connection.
+	pendingAction  string
+	pendingRequest *message.Message
+}
+
+func (s *session) run() {
+	defer func() {
+		s.client.Close()
+		s.med.removeConn(s.client)
+		for _, c := range s.services {
+			c.Close()
+		}
+	}()
+	for {
+		s.pendingAction, s.pendingRequest = "", nil
+		if err := s.runAutomaton(); err != nil {
+			// A recv error on the very first transition of a flow is the
+			// client ending the keep-alive connection, not a failure.
+			if !errors.Is(err, errSessionDone) {
+				s.med.stats.failures.Add(1)
+				s.sendErrorReply(err)
+			}
+			return
+		}
+		s.med.stats.flows.Add(1)
+	}
+}
+
+// errSessionDone marks the clean end of a session (client disconnected
+// between flows).
+var errSessionDone = errors.New("engine: session done")
+
+// sendErrorReply reports a mediation failure to a client that is still
+// waiting for an answer, if the client-side binder can build faults.
+func (s *session) sendErrorReply(cause error) {
+	if s.pendingAction == "" {
+		return
+	}
+	side := s.med.cfg.Sides[s.med.cfg.ServerColor]
+	replier, ok := side.Binder.(bind.ErrorReplier)
+	if !ok {
+		return
+	}
+	data, err := replier.BuildErrorReply(s.pendingAction, s.pendingRequest, cause.Error())
+	if err != nil {
+		return
+	}
+	if err := s.client.SetDeadline(time.Now().Add(s.med.cfg.ExchangeTimeout)); err != nil {
+		return
+	}
+	if s.client.Send(data) == nil {
+		s.med.stats.messagesOut.Add(1)
+	}
+}
+
+// runAutomaton executes one start-to-final traversal.
+func (s *session) runAutomaton() error {
+	merged := s.med.cfg.Merged
+	env := mtl.NewEnv(&s.cache)
+	env.Funcs = s.med.cfg.Funcs
+	for _, st := range merged.States {
+		env.Bind(st.Name, message.New(""))
+	}
+	state := merged.Start
+	lastClientAction := ""
+	var lastClientRequest *message.Message
+	lastServiceAction := map[int]string{}
+
+	for !merged.IsFinal(state) {
+		outs := merged.Out(state)
+		if len(outs) == 0 {
+			return fmt.Errorf("%w: state %s has no outgoing transitions", ErrStuck, state)
+		}
+		if len(outs) > 1 {
+			// Branch state: the client application chooses the next
+			// operation. All alternatives must be client-side invocations;
+			// the received action selects the branch.
+			next, err := s.execBranch(outs, env, &lastClientAction, &lastClientRequest)
+			if err != nil {
+				return err
+			}
+			state = next
+			continue
+		}
+		t, idx := outs[0], transitionIndex(merged, state, 0)
+		switch t.Kind {
+		case automata.KindGamma:
+			env.Host = ""
+			if prog := s.med.programs[idx]; prog != nil {
+				if err := prog.Exec(env); err != nil {
+					return fmt.Errorf("γ %s->%s: %w", t.From, t.To, err)
+				}
+				s.med.stats.translations.Add(1)
+			}
+			if env.Host != "" {
+				s.hostOverride = env.Host
+			}
+		case automata.KindMessage:
+			if err := s.execMessage(t, env, &lastClientAction, &lastClientRequest, lastServiceAction); err != nil {
+				return err
+			}
+		}
+		state = t.To
+	}
+	return nil
+}
+
+// execBranch receives the client's next request at a branch state and
+// follows the alternative carrying that action. Every alternative must be
+// a server-color Send transition (the models express "the client decides
+// what to do next" only on its own invocations).
+func (s *session) execBranch(
+	outs []automata.MergedTransition,
+	env *mtl.Env,
+	lastClientAction *string,
+	lastClientRequest **message.Message,
+) (string, error) {
+	cfg := s.med.cfg
+	for _, t := range outs {
+		if t.Kind != automata.KindMessage || t.Color != cfg.ServerColor || t.Action != automata.Send {
+			return "", fmt.Errorf("%w: branch state %s mixes non-client-invocation alternatives",
+				ErrStuck, t.From)
+		}
+	}
+	side := cfg.Sides[cfg.ServerColor]
+	if err := s.client.SetDeadline(time.Time{}); err != nil {
+		return "", err
+	}
+	data, err := s.client.Recv()
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", errSessionDone, err)
+	}
+	s.med.stats.messagesIn.Add(1)
+	action, abs, err := side.Binder.ParseRequest(data)
+	if err != nil {
+		return "", fmt.Errorf("parse client request: %w", err)
+	}
+	s.pendingAction, s.pendingRequest = action, abs
+	for _, t := range outs {
+		if t.Message != action {
+			continue
+		}
+		*lastClientAction = action
+		*lastClientRequest = abs
+		env.Bind(t.To, abs)
+		return t.To, nil
+	}
+	return "", fmt.Errorf("%w: got %q, automaton offers %s at %s",
+		ErrUnexpectedAction, action, branchNames(outs), outs[0].From)
+}
+
+func branchNames(outs []automata.MergedTransition) string {
+	names := make([]string, len(outs))
+	for i, t := range outs {
+		names[i] = t.Message
+	}
+	return strings.Join(names, "|")
+}
+
+func transitionIndex(m *automata.Merged, state string, nth int) int {
+	seen := 0
+	for i, t := range m.Transitions {
+		if t.From == state {
+			if seen == nth {
+				return i
+			}
+			seen++
+		}
+	}
+	return -1
+}
+
+func (s *session) execMessage(
+	t automata.MergedTransition,
+	env *mtl.Env,
+	lastClientAction *string,
+	lastClientRequest **message.Message,
+	lastServiceAction map[int]string,
+) error {
+	cfg := s.med.cfg
+	side := cfg.Sides[t.Color]
+	serverSide := t.Color == cfg.ServerColor
+	switch {
+	case serverSide && t.Action == automata.Send:
+		// Client invokes: mediator receives the request.
+		if err := s.client.SetDeadline(time.Time{}); err != nil {
+			return err
+		}
+		data, err := s.client.Recv()
+		if err != nil {
+			return fmt.Errorf("%w: %v", errSessionDone, err) // client gone
+		}
+		s.med.stats.messagesIn.Add(1)
+		action, abs, err := side.Binder.ParseRequest(data)
+		if err != nil {
+			return fmt.Errorf("parse client request: %w", err)
+		}
+		// Record the pending request before validating it, so even an
+		// unexpected action is answered with a fault.
+		s.pendingAction, s.pendingRequest = action, abs
+		if action != t.Message {
+			return fmt.Errorf("%w: got %q, automaton expects %q at %s",
+				ErrUnexpectedAction, action, t.Message, t.From)
+		}
+		*lastClientAction = action
+		*lastClientRequest = abs
+		env.Bind(t.To, abs)
+	case serverSide && t.Action == automata.Receive:
+		// Client receives: mediator sends the translated reply.
+		abs := env.Message(t.From)
+		if abs == nil {
+			abs = message.New(t.Message)
+		}
+		abs.Name = t.Message
+		copyCorrelationFields(*lastClientRequest, abs)
+		data, err := side.Binder.BuildReply(*lastClientAction, abs)
+		if err != nil {
+			return fmt.Errorf("build client reply: %w", err)
+		}
+		if err := s.client.SetDeadline(time.Now().Add(cfg.ExchangeTimeout)); err != nil {
+			return err
+		}
+		if err := s.client.Send(data); err != nil {
+			return fmt.Errorf("send client reply: %w", err)
+		}
+		s.med.stats.messagesOut.Add(1)
+		s.pendingAction, s.pendingRequest = "", nil
+	case t.Action == automata.Send:
+		// Mediator invokes the service.
+		abs := env.Message(t.From)
+		if abs == nil {
+			abs = message.New(t.Message)
+		}
+		abs.Name = t.Message
+		data, err := side.Binder.BuildRequest(t.Message, abs)
+		if err != nil {
+			return fmt.Errorf("build service request: %w", err)
+		}
+		conn, err := s.serviceConn(t.Color)
+		if err != nil {
+			return err
+		}
+		if err := conn.SetDeadline(time.Now().Add(cfg.ExchangeTimeout)); err != nil {
+			return err
+		}
+		if err := conn.Send(data); err != nil {
+			return fmt.Errorf("send service request: %w", err)
+		}
+		s.med.stats.messagesOut.Add(1)
+		lastServiceAction[t.Color] = t.Message
+	default:
+		// Mediator receives the service reply.
+		conn, err := s.serviceConn(t.Color)
+		if err != nil {
+			return err
+		}
+		if err := conn.SetDeadline(time.Now().Add(cfg.ExchangeTimeout)); err != nil {
+			return err
+		}
+		data, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("recv service reply: %w", err)
+		}
+		s.med.stats.messagesIn.Add(1)
+		abs, err := side.Binder.ParseReply(lastServiceAction[t.Color], data)
+		if err != nil {
+			return fmt.Errorf("parse service reply: %w", err)
+		}
+		abs.Name = t.Message
+		env.Bind(t.To, abs)
+	}
+	return nil
+}
+
+// copyCorrelationFields carries binder-internal fields (labels starting
+// with "_", e.g. the GIOP request id) from the request into the reply.
+func copyCorrelationFields(req, reply *message.Message) {
+	if req == nil || reply == nil {
+		return
+	}
+	for _, f := range req.Fields {
+		if strings.HasPrefix(f.Label, "_") && reply.Field(f.Label) == nil {
+			reply.Add(f.Clone())
+		}
+	}
+}
+
+// serviceConn returns (dialling lazily) the connection towards a
+// client-role color, honouring sethost retargets via the host map.
+func (s *session) serviceConn(color int) (network.Conn, error) {
+	if c, ok := s.services[color]; ok {
+		return c, nil
+	}
+	side := s.med.cfg.Sides[color]
+	addr := side.Target
+	if s.hostOverride != "" {
+		if mapped, ok := s.med.cfg.HostMap[s.hostOverride]; ok {
+			addr = mapped
+		}
+	}
+	var eng network.Engine
+	conn, err := eng.Dial(side.Net, addr, side.Binder.Framer())
+	if err != nil {
+		return nil, fmt.Errorf("dial service (color %d, %s): %w", color, addr, err)
+	}
+	s.services[color] = conn
+	return conn, nil
+}

@@ -1,0 +1,421 @@
+package engine_test
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/bind"
+	"starlink/internal/casestudy"
+	"starlink/internal/engine"
+	"starlink/internal/protocol/giop"
+	"starlink/internal/protocol/soap"
+	"starlink/internal/protocol/xmlrpc"
+	"starlink/internal/services/photostore"
+	"starlink/internal/services/picasa"
+)
+
+// startPlusService runs the SOAP addition service of Fig. 7/8.
+func startPlusService(t *testing.T) *soap.Server {
+	t.Helper()
+	srv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			var x, y int
+			for _, p := range params {
+				n, err := strconv.Atoi(p.Value)
+				if err != nil {
+					return nil, &soap.Fault{Code: "Client", Message: "non-integer " + p.Name}
+				}
+				switch p.Name {
+				case "x":
+					x = n
+				case "y":
+					y = n
+				}
+			}
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestE4AddPlusAutoMerged is experiment E4: the Fig. 7/8 scenario run
+// fully automatically — the merge of the Add and Plus usage automata is
+// generated (including its γ MTL), bound to GIOP on the client side and
+// SOAP on the service side, and executed; an unmodified IIOP client calls
+// Add and the SOAP service's Plus answers.
+func TestE4AddPlusAutoMerged(t *testing.T) {
+	plusSrv := startPlusService(t)
+
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Name:  "Add+Plus",
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Strength != automata.StronglyMerged {
+		t.Fatalf("strength = %v", merged.Strength)
+	}
+
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := engine.New(engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: plusSrv.Addr()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	// The unmodified IIOP client from the giop package.
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	results, err := client.Invoke("Add", giop.IntParam(20), giop.IntParam(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ValueString() != "42" {
+		t.Errorf("Add via mediator = %+v", results)
+	}
+	// Repeat on the same connection (automaton restarts).
+	results, err = client.Invoke("Add", giop.IntParam(1), giop.IntParam(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].ValueString() != "3" {
+		t.Errorf("second Add = %v", results[0].ValueString())
+	}
+}
+
+// startCaseStudy wires the Picasa service and a mediator for the given
+// merged automaton with the given client-side binder.
+func startCaseStudy(t *testing.T, merged *automata.Merged, clientBinder bind.Binder) (*engine.Mediator, *photostore.Store) {
+	t.Helper()
+	store := photostore.New()
+	pic, err := picasa.New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pic.Close() })
+
+	routes, err := bind.ParseRoutes(casestudy.PicasaRoutesDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restBinder, err := bind.NewRESTBinder(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := engine.New(engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: clientBinder},
+			2: {Binder: restBinder, Target: pic.Addr()},
+		},
+		HostMap: map[string]string{casestudy.PicasaHost: pic.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { med.Close() })
+	return med, store
+}
+
+// TestE5E6E7XMLRPCFullCaseStudy is experiments E5 (Fig. 9 search
+// binding), E6 (Fig. 10 getInfo cache mismatch) and E7 (full case study)
+// for the XML-RPC client: the unmodified Flickr XML-RPC client completes
+// search -> getInfo -> getComments -> addComment against the Picasa REST
+// service through the Starlink mediator.
+func TestE5E6E7XMLRPCFullCaseStudy(t *testing.T) {
+	med, store := startCaseStudy(t, casestudy.XMLRPCMediator(),
+		&bind.XMLRPCBinder{Path: "/services/xmlrpc", Defs: casestudy.FlickrUsage().Messages})
+
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+
+	// E5: search via Fig. 9 binding.
+	v, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"api_key": "k", "text": "tree", "per_page": int64(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := v.(map[string]xmlrpc.Value)
+	if !ok {
+		t.Fatalf("search result type %T", v)
+	}
+	photos, ok := res["photos"].([]xmlrpc.Value)
+	if !ok || len(photos) != 3 {
+		t.Fatalf("photos = %#v", res["photos"])
+	}
+	if res["total"] != int64(3) && res["total"] != "3" {
+		t.Errorf("total = %#v", res["total"])
+	}
+	first := photos[0].(map[string]xmlrpc.Value)
+	id, _ := first["id"].(string)
+	if id == "" {
+		t.Fatalf("first photo = %#v", first)
+	}
+	// The mediated results must match a native Picasa search.
+	nativePhotos := store.Search("tree", 3)
+	if id != nativePhotos[0].ID {
+		t.Errorf("mediated id %q != native %q", id, nativePhotos[0].ID)
+	}
+
+	// E6: getInfo is answered from the mediator's cache (Fig. 10); Picasa
+	// has no such operation.
+	v, err = c.Call(casestudy.FlickrGetInfo, map[string]xmlrpc.Value{
+		"api_key": "k", "photo_id": id,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := v.(map[string]xmlrpc.Value)
+	want, _ := store.Get(id)
+	if info["url"] != want.URL {
+		t.Errorf("getInfo url = %#v, want %q", info["url"], want.URL)
+	}
+	if info["title"] != want.Title {
+		t.Errorf("getInfo title = %#v, want %q", info["title"], want.Title)
+	}
+
+	// E7: comments round trip.
+	v, err = c.Call(casestudy.FlickrGetComments, map[string]xmlrpc.Value{"photo_id": id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commentsBefore := v.(map[string]xmlrpc.Value)["comments"].([]xmlrpc.Value)
+
+	v, err = c.Call(casestudy.FlickrAddComment, map[string]xmlrpc.Value{
+		"photo_id": id, "comment_text": "mediated comment",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cid, _ := v.(map[string]xmlrpc.Value)["comment_id"].(string); cid == "" {
+		t.Errorf("addComment = %#v", v)
+	}
+
+	// The comment landed in the real Picasa store.
+	after, err := store.Comments(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(commentsBefore)+1 {
+		t.Errorf("store comments = %d, want %d", len(after), len(commentsBefore)+1)
+	}
+	last := after[len(after)-1]
+	if last.Text != "mediated comment" || last.Author != "flickr-user" {
+		t.Errorf("stored comment = %+v", last)
+	}
+}
+
+// TestE7SOAPFullCaseStudy is the SOAP half of E7: the same application
+// merge bound to SOAP instead of XML-RPC (hypothesis 2 of Section 5).
+func TestE7SOAPFullCaseStudy(t *testing.T) {
+	med, store := startCaseStudy(t, casestudy.SOAPMediator(),
+		&bind.SOAPBinder{Path: "/services/soap"})
+
+	c := soap.NewClient(med.Addr(), "/services/soap")
+	defer c.Close()
+
+	results, err := c.Call(casestudy.FlickrSearch,
+		soap.Param{Name: "api_key", Value: "k"},
+		soap.Param{Name: "text", Value: "tree"},
+		soap.Param{Name: "per_page", Value: "2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	total := ""
+	for _, p := range results {
+		switch p.Name {
+		case "photo_id":
+			ids = append(ids, p.Value)
+		case "total":
+			total = p.Value
+		}
+	}
+	if len(ids) != 2 || total != "2" {
+		t.Fatalf("search results = %+v", results)
+	}
+
+	info, err := c.Call(casestudy.FlickrGetInfo, soap.Param{Name: "photo_id", Value: ids[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := ""
+	for _, p := range info {
+		if p.Name == "url" {
+			url = p.Value
+		}
+	}
+	want, _ := store.Get(ids[0])
+	if url != want.URL {
+		t.Errorf("url = %q, want %q", url, want.URL)
+	}
+
+	comments, err := c.Call(casestudy.FlickrGetComments, soap.Param{Name: "photo_id", Value: ids[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range comments {
+		if p.Name == "comment" && !strings.Contains(p.Value, ":") {
+			t.Errorf("comment shape = %q", p.Value)
+		}
+	}
+
+	added, err := c.Call(casestudy.FlickrAddComment,
+		soap.Param{Name: "photo_id", Value: ids[0]},
+		soap.Param{Name: "comment_text", Value: "soap mediated"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 1 || added[0].Name != "comment_id" || added[0].Value == "" {
+		t.Errorf("added = %+v", added)
+	}
+	stored, _ := store.Comments(ids[0])
+	if stored[len(stored)-1].Text != "soap mediated" {
+		t.Errorf("stored = %+v", stored[len(stored)-1])
+	}
+}
+
+func TestUnexpectedActionEndsSession(t *testing.T) {
+	med, _ := startCaseStudy(t, casestudy.XMLRPCMediator(),
+		&bind.XMLRPCBinder{Path: "/services/xmlrpc", Defs: casestudy.FlickrUsage().Messages})
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+	// The automaton expects search first; getInfo out of order fails.
+	if _, err := c.Call(casestudy.FlickrGetInfo, map[string]xmlrpc.Value{"photo_id": "x"}); err == nil {
+		t.Error("out-of-order action succeeded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	merged := casestudy.XMLRPCMediator()
+	cases := []struct {
+		name string
+		cfg  engine.Config
+	}{
+		{"no automaton", engine.Config{}},
+		{"missing binder", engine.Config{Merged: merged, Sides: map[int]*engine.Side{
+			1: {Binder: &bind.SOAPBinder{Path: "/x"}},
+		}}},
+		{"missing target", engine.Config{Merged: merged, Sides: map[int]*engine.Side{
+			1: {Binder: &bind.SOAPBinder{Path: "/x"}},
+			2: {Binder: &bind.SOAPBinder{Path: "/y"}},
+		}}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := engine.New(tt.cfg); !errors.Is(err, engine.ErrConfig) {
+				t.Errorf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestBadGammaMTLRejectedAtConstruction(t *testing.T) {
+	merged := casestudy.XMLRPCMediator()
+	for i := range merged.Transitions {
+		if merged.Transitions[i].Kind == automata.KindGamma {
+			merged.Transitions[i].MTL = "= broken ="
+			break
+		}
+	}
+	_, err := engine.New(engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: &bind.SOAPBinder{Path: "/x"}},
+			2: {Binder: &bind.SOAPBinder{Path: "/y"}, Target: "127.0.0.1:1"},
+		},
+	})
+	if !errors.Is(err, engine.ErrConfig) {
+		t.Errorf("err = %v, want ErrConfig", err)
+	}
+}
+
+func TestMediatorCloseIdempotent(t *testing.T) {
+	med, _ := startCaseStudy(t, casestudy.XMLRPCMediator(),
+		&bind.XMLRPCBinder{Path: "/services/xmlrpc", Defs: casestudy.FlickrUsage().Messages})
+	if err := med.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMediatorStats(t *testing.T) {
+	med, _ := startCaseStudy(t, casestudy.XMLRPCMediator(),
+		&bind.XMLRPCBinder{Path: "/services/xmlrpc", Defs: casestudy.FlickrUsage().Messages})
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	v, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree", "per_page": int64(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	photos := v.(map[string]xmlrpc.Value)["photos"].([]xmlrpc.Value)
+	id := photos[0].(map[string]xmlrpc.Value)["id"].(string)
+	for _, call := range []string{casestudy.FlickrGetInfo, casestudy.FlickrGetComments} {
+		if _, err := c.Call(call, map[string]xmlrpc.Value{"photo_id": id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Call(casestudy.FlickrAddComment, map[string]xmlrpc.Value{
+		"photo_id": id, "comment_text": "x",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	var st engine.Stats
+	for time.Now().Before(deadline) {
+		st = med.Stats()
+		if st.Flows == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Sessions != 1 || st.Flows != 1 {
+		t.Errorf("sessions=%d flows=%d", st.Sessions, st.Flows)
+	}
+	if st.Translations != 7 {
+		t.Errorf("translations = %d, want 7 (2 per intertwined op + 1 for getInfo)", st.Translations)
+	}
+	// 4 client requests + 3 service replies in; 4 client replies + 3
+	// service requests out.
+	if st.MessagesIn != 7 || st.MessagesOut != 7 {
+		t.Errorf("messages in/out = %d/%d", st.MessagesIn, st.MessagesOut)
+	}
+	if st.Failures != 0 {
+		t.Errorf("failures = %d", st.Failures)
+	}
+}

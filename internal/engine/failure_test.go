@@ -1,0 +1,245 @@
+package engine_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"starlink/internal/bind"
+	"starlink/internal/casestudy"
+	"starlink/internal/engine"
+	"starlink/internal/network"
+	"starlink/internal/protocol/xmlrpc"
+	"starlink/internal/services/photostore"
+	"starlink/internal/services/picasa"
+)
+
+// startFragileCaseStudy returns a mediator plus handles to kill pieces.
+func startFragileCaseStudy(t *testing.T) (*engine.Mediator, *picasa.Service) {
+	t.Helper()
+	store := photostore.New()
+	pic, err := picasa.New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := bind.ParseRoutes(casestudy.PicasaRoutesDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restBinder, err := bind.NewRESTBinder(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := engine.New(engine.Config{
+		Merged: casestudy.XMLRPCMediator(),
+		Sides: map[int]*engine.Side{
+			1: {Binder: &bind.XMLRPCBinder{Path: "/services/xmlrpc", Defs: casestudy.FlickrUsage().Messages}},
+			2: {Binder: restBinder, Target: pic.Addr()},
+		},
+		HostMap:         map[string]string{casestudy.PicasaHost: pic.Addr()},
+		ExchangeTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { med.Close() })
+	return med, pic
+}
+
+// TestServiceDownMidSession kills the Picasa service after a successful
+// search: the in-flight session fails, but the mediator survives and the
+// failure is visible to the client as a broken exchange, not a hang.
+func TestServiceDownMidSession(t *testing.T) {
+	med, pic := startFragileCaseStudy(t)
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+
+	if _, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree", "per_page": int64(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// getInfo still works: it is served from the mediator cache (Fig. 10),
+	// not from Picasa.
+	pic.Close()
+	if _, err := c.Call(casestudy.FlickrGetInfo, map[string]xmlrpc.Value{
+		"photo_id": "photo-0001",
+	}); err != nil {
+		t.Fatalf("cache-resolved getInfo should survive service death: %v", err)
+	}
+	// getComments needs Picasa: the session must fail promptly.
+	start := time.Now()
+	_, err := c.Call(casestudy.FlickrGetComments, map[string]xmlrpc.Value{
+		"photo_id": "photo-0001",
+	})
+	if err == nil {
+		t.Fatal("call against dead service succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("failure took %v; should be bounded by the exchange timeout", elapsed)
+	}
+}
+
+// TestGarbageClientBytesEndSessionOnly feeds raw garbage to the mediator:
+// the session dies, the mediator keeps serving new clients.
+func TestGarbageClientBytesEndSessionOnly(t *testing.T) {
+	med, _ := startFragileCaseStudy(t)
+
+	var eng network.Engine
+	conn, err := eng.Dial(network.Semantics{Transport: "tcp"}, med.Addr(), network.HTTPFramer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A framed-but-wrong message: valid HTTP, not an XML-RPC call.
+	if err := conn.Send([]byte("DELETE /nope HTTP/1.1\r\nContent-Length: 0\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Recv(); err == nil {
+		t.Error("mediator answered a garbage request")
+	}
+	conn.Close()
+
+	// A fresh, well-behaved client still works.
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+	if _, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree", "per_page": int64(1),
+	}); err != nil {
+		t.Fatalf("mediator did not survive garbage session: %v", err)
+	}
+}
+
+// TestClientDisconnectMidFlow drops the client between operations; the
+// mediator must clean the session up and accept the next client.
+func TestClientDisconnectMidFlow(t *testing.T) {
+	med, _ := startFragileCaseStudy(t)
+	c1 := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	if _, err := c1.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree", "per_page": int64(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // mid-automaton
+
+	c2 := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c2.Close()
+	if _, err := c2.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "cat", "per_page": int64(1),
+	}); err != nil {
+		t.Fatalf("next session failed: %v", err)
+	}
+}
+
+// TestConcurrentSessions runs several clients at once; sessions are
+// independent (separate caches, separate service connections).
+func TestConcurrentSessions(t *testing.T) {
+	med, _ := startFragileCaseStudy(t)
+	const n = 4
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+			defer c.Close()
+			v, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+				"text": "tree", "per_page": int64(2),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			photos := v.(map[string]xmlrpc.Value)["photos"].([]xmlrpc.Value)
+			id := photos[0].(map[string]xmlrpc.Value)["id"].(string)
+			if _, err := c.Call(casestudy.FlickrGetInfo, map[string]xmlrpc.Value{"photo_id": id}); err != nil {
+				errs <- err
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestMediatorCloseWithLiveSession closes the mediator while a client is
+// connected; Close must not hang.
+func TestMediatorCloseWithLiveSession(t *testing.T) {
+	med, _ := startFragileCaseStudy(t)
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+	if _, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree", "per_page": int64(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		med.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with a live session")
+	}
+}
+
+// TestMediationFailureSurfacesAsProtocolFault: when mediation fails
+// mid-flow, the waiting client receives a proper protocol-level fault
+// (here an XML-RPC fault) rather than a dropped connection.
+func TestMediationFailureSurfacesAsProtocolFault(t *testing.T) {
+	med, pic := startFragileCaseStudy(t)
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+	if _, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree", "per_page": int64(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(casestudy.FlickrGetInfo, map[string]xmlrpc.Value{
+		"photo_id": "photo-0001",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pic.Close() // the service dies
+	_, err := c.Call(casestudy.FlickrGetComments, map[string]xmlrpc.Value{
+		"photo_id": "photo-0001",
+	})
+	var fault *xmlrpc.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *xmlrpc.Fault", err)
+	}
+	if fault.Code != 500 || !strings.Contains(fault.Message, "mediation failed") {
+		t.Errorf("fault = %+v", fault)
+	}
+	st := med.Stats()
+	if st.Failures == 0 {
+		t.Error("failure not counted")
+	}
+}
+
+// TestUnexpectedActionGetsFault: a client invoking an action the
+// automaton does not offer receives a protocol fault naming the problem.
+func TestUnexpectedActionGetsFault(t *testing.T) {
+	med, _ := startFragileCaseStudy(t)
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+	// The automaton expects search first.
+	_, err := c.Call(casestudy.FlickrAddComment, map[string]xmlrpc.Value{
+		"photo_id": "x", "comment_text": "y",
+	})
+	var fault *xmlrpc.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *xmlrpc.Fault", err)
+	}
+	if !strings.Contains(fault.Message, "unexpected action") {
+		t.Errorf("fault = %+v", fault)
+	}
+}

@@ -1,0 +1,75 @@
+package engine_test
+
+import (
+	"testing"
+
+	"starlink/internal/bind"
+	"starlink/internal/casestudy"
+	"starlink/internal/protocol/jsonrpc"
+)
+
+// TestE7JSONRPCClientSameApplicationModel binds the SAME merged
+// application automaton used for the XML-RPC client to a third middleware
+// — JSON-RPC — without touching the model: hypothesis 2 of Section 5
+// taken one protocol further. A JSON-RPC Flickr client completes the full
+// case-study flow against the Picasa REST service.
+func TestE7JSONRPCClientSameApplicationModel(t *testing.T) {
+	med, store := startCaseStudy(t, casestudy.XMLRPCMediator(),
+		&bind.JSONRPCBinder{Path: "/services/jsonrpc", Defs: casestudy.FlickrUsage().Messages})
+
+	c := jsonrpc.NewClient(med.Addr(), "/services/jsonrpc")
+	defer c.Close()
+
+	v, err := c.Call(casestudy.FlickrSearch, map[string]any{
+		"api_key": "k", "text": "tree", "per_page": float64(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("search result type %T", v)
+	}
+	photos, ok := res["photos"].([]any)
+	if !ok || len(photos) != 3 {
+		t.Fatalf("photos = %#v", res["photos"])
+	}
+	first, ok := photos[0].(map[string]any)
+	if !ok {
+		t.Fatalf("photo0 = %#v", photos[0])
+	}
+	id, _ := first["id"].(string)
+	native := store.Search("tree", 3)
+	if id != native[0].ID {
+		t.Errorf("id = %q, want %q", id, native[0].ID)
+	}
+
+	// getInfo from the mediator cache.
+	v, err = c.Call(casestudy.FlickrGetInfo, map[string]any{"photo_id": id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := v.(map[string]any)
+	want, _ := store.Get(id)
+	if info["url"] != want.URL {
+		t.Errorf("url = %#v", info["url"])
+	}
+
+	// Comments round trip.
+	if _, err := c.Call(casestudy.FlickrGetComments, map[string]any{"photo_id": id}); err != nil {
+		t.Fatal(err)
+	}
+	v, err = c.Call(casestudy.FlickrAddComment, map[string]any{
+		"photo_id": id, "comment_text": "json mediated",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cid, _ := v.(map[string]any)["comment_id"].(string); cid == "" {
+		t.Errorf("addComment = %#v", v)
+	}
+	stored, _ := store.Comments(id)
+	if stored[len(stored)-1].Text != "json mediated" {
+		t.Errorf("stored = %+v", stored[len(stored)-1])
+	}
+}

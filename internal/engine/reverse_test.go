@@ -1,0 +1,95 @@
+package engine_test
+
+import (
+	"testing"
+
+	"starlink/internal/bind"
+	"starlink/internal/casestudy"
+	"starlink/internal/engine"
+	"starlink/internal/protocol/rest"
+	"starlink/internal/services/flickr"
+	"starlink/internal/services/photostore"
+)
+
+// TestReverseMediationPicasaClientToFlickrService runs the case study in
+// the opposite direction: an unmodified Picasa REST client completes
+// search -> comments -> addComment against the Flickr XML-RPC service.
+// The REST binder plays the server role (route matching on incoming HTTP
+// requests), demonstrating the binding layer's symmetry.
+func TestReverseMediationPicasaClientToFlickrService(t *testing.T) {
+	store := photostore.New()
+	fl, err := flickr.New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	routes, err := bind.ParseRoutes(casestudy.PicasaRoutesDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restBinder, err := bind.NewRESTBinder(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := engine.New(engine.Config{
+		Merged: casestudy.ReverseMediator(),
+		Sides: map[int]*engine.Side{
+			1: {Binder: restBinder},
+			2: {Binder: &bind.XMLRPCBinder{Path: flickr.XMLRPCPath, Defs: casestudy.FlickrUsage().Messages},
+				Target: fl.XMLRPCAddr()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	// The unmodified GData client from the rest package.
+	c := rest.NewClient(med.Addr())
+	defer c.Close()
+
+	feed, err := c.Search("tree", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Entries) != 3 {
+		t.Fatalf("entries = %d", len(feed.Entries))
+	}
+	native := store.Search("tree", 3)
+	if feed.Entries[0].ID != native[0].ID || feed.Entries[0].Title != native[0].Title {
+		t.Errorf("entry0 = %+v, native %+v", feed.Entries[0], native[0])
+	}
+	if feed.Entries[0].Author != native[0].Owner {
+		t.Errorf("author = %q, want %q", feed.Entries[0].Author, native[0].Owner)
+	}
+
+	id := feed.Entries[0].ID
+	comments, err := c.Comments(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nativeComments, _ := store.Comments(id)
+	if comments.Len() != len(nativeComments) {
+		t.Errorf("comments = %d, want %d", comments.Len(), len(nativeComments))
+	}
+	if comments.Len() > 0 && comments.Entries[0].Summary != nativeComments[0].Text {
+		t.Errorf("comment0 = %+v", comments.Entries[0])
+	}
+
+	added, err := c.AddComment(id, "from the picasa side")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.ID == "" || added.Summary != "from the picasa side" {
+		t.Errorf("added = %+v", added)
+	}
+	stored, _ := store.Comments(id)
+	last := stored[len(stored)-1]
+	if last.Text != "from the picasa side" || last.Author != "flickr-user" {
+		t.Errorf("stored = %+v", last)
+	}
+}

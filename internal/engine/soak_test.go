@@ -1,0 +1,191 @@
+package engine_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/bind"
+	"starlink/internal/casestudy"
+	"starlink/internal/engine"
+	"starlink/internal/protocol/soap"
+	"starlink/internal/protocol/xmlrpc"
+)
+
+// TestSoakManyFlowsOneSession runs many full flows over one keep-alive
+// connection: the automaton restarts cleanly every time and the session
+// cache stays bounded (eviction, not growth).
+func TestSoakManyFlowsOneSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	med, store := startCaseStudy(t, casestudy.XMLRPCMediator(),
+		&bind.XMLRPCBinder{Path: "/services/xmlrpc", Defs: casestudy.FlickrUsage().Messages})
+	c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+	defer c.Close()
+
+	const flows = 100
+	for i := 0; i < flows; i++ {
+		v, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+			"text": "tree", "per_page": int64(2),
+		})
+		if err != nil {
+			t.Fatalf("flow %d search: %v", i, err)
+		}
+		photos := v.(map[string]xmlrpc.Value)["photos"].([]xmlrpc.Value)
+		id := photos[0].(map[string]xmlrpc.Value)["id"].(string)
+		if _, err := c.Call(casestudy.FlickrGetInfo, map[string]xmlrpc.Value{"photo_id": id}); err != nil {
+			t.Fatalf("flow %d getInfo: %v", i, err)
+		}
+		if _, err := c.Call(casestudy.FlickrGetComments, map[string]xmlrpc.Value{"photo_id": id}); err != nil {
+			t.Fatalf("flow %d getComments: %v", i, err)
+		}
+		if _, err := c.Call(casestudy.FlickrAddComment, map[string]xmlrpc.Value{
+			"photo_id": id, "comment_text": "soak",
+		}); err != nil {
+			t.Fatalf("flow %d addComment: %v", i, err)
+		}
+	}
+	comments, err := store.Comments("photo-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comments) < flows {
+		t.Errorf("comments = %d, want >= %d", len(comments), flows)
+	}
+}
+
+// TestNoGoroutineLeaksAcrossSessions checks the guide's no-fire-and-forget
+// rule end-to-end: after serving several clients and closing everything,
+// the goroutine count returns to (near) baseline.
+func TestNoGoroutineLeaksAcrossSessions(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	med, _ := startCaseStudy(t, casestudy.XMLRPCMediator(),
+		&bind.XMLRPCBinder{Path: "/services/xmlrpc", Defs: casestudy.FlickrUsage().Messages})
+	for i := 0; i < 5; i++ {
+		c := xmlrpc.NewClient(med.Addr(), "/services/xmlrpc")
+		if _, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+			"text": "tree", "per_page": int64(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	med.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestOneWayOperation exercises an invocation without a reply (the async
+// notification pattern): the client fires an event, the mediator forwards
+// it, and only the following request/response proves delivery order.
+func TestOneWayOperation(t *testing.T) {
+	// Model: notify (one-way, forwarded) then query (request/response).
+	oneWay := &automata.Merged{
+		Name: "oneway", Color1: 1, Color2: 2,
+		Start: "w0", Final: []string{"w5"},
+		States: []automata.MergedState{
+			{Name: "w0", Colors: []int{1}},
+			{Name: "w1", Colors: []int{1, 2}},
+			{Name: "w2", Colors: []int{2}},
+			{Name: "w3", Colors: []int{2}},
+			{Name: "w4", Colors: []int{1, 2}},
+			{Name: "w5", Colors: []int{1}},
+		},
+		Transitions: []automata.MergedTransition{
+			{From: "w0", To: "w1", Kind: automata.KindMessage, Color: 1, Action: automata.Send, Message: "notify"},
+			{From: "w1", To: "w2", Kind: automata.KindGamma, MTL: "w2.Msg.event = w1.Msg.event"},
+			{From: "w2", To: "w3", Kind: automata.KindMessage, Color: 2, Action: automata.Send, Message: "record"},
+			{From: "w3", To: "w4", Kind: automata.KindMessage, Color: 2, Action: automata.Receive, Message: "record.reply"},
+			{From: "w4", To: "w5", Kind: automata.KindGamma, MTL: "w5.Msg.ok = w4.Msg.ok"},
+			// The client's reply for its one-way notify: the acknowledgement
+			// of the recorded event, proving the forward happened.
+		},
+	}
+	// Make the last gamma feed a client reply.
+	oneWay.Transitions = append(oneWay.Transitions, automata.MergedTransition{
+		From: "w5", To: "w5x", Kind: automata.KindMessage, Color: 1, Action: automata.Receive, Message: "notify.reply",
+	})
+	oneWay.States = append(oneWay.States, automata.MergedState{Name: "w5x", Colors: []int{1}})
+	oneWay.Final = []string{"w5x"}
+
+	recorded := make(chan string, 1)
+	srv, err := newRecordingSOAP(t, recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	med, err := engine.New(engine.Config{
+		Merged: oneWay,
+		Sides: map[int]*engine.Side{
+			1: {Binder: &bind.SOAPBinder{Path: "/in"}},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: srv},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	c := newSOAPClient(t, med.Addr(), "/in")
+	results, err := c.Call("notify", soapParam("event", "deployed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Value != "true" {
+		t.Errorf("ack = %+v", results)
+	}
+	select {
+	case ev := <-recorded:
+		if ev != "deployed" {
+			t.Errorf("recorded %q", ev)
+		}
+	default:
+		t.Error("event not recorded")
+	}
+}
+
+// Helpers for the one-way test.
+
+func newRecordingSOAP(t *testing.T, recorded chan string) (string, error) {
+	t.Helper()
+	srv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+		"record": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			for _, p := range params {
+				if p.Name == "event" {
+					select {
+					case recorded <- p.Value:
+					default:
+					}
+				}
+			}
+			return []soap.Param{{Name: "ok", Value: "true"}}, nil
+		},
+	})
+	if err != nil {
+		return "", err
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr(), nil
+}
+
+func newSOAPClient(t *testing.T, addr, path string) *soap.Client {
+	t.Helper()
+	c := soap.NewClient(addr, path)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func soapParam(name, value string) soap.Param { return soap.Param{Name: name, Value: value} }

@@ -1,0 +1,832 @@
+// Package binenc is the MDL engine for binary protocols.
+//
+// It interprets MDL layout items over a bit stream, supporting the
+// constructs from the paper's GIOP example (Fig. 5):
+//
+//	<Name:N>              fixed field of N bits, unsigned integer
+//	<Name:N:type>         fixed field of N bits; type = uint|int|bool|float|bytes|string
+//	<Name:Ref>            variable field whose byte length is the value of the
+//	                      previously parsed field Ref; type defaults to bytes
+//	<Name:Ref:string>     as above, decoded as a NUL-terminated string (the
+//	                      CDR string convention: the length includes the NUL)
+//	<Name:eof>            raw bytes to the end of the packet
+//	<Name:eof:string>     rest of packet as text
+//	<Name:cdrseq>         self-describing CDR parameter sequence (see below)
+//	<align:N>             skip to the next N-bit boundary (from body start)
+//	<Repeat:Name:Count>   repeated group: the items up to <End:Repeat> are
+//	                      parsed Count times (Count being the value of an
+//	                      earlier field), yielding a structured field Name
+//	                      with one "item" child per iteration; on compose,
+//	                      Count is derived from the child count
+//	<End:Repeat>          closes a repeated group
+//
+// When composing, fields that are referenced as the length of another field
+// are computed automatically from the encoded size, and fields constrained
+// by <Rule:Field=Value> are filled from the rule when absent from the
+// abstract message.
+//
+// The paper's MDL leaves GIOP parameter bodies opaque (<ParameterArray:eof>)
+// because interpreting them requires the IDL. This reproduction instead
+// defines a self-describing CDR sequence (<Name:cdrseq>): a 4-byte count,
+// then per parameter a 1-byte type tag followed by the CDR-encoded value
+// with standard CDR alignment. This keeps the generic parser able to expose
+// Parameter fields to the binding rules of Section 4.3 without an IDL
+// compiler, while remaining valid CDR at the byte level.
+package binenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"starlink/internal/mdl"
+	"starlink/internal/message"
+)
+
+// Errors reported by the binary engine.
+var (
+	// ErrShortPacket is returned when the packet ends inside a field.
+	ErrShortPacket = errors.New("binenc: packet too short")
+	// ErrBadSpec is wrapped by all layout validation errors.
+	ErrBadSpec = errors.New("binenc: invalid layout")
+)
+
+// Parameter type tags for cdrseq sequences.
+const (
+	tagString byte = 1
+	tagInt32  byte = 2
+	tagInt64  byte = 3
+	tagBool   byte = 4
+	tagDouble byte = 5
+	tagBytes  byte = 6
+)
+
+type itemKind int
+
+const (
+	kindFixed itemKind = iota + 1
+	kindLenFrom
+	kindEOF
+	kindCDRSeq
+	kindAlign
+	kindRepeat
+)
+
+type compiledItem struct {
+	kind      itemKind
+	label     string
+	bits      int
+	lenFrom   string
+	typ       message.Type
+	rawStr    bool // string without NUL-termination semantics (eof:string)
+	countFrom string
+	items     []compiledItem // kindRepeat body
+}
+
+type compiledMessage struct {
+	spec  *mdl.MessageSpec
+	items []compiledItem
+	// lenTargets maps a length field's label to the label of the field it
+	// sizes, so Compose can derive it.
+	lenTargets map[string]string
+	// countTargets maps a count field's label to the repeated group it
+	// counts, so Compose can derive it.
+	countTargets map[string]string
+}
+
+// Codec interprets a binary MDL spec.
+type Codec struct {
+	spec     *mdl.Spec
+	messages []*compiledMessage
+	byName   map[string]*compiledMessage
+}
+
+var _ mdl.Codec = (*Codec)(nil)
+
+// New compiles a binary MDL spec into a codec.
+func New(spec *mdl.Spec) (mdl.Codec, error) {
+	c := &Codec{spec: spec, byName: make(map[string]*compiledMessage, len(spec.Messages))}
+	for _, ms := range spec.Messages {
+		cm, err := compileMessage(ms)
+		if err != nil {
+			return nil, err
+		}
+		c.messages = append(c.messages, cm)
+		c.byName[ms.Name] = cm
+	}
+	return c, nil
+}
+
+// Register installs the engine in a registry under mdl.EncodingBinary.
+func Register(r *mdl.Registry) { r.Register(mdl.EncodingBinary, New) }
+
+func compileMessage(ms *mdl.MessageSpec) (*compiledMessage, error) {
+	cm := &compiledMessage{
+		spec:         ms,
+		lenTargets:   make(map[string]string),
+		countTargets: make(map[string]string),
+	}
+	seen := map[string]bool{}
+	// target points at the item list currently being filled; open Repeat
+	// groups push a nested list.
+	target := &cm.items
+	var repeatStack []*compiledItem
+	for _, it := range ms.Items {
+		label := it.Label()
+		arg := it.Arg(1)
+		switch {
+		case label == "Repeat":
+			if arg == "" || it.Arg(2) == "" {
+				return nil, fmt.Errorf("%w: line %d: <Repeat:Name:CountField>", ErrBadSpec, it.Line)
+			}
+			if !seen[it.Arg(2)] {
+				return nil, fmt.Errorf("%w: line %d: repeat count %q not declared earlier", ErrBadSpec, it.Line, it.Arg(2))
+			}
+			if len(repeatStack) > 0 {
+				return nil, fmt.Errorf("%w: line %d: nested <Repeat> groups are not supported", ErrBadSpec, it.Line)
+			}
+			*target = append(*target, compiledItem{
+				kind: kindRepeat, label: arg, typ: message.TypeArray, countFrom: it.Arg(2),
+			})
+			rep := &(*target)[len(*target)-1]
+			cm.countTargets[it.Arg(2)] = arg
+			repeatStack = append(repeatStack, rep)
+			target = &rep.items
+			seen[arg] = true
+			continue
+		case label == "End" && arg == "Repeat":
+			if len(repeatStack) == 0 {
+				return nil, fmt.Errorf("%w: line %d: <End:Repeat> without <Repeat>", ErrBadSpec, it.Line)
+			}
+			repeatStack = repeatStack[:len(repeatStack)-1]
+			target = &cm.items
+			continue
+		case label == "align":
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("%w: line %d: <align:%s>", ErrBadSpec, it.Line, arg)
+			}
+			*target = append(*target, compiledItem{kind: kindAlign, bits: n})
+			continue
+		case arg == "":
+			return nil, fmt.Errorf("%w: line %d: field %q needs a length", ErrBadSpec, it.Line, label)
+		case arg == "eof":
+			typ := message.TypeBytes
+			if it.Arg(2) == "string" {
+				typ = message.TypeString
+			}
+			*target = append(*target, compiledItem{kind: kindEOF, label: label, typ: typ, rawStr: true})
+		case arg == "cdrseq":
+			*target = append(*target, compiledItem{kind: kindCDRSeq, label: label, typ: message.TypeArray})
+		default:
+			if bits, err := strconv.Atoi(arg); err == nil {
+				if bits <= 0 || bits > 1<<20 {
+					return nil, fmt.Errorf("%w: line %d: field %q width %d bits", ErrBadSpec, it.Line, label, bits)
+				}
+				typ, err := fixedType(it.Arg(2), bits)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: %v", ErrBadSpec, it.Line, err)
+				}
+				*target = append(*target, compiledItem{kind: kindFixed, label: label, bits: bits, typ: typ})
+			} else {
+				// Length from a previously declared field.
+				if !seen[arg] {
+					return nil, fmt.Errorf("%w: line %d: field %q sized by %q which is not declared earlier",
+						ErrBadSpec, it.Line, label, arg)
+				}
+				typ := message.TypeBytes
+				switch it.Arg(2) {
+				case "", "bytes":
+				case "string":
+					typ = message.TypeString
+				default:
+					return nil, fmt.Errorf("%w: line %d: variable field %q type %q", ErrBadSpec, it.Line, label, it.Arg(2))
+				}
+				*target = append(*target, compiledItem{kind: kindLenFrom, label: label, lenFrom: arg, typ: typ})
+				cm.lenTargets[arg] = label
+			}
+		}
+		if label != "align" {
+			seen[label] = true
+		}
+	}
+	if len(repeatStack) > 0 {
+		return nil, fmt.Errorf("%w: message %q: unclosed <Repeat>", ErrBadSpec, ms.Name)
+	}
+	return cm, nil
+}
+
+func fixedType(name string, bits int) (message.Type, error) {
+	switch name {
+	case "", "uint":
+		return message.TypeUint64, nil
+	case "int":
+		return message.TypeInt64, nil
+	case "bool":
+		return message.TypeBool, nil
+	case "float":
+		if bits != 32 && bits != 64 {
+			return 0, fmt.Errorf("float fields must be 32 or 64 bits, got %d", bits)
+		}
+		return message.TypeFloat64, nil
+	case "bytes":
+		return message.TypeBytes, nil
+	case "string":
+		return message.TypeString, nil
+	default:
+		return 0, fmt.Errorf("unknown fixed field type %q", name)
+	}
+}
+
+// Parse decodes a packet by trying each message layout in order and
+// returning the first whose rules hold.
+func (c *Codec) Parse(data []byte) (*message.Message, error) {
+	var firstErr error
+	for _, cm := range c.messages {
+		msg, err := c.parseAs(cm, data)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", cm.spec.Name, err)
+			}
+			continue
+		}
+		if rulesHold(cm.spec, msg) {
+			return msg, nil
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("%w (%v)", mdl.ErrNoMessageMatch, firstErr)
+	}
+	return nil, mdl.ErrNoMessageMatch
+}
+
+func rulesHold(ms *mdl.MessageSpec, msg *message.Message) bool {
+	for _, r := range ms.Rules {
+		f := msg.Field(r.Field)
+		if f == nil || f.ValueString() != r.Value {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Codec) parseAs(cm *compiledMessage, data []byte) (*message.Message, error) {
+	rd := &bitReader{data: data}
+	msg := message.New(cm.spec.Name)
+	if err := parseItems(rd, cm.items, &msg.Fields, msg.Fields[:0:0]); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// findField looks a label up first in the current scope, then in the
+// outer (top-level) scope — repeated-group items see their own fields
+// plus the message header.
+func findField(scope, outer []*message.Field, label string) *message.Field {
+	for _, f := range scope {
+		if f.Label == label {
+			return f
+		}
+	}
+	for _, f := range outer {
+		if f.Label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// parseItems decodes a layout item list into *out; outer carries the
+// enclosing scope for length/count references inside repeated groups.
+func parseItems(rd *bitReader, items []compiledItem, out *[]*message.Field, outer []*message.Field) error {
+	for _, it := range items {
+		switch it.kind {
+		case kindAlign:
+			rd.align(it.bits)
+		case kindFixed:
+			f, err := rd.readFixed(it)
+			if err != nil {
+				return err
+			}
+			*out = append(*out, f)
+		case kindLenFrom:
+			lf := findField(*out, outer, it.lenFrom)
+			if lf == nil {
+				return fmt.Errorf("binenc: length field %q missing", it.lenFrom)
+			}
+			n, err := strconv.ParseUint(lf.ValueString(), 10, 32)
+			if err != nil {
+				return fmt.Errorf("binenc: length field %q value %q: %v", it.lenFrom, lf.ValueString(), err)
+			}
+			b, err := rd.readBytes(int(n))
+			if err != nil {
+				return err
+			}
+			if it.typ == message.TypeString {
+				s := strings.TrimSuffix(string(b), "\x00")
+				*out = append(*out, message.NewPrimitive(it.label, message.TypeString, s))
+			} else {
+				*out = append(*out, message.NewPrimitive(it.label, message.TypeBytes, b))
+			}
+		case kindEOF:
+			b := rd.rest()
+			if it.typ == message.TypeString {
+				*out = append(*out, message.NewPrimitive(it.label, message.TypeString, string(b)))
+			} else {
+				*out = append(*out, message.NewPrimitive(it.label, message.TypeBytes, b))
+			}
+		case kindCDRSeq:
+			f, err := rd.readCDRSeq(it.label)
+			if err != nil {
+				return err
+			}
+			*out = append(*out, f)
+		case kindRepeat:
+			cf := findField(*out, outer, it.countFrom)
+			if cf == nil {
+				return fmt.Errorf("binenc: repeat count field %q missing", it.countFrom)
+			}
+			count, err := strconv.ParseUint(cf.ValueString(), 10, 32)
+			if err != nil {
+				return fmt.Errorf("binenc: repeat count %q value %q: %v", it.countFrom, cf.ValueString(), err)
+			}
+			if count > 1<<16 {
+				return fmt.Errorf("binenc: %s: implausible repeat count %d", it.label, count)
+			}
+			arr := message.NewArray(it.label)
+			for i := uint64(0); i < count; i++ {
+				item := message.NewStruct("item")
+				if err := parseItems(rd, it.items, &item.Children, *out); err != nil {
+					return fmt.Errorf("%s[%d]: %w", it.label, i, err)
+				}
+				arr.Add(item)
+			}
+			*out = append(*out, arr)
+		}
+	}
+	return nil
+}
+
+// Compose encodes the abstract message using its named layout.
+func (c *Codec) Compose(msg *message.Message) ([]byte, error) {
+	cm, ok := c.byName[msg.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", mdl.ErrUnknownMessage, msg.Name)
+	}
+	w := &bitWriter{}
+	if err := composeItems(w, cm, cm.items, msg.Fields); err != nil {
+		return nil, err
+	}
+	return w.bytes(), nil
+}
+
+// composeItems encodes an item list reading values from scope (the
+// message's top-level fields, or one repeated item's children).
+func composeItems(w *bitWriter, cm *compiledMessage, items []compiledItem, scope []*message.Field) error {
+	// Pre-compute the encoded bytes of this scope's variable-length fields
+	// so their length fields can be derived.
+	varBytes := map[string][]byte{}
+	for _, it := range items {
+		if it.kind != kindLenFrom {
+			continue
+		}
+		f := findField(scope, nil, it.label)
+		var b []byte
+		if f != nil {
+			if it.typ == message.TypeString {
+				b = append([]byte(f.ValueString()), 0)
+			} else if raw, ok := f.Value.([]byte); ok {
+				b = raw
+			} else {
+				b = []byte(f.ValueString())
+			}
+		} else if it.typ == message.TypeString {
+			b = []byte{0}
+		}
+		varBytes[it.label] = b
+	}
+	for _, it := range items {
+		switch it.kind {
+		case kindAlign:
+			w.align(it.bits)
+		case kindFixed:
+			if target, ok := cm.lenTargets[it.label]; ok {
+				w.writeUint(uint64(len(varBytes[target])), it.bits)
+				continue
+			}
+			if target, ok := cm.countTargets[it.label]; ok {
+				n := 0
+				if f := findField(scope, nil, target); f != nil {
+					n = len(f.Children)
+				}
+				w.writeUint(uint64(n), it.bits)
+				continue
+			}
+			val, err := fixedValue(cm.spec, scope, it)
+			if err != nil {
+				return err
+			}
+			if err := w.writeFixed(it, val); err != nil {
+				return err
+			}
+		case kindLenFrom:
+			w.writeBytes(varBytes[it.label])
+		case kindEOF:
+			f := findField(scope, nil, it.label)
+			if f == nil {
+				continue
+			}
+			if raw, ok := f.Value.([]byte); ok {
+				w.writeBytes(raw)
+			} else {
+				w.writeBytes([]byte(f.ValueString()))
+			}
+		case kindCDRSeq:
+			f := findField(scope, nil, it.label)
+			if err := w.writeCDRSeq(f); err != nil {
+				return err
+			}
+		case kindRepeat:
+			f := findField(scope, nil, it.label)
+			if f == nil {
+				continue // count field composed as 0
+			}
+			for i, item := range f.Children {
+				if err := composeItems(w, cm, it.items, item.Children); err != nil {
+					return fmt.Errorf("%s[%d]: %w", it.label, i, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func fixedValue(ms *mdl.MessageSpec, scope []*message.Field, it compiledItem) (any, error) {
+	if f := findField(scope, nil, it.label); f != nil {
+		return f.Value, nil
+	}
+	if r, ok := ms.Rule(it.label); ok {
+		return r.Value, nil
+	}
+	// Zero value.
+	switch it.typ {
+	case message.TypeBytes, message.TypeString:
+		return "", nil
+	default:
+		return uint64(0), nil
+	}
+}
+
+// ---- bit stream primitives ----
+
+type bitReader struct {
+	data   []byte
+	bitPos int
+}
+
+func (r *bitReader) remainingBits() int { return len(r.data)*8 - r.bitPos }
+
+func (r *bitReader) align(bits int) {
+	if rem := r.bitPos % bits; rem != 0 {
+		r.bitPos += bits - rem
+	}
+}
+
+func (r *bitReader) readBits(n int) (uint64, error) {
+	if n > 64 {
+		return 0, fmt.Errorf("binenc: readBits(%d) exceeds 64", n)
+	}
+	if r.remainingBits() < n {
+		return 0, ErrShortPacket
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := r.bitPos >> 3
+		bitIdx := 7 - (r.bitPos & 7)
+		bit := (r.data[byteIdx] >> bitIdx) & 1
+		v = v<<1 | uint64(bit)
+		r.bitPos++
+	}
+	return v, nil
+}
+
+func (r *bitReader) readBytes(n int) ([]byte, error) {
+	r.align(8)
+	if r.remainingBits() < n*8 {
+		return nil, ErrShortPacket
+	}
+	start := r.bitPos >> 3
+	r.bitPos += n * 8
+	out := make([]byte, n)
+	copy(out, r.data[start:start+n])
+	return out, nil
+}
+
+func (r *bitReader) rest() []byte {
+	r.align(8)
+	start := r.bitPos >> 3
+	r.bitPos = len(r.data) * 8
+	out := make([]byte, len(r.data)-start)
+	copy(out, r.data[start:])
+	return out
+}
+
+func (r *bitReader) readFixed(it compiledItem) (*message.Field, error) {
+	switch it.typ {
+	case message.TypeBytes, message.TypeString:
+		if it.bits%8 != 0 {
+			return nil, fmt.Errorf("binenc: %q: byte field width %d not a multiple of 8", it.label, it.bits)
+		}
+		b, err := r.readBytes(it.bits / 8)
+		if err != nil {
+			return nil, fmt.Errorf("%w reading %q", err, it.label)
+		}
+		f := message.NewPrimitive(it.label, it.typ, b)
+		f.LengthBits = it.bits
+		return f, nil
+	case message.TypeFloat64:
+		v, err := r.readBits(it.bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w reading %q", err, it.label)
+		}
+		var fv float64
+		if it.bits == 32 {
+			fv = float64(math.Float32frombits(uint32(v)))
+		} else {
+			fv = math.Float64frombits(v)
+		}
+		f := message.NewPrimitive(it.label, message.TypeFloat64, fv)
+		f.LengthBits = it.bits
+		return f, nil
+	case message.TypeBool:
+		v, err := r.readBits(it.bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w reading %q", err, it.label)
+		}
+		f := message.NewPrimitive(it.label, message.TypeBool, v != 0)
+		f.LengthBits = it.bits
+		return f, nil
+	case message.TypeInt64:
+		v, err := r.readBits(it.bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w reading %q", err, it.label)
+		}
+		// Sign-extend.
+		sv := int64(v)
+		if it.bits < 64 && v&(1<<(it.bits-1)) != 0 {
+			sv = int64(v | ^uint64(0)<<it.bits)
+		}
+		f := message.NewPrimitive(it.label, message.TypeInt64, sv)
+		f.LengthBits = it.bits
+		return f, nil
+	default:
+		v, err := r.readBits(it.bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w reading %q", err, it.label)
+		}
+		f := message.NewPrimitive(it.label, message.TypeUint64, v)
+		f.LengthBits = it.bits
+		return f, nil
+	}
+}
+
+func (r *bitReader) readCDRSeq(label string) (*message.Field, error) {
+	r.align(32)
+	count, err := r.readBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w reading %s count", err, label)
+	}
+	if count > 1<<16 {
+		return nil, fmt.Errorf("binenc: %s: implausible parameter count %d", label, count)
+	}
+	arr := message.NewArray(label)
+	for i := uint64(0); i < count; i++ {
+		r.align(8)
+		tag, err := r.readBits(8)
+		if err != nil {
+			return nil, fmt.Errorf("%w reading %s tag", err, label)
+		}
+		p, err := r.readCDRValue(byte(tag))
+		if err != nil {
+			return nil, fmt.Errorf("%s[%d]: %w", label, i, err)
+		}
+		arr.Add(p)
+	}
+	return arr, nil
+}
+
+func (r *bitReader) readCDRValue(tag byte) (*message.Field, error) {
+	switch tag {
+	case tagString:
+		r.align(32)
+		n, err := r.readBits(32)
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.readBytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		s := strings.TrimSuffix(string(b), "\x00")
+		return message.NewPrimitive("Parameter", message.TypeString, s), nil
+	case tagInt32:
+		r.align(32)
+		v, err := r.readBits(32)
+		if err != nil {
+			return nil, err
+		}
+		return message.NewPrimitive("Parameter", message.TypeInt64, int64(int32(v))), nil
+	case tagInt64:
+		r.align(64)
+		v, err := r.readBits(64)
+		if err != nil {
+			return nil, err
+		}
+		return message.NewPrimitive("Parameter", message.TypeInt64, int64(v)), nil
+	case tagBool:
+		v, err := r.readBits(8)
+		if err != nil {
+			return nil, err
+		}
+		return message.NewPrimitive("Parameter", message.TypeBool, v != 0), nil
+	case tagDouble:
+		r.align(64)
+		v, err := r.readBits(64)
+		if err != nil {
+			return nil, err
+		}
+		return message.NewPrimitive("Parameter", message.TypeFloat64, math.Float64frombits(v)), nil
+	case tagBytes:
+		r.align(32)
+		n, err := r.readBits(32)
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.readBytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		return message.NewPrimitive("Parameter", message.TypeBytes, b), nil
+	default:
+		return nil, fmt.Errorf("binenc: unknown CDR parameter tag %d", tag)
+	}
+}
+
+type bitWriter struct {
+	buf    []byte
+	bitPos int
+}
+
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+func (w *bitWriter) ensure(bits int) {
+	need := (w.bitPos + bits + 7) / 8
+	for len(w.buf) < need {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+func (w *bitWriter) align(bits int) {
+	if rem := w.bitPos % bits; rem != 0 {
+		pad := bits - rem
+		w.ensure(pad)
+		w.bitPos += pad
+	}
+}
+
+func (w *bitWriter) writeUint(v uint64, n int) {
+	w.ensure(n)
+	for i := n - 1; i >= 0; i-- {
+		bit := (v >> i) & 1
+		byteIdx := w.bitPos >> 3
+		bitIdx := 7 - (w.bitPos & 7)
+		if bit == 1 {
+			w.buf[byteIdx] |= 1 << bitIdx
+		}
+		w.bitPos++
+	}
+}
+
+func (w *bitWriter) writeBytes(b []byte) {
+	w.align(8)
+	w.ensure(len(b) * 8)
+	copy(w.buf[w.bitPos>>3:], b)
+	w.bitPos += len(b) * 8
+}
+
+func (w *bitWriter) writeFixed(it compiledItem, val any) error {
+	switch it.typ {
+	case message.TypeBytes, message.TypeString:
+		var b []byte
+		switch x := val.(type) {
+		case []byte:
+			b = x
+		case string:
+			b = []byte(x)
+		default:
+			b = []byte(fmt.Sprint(x))
+		}
+		want := it.bits / 8
+		if len(b) > want {
+			b = b[:want]
+		}
+		for len(b) < want {
+			b = append(b, 0)
+		}
+		w.writeBytes(b)
+		return nil
+	case message.TypeFloat64:
+		f := message.NewPrimitive("x", message.TypeFloat64, val).Value.(float64)
+		if it.bits == 32 {
+			w.writeUint(uint64(math.Float32bits(float32(f))), 32)
+		} else {
+			w.writeUint(math.Float64bits(f), 64)
+		}
+		return nil
+	case message.TypeBool:
+		b := message.NewPrimitive("x", message.TypeBool, val).Value.(bool)
+		var v uint64
+		if b {
+			v = 1
+		}
+		w.writeUint(v, it.bits)
+		return nil
+	case message.TypeInt64:
+		n := message.NewPrimitive("x", message.TypeInt64, val).Value.(int64)
+		mask := ^uint64(0)
+		if it.bits < 64 {
+			mask = 1<<it.bits - 1
+		}
+		w.writeUint(uint64(n)&mask, it.bits)
+		return nil
+	default:
+		n := message.NewPrimitive("x", message.TypeUint64, val).Value.(uint64)
+		if it.bits < 64 && n >= 1<<it.bits {
+			return fmt.Errorf("binenc: %q: value %d overflows %d bits", it.label, n, it.bits)
+		}
+		w.writeUint(n, it.bits)
+		return nil
+	}
+}
+
+func (w *bitWriter) writeCDRSeq(f *message.Field) error {
+	w.align(32)
+	if f == nil {
+		w.writeUint(0, 32)
+		return nil
+	}
+	w.writeUint(uint64(len(f.Children)), 32)
+	for _, p := range f.Children {
+		w.align(8)
+		switch p.Type {
+		case message.TypeString:
+			w.writeUint(uint64(tagString), 8)
+			s := p.ValueString()
+			w.align(32)
+			w.writeUint(uint64(len(s)+1), 32)
+			w.writeBytes(append([]byte(s), 0))
+		case message.TypeInt32:
+			w.writeUint(uint64(tagInt32), 8)
+			w.align(32)
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(p.Value.(int64)))
+			w.writeBytes(buf[4:])
+		case message.TypeInt64, message.TypeUint64:
+			w.writeUint(uint64(tagInt64), 8)
+			w.align(64)
+			var n uint64
+			switch v := p.Value.(type) {
+			case int64:
+				n = uint64(v)
+			case uint64:
+				n = v
+			}
+			w.writeUint(n, 64)
+		case message.TypeBool:
+			w.writeUint(uint64(tagBool), 8)
+			b, _ := p.Value.(bool)
+			var v uint64
+			if b {
+				v = 1
+			}
+			w.writeUint(v, 8)
+		case message.TypeFloat64:
+			w.writeUint(uint64(tagDouble), 8)
+			w.align(64)
+			fv, _ := p.Value.(float64)
+			w.writeUint(math.Float64bits(fv), 64)
+		case message.TypeBytes:
+			w.writeUint(uint64(tagBytes), 8)
+			b, _ := p.Value.([]byte)
+			w.align(32)
+			w.writeUint(uint64(len(b)), 32)
+			w.writeBytes(b)
+		default:
+			return fmt.Errorf("binenc: cannot encode parameter of type %v", p.Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package binenc
+
+import (
+	"testing"
+
+	"starlink/internal/mdl"
+)
+
+func FuzzGIOPParse(f *testing.F) {
+	spec, err := mdl.ParseString(giopDoc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	codec, err := New(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := codec.Compose(giopRequest())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte("GIOP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := codec.Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must compose again without panicking.
+		if _, err := codec.Compose(msg); err != nil {
+			t.Logf("compose of parsed message failed: %v", err)
+		}
+	})
+}
+
+func FuzzSLPRepeatParse(f *testing.F) {
+	spec, err := mdl.ParseString(slpReplyDoc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	codec, err := New(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := codec.Compose(slpReply())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := codec.Parse(data)
+		if err != nil {
+			return
+		}
+		if _, err := codec.Compose(msg); err != nil {
+			t.Logf("compose failed: %v", err)
+		}
+	})
+}
+
+func FuzzMDLDocument(f *testing.F) {
+	f.Add(giopDoc)
+	f.Add(slpReplyDoc)
+	f.Add("<MDL:X:binary>\n<Message:M><A:8><End:Message>")
+	f.Fuzz(func(t *testing.T, doc string) {
+		spec, err := mdl.ParseString(doc)
+		if err != nil {
+			return
+		}
+		_, _ = New(spec) // must not panic
+	})
+}

@@ -1,0 +1,27 @@
+package textenc
+
+// HTTPMDL is the canonical text-MDL description of HTTP/1.1 requests
+// and responses, used by the REST binder and the case-study models.
+const HTTPMDL = `
+# HTTP/1.1 message formats
+<MDL:HTTP:text>
+<Message:HTTPRequest>
+<Rule:Version=HTTP/*>
+<Method:tok:sp>
+<Target:tok:sp>
+<Version:tok:crlf>
+<Headers:headers>
+<Body:body>
+<Path:path:Target>
+<Query:query:Target>
+<End:Message>
+
+<Message:HTTPResponse>
+<Rule:Version=HTTP/*>
+<Version:tok:sp>
+<Status:tok:sp>
+<Reason:tok:crlf>
+<Headers:headers>
+<Body:body>
+<End:Message>
+`

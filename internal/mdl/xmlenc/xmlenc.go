@@ -1,0 +1,277 @@
+// Package xmlenc is the MDL engine for XML-bodied protocols (XML-RPC,
+// SOAP envelopes, Atom/GData feeds).
+//
+// The engine maps an XML document onto the abstract message model
+// generically:
+//
+//   - an element becomes a structured field labelled with its local name;
+//   - an attribute becomes a child primitive labelled "@name";
+//   - an element containing only character data becomes a primitive string
+//     field (or, when it also carries attributes, a structured field with a
+//     "#text" child);
+//   - inter-element whitespace is ignored.
+//
+// A message layout needs only a discriminator on the document's root
+// element:
+//
+//	<MDL:XMLRPC:xml>
+//	<Message:MethodCall>
+//	<Rule:root=methodCall>
+//	<End:Message>
+//
+// Parse selects the layout whose root rule matches and exposes the root's
+// children as the message's top-level fields. Compose re-serialises them
+// under the rule's root element. Additional <Rule:path=value> rules may
+// pin field values for dispatch between layouts sharing a root (e.g. SOAP
+// requests vs replies).
+package xmlenc
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"starlink/internal/mdl"
+	"starlink/internal/message"
+)
+
+// Errors reported by the XML engine.
+var (
+	// ErrBadSpec is wrapped by all layout validation errors.
+	ErrBadSpec = errors.New("xmlenc: invalid layout")
+	// ErrMalformed is wrapped when the packet is not well-formed XML.
+	ErrMalformed = errors.New("xmlenc: malformed document")
+)
+
+type compiledMessage struct {
+	spec *mdl.MessageSpec
+	root string
+	// attrs are root-element attributes to emit on compose, from layout
+	// items of the form <@xmlns:ns=value> ... encoded as <Name:attr:value>.
+	attrs []xml.Attr
+}
+
+// Codec interprets an XML MDL spec.
+type Codec struct {
+	spec     *mdl.Spec
+	messages []*compiledMessage
+	byName   map[string]*compiledMessage
+}
+
+var _ mdl.Codec = (*Codec)(nil)
+
+// New compiles an XML MDL spec into a codec.
+func New(spec *mdl.Spec) (mdl.Codec, error) {
+	c := &Codec{spec: spec, byName: make(map[string]*compiledMessage, len(spec.Messages))}
+	for _, ms := range spec.Messages {
+		cm := &compiledMessage{spec: ms}
+		for _, r := range ms.Rules {
+			if r.Field == "root" {
+				cm.root = r.Value
+			}
+		}
+		if cm.root == "" {
+			return nil, fmt.Errorf("%w: message %q needs a <Rule:root=...> discriminator", ErrBadSpec, ms.Name)
+		}
+		for _, it := range ms.Items {
+			if it.Arg(1) != "attr" {
+				return nil, fmt.Errorf("%w: message %q: unknown item %q (only <Name:attr:value> is allowed)",
+					ErrBadSpec, ms.Name, it.Label())
+			}
+			cm.attrs = append(cm.attrs, xml.Attr{
+				Name:  xml.Name{Local: it.Label()},
+				Value: strings.Join(it.Parts[2:], ":"),
+			})
+		}
+		c.messages = append(c.messages, cm)
+		c.byName[ms.Name] = cm
+	}
+	return c, nil
+}
+
+// Register installs the engine in a registry under mdl.EncodingXML.
+func Register(r *mdl.Registry) { r.Register(mdl.EncodingXML, New) }
+
+// Parse decodes an XML document, dispatching on the root element and any
+// additional value rules.
+func (c *Codec) Parse(data []byte) (*message.Message, error) {
+	root, err := decodeTree(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, cm := range c.messages {
+		if cm.root != root.Label {
+			continue
+		}
+		msg := message.New(cm.spec.Name, root.Children...)
+		if valueRulesHold(cm, msg) {
+			return msg, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: root element %q", mdl.ErrNoMessageMatch, root.Label)
+}
+
+func valueRulesHold(cm *compiledMessage, msg *message.Message) bool {
+	for _, r := range cm.spec.Rules {
+		if r.Field == "root" {
+			continue
+		}
+		got, err := msg.GetString(r.Field)
+		if err != nil || got != r.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeTree parses an XML document into one field per root element.
+func decodeTree(data []byte) (*message.Field, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: no root element", ErrMalformed)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			f, err := decodeElement(dec, se)
+			if err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+	}
+}
+
+func decodeElement(dec *xml.Decoder, se xml.StartElement) (*message.Field, error) {
+	f := message.NewStruct(se.Name.Local)
+	for _, a := range se.Attr {
+		name := a.Name.Local
+		if a.Name.Space != "" && a.Name.Space != "xmlns" {
+			name = a.Name.Space + ":" + name
+		}
+		f.Add(message.NewPrimitive("@"+name, message.TypeString, a.Value))
+	}
+	var text strings.Builder
+	hasChildren := len(f.Children) > 0
+	hasElems := false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := decodeElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			f.Add(child)
+			hasChildren, hasElems = true, true
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			content := text.String()
+			if hasElems {
+				content = strings.TrimSpace(content)
+			}
+			switch {
+			case !hasChildren:
+				// Pure text (or empty) element -> primitive.
+				return message.NewPrimitive(f.Label, message.TypeString, content), nil
+			case strings.TrimSpace(content) != "":
+				f.Add(message.NewPrimitive("#text", message.TypeString, strings.TrimSpace(content)))
+			}
+			return f, nil
+		}
+	}
+}
+
+// Compose serialises the abstract message under its layout's root element.
+func (c *Codec) Compose(msg *message.Message) ([]byte, error) {
+	cm, ok := c.byName[msg.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", mdl.ErrUnknownMessage, msg.Name)
+	}
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	root := message.NewStruct(cm.root, msg.Fields...)
+	if err := encodeField(&b, root, cm.attrs); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func encodeField(b *bytes.Buffer, f *message.Field, extraAttrs []xml.Attr) error {
+	if strings.HasPrefix(f.Label, "@") || f.Label == "#text" {
+		return fmt.Errorf("xmlenc: %q cannot be a top-level element", f.Label)
+	}
+	b.WriteByte('<')
+	b.WriteString(f.Label)
+	for _, a := range extraAttrs {
+		b.WriteString(" " + a.Name.Local + `="`)
+		if err := xml.EscapeText(b, []byte(a.Value)); err != nil {
+			return err
+		}
+		b.WriteString(`"`)
+	}
+	if f.Type.Primitive() {
+		b.WriteByte('>')
+		if err := xml.EscapeText(b, []byte(f.ValueString())); err != nil {
+			return err
+		}
+		b.WriteString("</" + f.Label + ">")
+		return nil
+	}
+	var elems []*message.Field
+	var text string
+	for _, c := range f.Children {
+		switch {
+		case strings.HasPrefix(c.Label, "@"):
+			b.WriteString(" " + c.Label[1:] + `="`)
+			if err := xml.EscapeText(b, []byte(c.ValueString())); err != nil {
+				return err
+			}
+			b.WriteString(`"`)
+		case c.Label == "#text":
+			text = c.ValueString()
+		default:
+			elems = append(elems, c)
+		}
+	}
+	if len(elems) == 0 && text == "" {
+		b.WriteString("/>")
+		return nil
+	}
+	b.WriteByte('>')
+	if text != "" {
+		if err := xml.EscapeText(b, []byte(text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range elems {
+		if err := encodeField(b, c, nil); err != nil {
+			return err
+		}
+	}
+	b.WriteString("</" + f.Label + ">")
+	return nil
+}
+
+// DecodeTree exposes the generic XML -> field mapping for protocol codecs
+// that need to inspect fragments (e.g. Atom entries embedded in strings).
+func DecodeTree(data []byte) (*message.Field, error) { return decodeTree(data) }
+
+// EncodeField exposes the generic field -> XML mapping for protocol codecs.
+func EncodeField(f *message.Field) (string, error) {
+	var b bytes.Buffer
+	if err := encodeField(&b, f, nil); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,302 @@
+package xmlenc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"starlink/internal/mdl"
+	"starlink/internal/message"
+)
+
+const xmlrpcDoc = `
+<MDL:XMLRPC:xml>
+<Message:MethodCall>
+<Rule:root=methodCall>
+<End:Message>
+<Message:MethodResponse>
+<Rule:root=methodResponse>
+<End:Message>
+`
+
+func mustCodec(t *testing.T, doc string) mdl.Codec {
+	t.Helper()
+	spec, err := mdl.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+const sampleCall = `<?xml version="1.0"?>
+<methodCall>
+  <methodName>flickr.photos.search</methodName>
+  <params>
+    <param><value><string>tree</string></value></param>
+    <param><value><int>3</int></value></param>
+  </params>
+</methodCall>`
+
+func TestParseMethodCall(t *testing.T) {
+	c := mustCodec(t, xmlrpcDoc)
+	msg, err := c.Parse([]byte(sampleCall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Name != "MethodCall" {
+		t.Fatalf("parsed as %q", msg.Name)
+	}
+	if mn, _ := msg.GetString("methodName"); mn != "flickr.photos.search" {
+		t.Errorf("methodName = %q", mn)
+	}
+	if v, _ := msg.GetString("params.param[0].value.string"); v != "tree" {
+		t.Errorf("param0 = %q", v)
+	}
+	if v, _ := msg.GetString("params.param[1].value.int"); v != "3" {
+		t.Errorf("param1 = %q", v)
+	}
+}
+
+func TestDispatchOnRoot(t *testing.T) {
+	c := mustCodec(t, xmlrpcDoc)
+	msg, err := c.Parse([]byte(`<methodResponse><params/></methodResponse>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Name != "MethodResponse" {
+		t.Errorf("parsed as %q", msg.Name)
+	}
+	if _, err := c.Parse([]byte(`<other/>`)); !errors.Is(err, mdl.ErrNoMessageMatch) {
+		t.Errorf("unknown root err = %v", err)
+	}
+}
+
+func TestComposeRoundTrip(t *testing.T) {
+	c := mustCodec(t, xmlrpcDoc)
+	in := message.New("MethodCall",
+		message.NewPrimitive("methodName", message.TypeString, "flickr.photos.getInfo"),
+		message.NewStruct("params",
+			message.NewStruct("param",
+				message.NewStruct("value",
+					message.NewPrimitive("string", message.TypeString, "id<&>1"),
+				),
+			),
+		),
+	)
+	wire, err := c.Compose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(wire), "id&lt;&amp;&gt;1") {
+		t.Errorf("escaping missing: %s", wire)
+	}
+	back, err := c.Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.GetString("params.param.value.string"); v != "id<&>1" {
+		t.Errorf("round-trip value = %q", v)
+	}
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	doc := `
+<MDL:Atom:xml>
+<Message:Feed>
+<Rule:root=feed>
+<End:Message>
+`
+	c := mustCodec(t, doc)
+	raw := `<feed><entry etag="W/1"><id>p1</id><content type="image/jpeg" src="http://x/1.jpg"/></entry></feed>`
+	msg, err := c.Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := msg.GetString("entry.@etag"); v != "W/1" {
+		t.Errorf("@etag = %q", v)
+	}
+	if v, _ := msg.GetString("entry.content.@src"); v != "http://x/1.jpg" {
+		t.Errorf("@src = %q", v)
+	}
+	wire, err := c.Compose(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Equal(back) {
+		t.Errorf("attribute round-trip mismatch:\n%s\n%s", msg, back)
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	c := mustCodec(t, xmlrpcDoc)
+	raw := `<methodCall><methodName>m</methodName><note lang="en">hello <b>world</b></note></methodCall>`
+	msg, err := c.Parse([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := msg.GetString("note.#text"); v != "hello" {
+		t.Errorf("#text = %q", v)
+	}
+	if v, _ := msg.GetString("note.b"); v != "world" {
+		t.Errorf("b = %q", v)
+	}
+	if v, _ := msg.GetString("note.@lang"); v != "en" {
+		t.Errorf("@lang = %q", v)
+	}
+}
+
+func TestEmptyElement(t *testing.T) {
+	c := mustCodec(t, xmlrpcDoc)
+	msg, err := c.Parse([]byte(`<methodCall><params/></methodCall>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := msg.Lookup("params")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Type.Primitive() || f.ValueString() != "" {
+		t.Errorf("empty element = %v %q", f.Type, f.ValueString())
+	}
+}
+
+func TestValueRuleDispatch(t *testing.T) {
+	doc := `
+<MDL:SOAP:xml>
+<Message:AddRequest>
+<Rule:root=Envelope>
+<Rule:Body.Add.op=add>
+<End:Message>
+<Message:SubRequest>
+<Rule:root=Envelope>
+<Rule:Body.Sub.op=sub>
+<End:Message>
+`
+	c := mustCodec(t, doc)
+	msg, err := c.Parse([]byte(`<Envelope><Body><Sub><op>sub</op></Sub></Body></Envelope>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Name != "SubRequest" {
+		t.Errorf("dispatched to %q", msg.Name)
+	}
+}
+
+func TestRootAttrsEmitted(t *testing.T) {
+	doc := `
+<MDL:SOAP:xml>
+<Message:Envelope>
+<Rule:root=Envelope>
+<xmlns:attr:http://schemas.xmlsoap.org/soap/envelope/>
+<End:Message>
+`
+	c := mustCodec(t, doc)
+	wire, err := c.Compose(message.New("Envelope", message.NewStruct("Body")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(wire), `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"`) {
+		t.Errorf("root attr missing: %s", wire)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	noRoot := "<MDL:X:xml>\n<Message:M><End:Message>"
+	spec, err := mdl.ParseString(noRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(spec); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("missing root rule: err = %v", err)
+	}
+	badItem := "<MDL:X:xml>\n<Message:M><Rule:root=m><A:8><End:Message>"
+	spec, err = mdl.ParseString(badItem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(spec); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("bad item: err = %v", err)
+	}
+}
+
+func TestMalformedDocuments(t *testing.T) {
+	c := mustCodec(t, xmlrpcDoc)
+	for _, raw := range []string{"", "not xml", "<methodCall>", "<a><b></a></b>"} {
+		if _, err := c.Parse([]byte(raw)); err == nil {
+			t.Errorf("Parse(%q) accepted", raw)
+		}
+	}
+}
+
+func TestComposeUnknownMessage(t *testing.T) {
+	c := mustCodec(t, xmlrpcDoc)
+	if _, err := c.Compose(message.New("Nope")); !errors.Is(err, mdl.ErrUnknownMessage) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestComposeTopLevelAttrBecomesRootAttr(t *testing.T) {
+	c := mustCodec(t, xmlrpcDoc)
+	in := message.New("MethodCall", message.NewPrimitive("@v", message.TypeString, "1"))
+	wire, err := c.Compose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(wire), `<methodCall v="1"/>`) {
+		t.Errorf("root attribute not emitted: %s", wire)
+	}
+}
+
+func TestDecodeEncodeHelpers(t *testing.T) {
+	f, err := DecodeTree([]byte(`<entry><id>p1</id></entry>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Label != "entry" || f.Child("id").ValueString() != "p1" {
+		t.Errorf("DecodeTree = %v", f)
+	}
+	s, err := EncodeField(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "<entry><id>p1</id></entry>" {
+		t.Errorf("EncodeField = %q", s)
+	}
+}
+
+func BenchmarkXMLParse(b *testing.B) {
+	spec, _ := mdl.ParseString(xmlrpcDoc)
+	c, _ := New(spec)
+	raw := []byte(sampleCall)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXMLCompose(b *testing.B) {
+	spec, _ := mdl.ParseString(xmlrpcDoc)
+	c, _ := New(spec)
+	msg, err := c.Parse([]byte(sampleCall))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compose(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package message
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessage() *Message {
+	return New("HTTPOK",
+		NewPrimitive("Status", TypeInt64, 200),
+		NewStruct("Body",
+			NewStruct("entry",
+				NewPrimitive("id", TypeString, "photo-1"),
+				NewPrimitive("title", TypeString, "tree"),
+			),
+			NewStruct("entry",
+				NewPrimitive("id", TypeString, "photo-2"),
+				NewPrimitive("title", TypeString, "forest"),
+			),
+		),
+	)
+}
+
+func TestParseTypeRoundTrip(t *testing.T) {
+	for ty, name := range typeNames {
+		got, err := ParseType(name)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", name, err)
+		}
+		if got != ty {
+			t.Errorf("ParseType(%q) = %v, want %v", name, got, ty)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Error("ParseType(bogus) succeeded, want error")
+	}
+}
+
+func TestTypePrimitive(t *testing.T) {
+	if TypeStruct.Primitive() || TypeArray.Primitive() {
+		t.Error("struct/array reported primitive")
+	}
+	if !TypeString.Primitive() || !TypeBytes.Primitive() {
+		t.Error("scalar types reported non-primitive")
+	}
+}
+
+func TestLookupPaths(t *testing.T) {
+	m := sampleMessage()
+	tests := []struct {
+		path string
+		want string
+	}{
+		{"Status", "200"},
+		{"Body.entry.id", "photo-1"},
+		{"Body.entry[0].id", "photo-1"},
+		{"Body.entry[1].id", "photo-2"},
+		{"Body.entry[1].title", "forest"},
+		{"Body.[0].id", "photo-1"},
+	}
+	for _, tt := range tests {
+		got, err := m.GetString(tt.path)
+		if err != nil {
+			t.Errorf("GetString(%q): %v", tt.path, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("GetString(%q) = %q, want %q", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	m := sampleMessage()
+	for _, path := range []string{"Nope", "Body.entry[5].id", "Body.missing", ""} {
+		if _, err := m.Lookup(path); !errors.Is(err, ErrNoSuchField) {
+			t.Errorf("Lookup(%q) err = %v, want ErrNoSuchField", path, err)
+		}
+	}
+	if _, err := m.Get("Body"); !errors.Is(err, ErrNotPrimitive) {
+		t.Errorf("Get(Body) err = %v, want ErrNotPrimitive", err)
+	}
+	if _, err := m.Lookup("Body.entry[x].id"); err == nil {
+		t.Error("malformed index accepted")
+	}
+	if _, err := m.Lookup("Body.entry[1.id"); err == nil {
+		t.Error("unterminated index accepted")
+	}
+}
+
+func TestSetCreatesPath(t *testing.T) {
+	m := New("MethodResponse")
+	if err := m.Set("Params.param", TypeString, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.GetString("Params.param")
+	if err != nil || got != "hello" {
+		t.Fatalf("round-trip got %q, %v", got, err)
+	}
+	// Overwrite with a different type.
+	if err := m.Set("Params.param", TypeInt64, 42); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.GetInt("Params.param")
+	if err != nil || n != 42 {
+		t.Fatalf("after overwrite got %d, %v", n, err)
+	}
+}
+
+func TestSetRejectsThroughPrimitive(t *testing.T) {
+	m := New("M", NewPrimitive("leaf", TypeString, "x"))
+	if err := m.Set("leaf.sub", TypeString, "y"); !errors.Is(err, ErrNotStructured) {
+		t.Errorf("Set through primitive err = %v, want ErrNotStructured", err)
+	}
+	m2 := New("M", NewStruct("s"))
+	if err := m2.Set("s", TypeString, "y"); !errors.Is(err, ErrNotPrimitive) {
+		t.Errorf("Set on struct err = %v, want ErrNotPrimitive", err)
+	}
+}
+
+func TestSetSparseIndexRejected(t *testing.T) {
+	m := New("M")
+	if err := m.Set("entry[2].id", TypeString, "x"); !errors.Is(err, ErrNoSuchField) {
+		t.Errorf("sparse index err = %v, want ErrNoSuchField", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := sampleMessage()
+	cp := m.Clone()
+	if !m.Equal(cp) {
+		t.Fatal("clone not equal to original")
+	}
+	if err := cp.Set("Body.entry[0].id", TypeString, "mutated"); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := m.GetString("Body.entry[0].id")
+	if orig != "photo-1" {
+		t.Error("mutating clone affected original")
+	}
+	if m.Equal(cp) {
+		t.Error("messages equal after divergent mutation")
+	}
+}
+
+func TestCloneBytesIndependence(t *testing.T) {
+	m := New("M", NewPrimitive("raw", TypeBytes, []byte{1, 2, 3}))
+	cp := m.Clone()
+	b, ok := cp.Field("raw").Value.([]byte)
+	if !ok {
+		t.Fatal("clone lost []byte value")
+	}
+	b[0] = 99
+	if orig := m.Field("raw").Value.([]byte); orig[0] != 1 {
+		t.Error("byte slice shared between clone and original")
+	}
+}
+
+func TestEqualNilAndMismatch(t *testing.T) {
+	var nilMsg *Message
+	if !nilMsg.Equal(nil) {
+		t.Error("nil != nil")
+	}
+	if sampleMessage().Equal(nil) {
+		t.Error("msg == nil")
+	}
+	a := New("A", NewPrimitive("x", TypeInt64, 1))
+	b := New("A", NewPrimitive("x", TypeInt64, 2))
+	if a.Equal(b) {
+		t.Error("different values compare equal")
+	}
+	c := New("A", NewPrimitive("x", TypeString, "1"))
+	if a.Equal(c) {
+		t.Error("different types compare equal")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		t    Type
+		in   any
+		want any
+	}{
+		{TypeString, 42, "42"},
+		{TypeString, []byte("hi"), "hi"},
+		{TypeInt64, "17", int64(17)},
+		{TypeInt64, uint64(9), int64(9)},
+		{TypeInt64, true, int64(1)},
+		{TypeUint64, "18", uint64(18)},
+		{TypeUint64, int32(7), uint64(7)},
+		{TypeBool, "true", true},
+		{TypeBool, "1", true},
+		{TypeBool, "no", false},
+		{TypeFloat64, "2.5", 2.5},
+		{TypeFloat64, 3, 3.0},
+		{TypeBytes, "abc", []byte("abc")},
+	}
+	for _, tt := range tests {
+		f := NewPrimitive("x", tt.t, tt.in)
+		if !reflect.DeepEqual(f.Value, tt.want) {
+			t.Errorf("normalize(%v, %#v) = %#v, want %#v", tt.t, tt.in, f.Value, tt.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		f    *Field
+		want string
+	}{
+		{NewPrimitive("a", TypeString, "s"), "s"},
+		{NewPrimitive("a", TypeInt64, -3), "-3"},
+		{NewPrimitive("a", TypeUint64, 3), "3"},
+		{NewPrimitive("a", TypeBool, true), "true"},
+		{NewPrimitive("a", TypeFloat64, 1.5), "1.5"},
+		{NewPrimitive("a", TypeBytes, []byte("b")), "b"},
+		{NewStruct("a", NewPrimitive("b", TypeInt64, 1)), "[1]"},
+		{nil, ""},
+		{&Field{Label: "a", Type: TypeString}, ""},
+	}
+	for i, tt := range tests {
+		if got := tt.f.ValueString(); got != tt.want {
+			t.Errorf("case %d: ValueString = %q, want %q", i, got, tt.want)
+		}
+	}
+}
+
+func TestMandatoryFields(t *testing.T) {
+	m := New("search",
+		NewPrimitive("api_key", TypeString, "k"),
+		NewPrimitive("text", TypeString, "tree"),
+	)
+	got := m.MandatoryFields()
+	if !reflect.DeepEqual(got, []string{"api_key", "text"}) {
+		t.Errorf("implicit mandatory = %v", got)
+	}
+	m.Field("text").Mandatory = true
+	got = m.MandatoryFields()
+	if !reflect.DeepEqual(got, []string{"text"}) {
+		t.Errorf("explicit mandatory = %v", got)
+	}
+}
+
+func TestSetFieldReplaces(t *testing.T) {
+	m := New("M", NewPrimitive("x", TypeInt64, 1))
+	m.SetField(NewPrimitive("x", TypeInt64, 2))
+	if n, _ := m.GetInt("x"); n != 2 {
+		t.Errorf("SetField did not replace: %d", n)
+	}
+	m.SetField(NewPrimitive("y", TypeInt64, 3))
+	if len(m.Fields) != 2 {
+		t.Errorf("SetField did not append, len=%d", len(m.Fields))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := New("M", NewPrimitive("x", TypeInt64, 1), NewStruct("s", NewPrimitive("y", TypeString, "z")))
+	s := m.String()
+	for _, want := range []string{"M{", "x=1", "s{", "y=z"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// randomField builds a random field tree for property tests.
+func randomField(r *rand.Rand, depth int) *Field {
+	if depth <= 0 || r.Intn(3) == 0 {
+		types := []Type{TypeString, TypeInt64, TypeUint64, TypeBool, TypeFloat64, TypeBytes}
+		t := types[r.Intn(len(types))]
+		var v any
+		switch t {
+		case TypeString:
+			v = randLabel(r)
+		case TypeInt64:
+			v = r.Int63() - r.Int63()
+		case TypeUint64:
+			v = r.Uint64()
+		case TypeBool:
+			v = r.Intn(2) == 0
+		case TypeFloat64:
+			v = r.Float64()
+		case TypeBytes:
+			b := make([]byte, r.Intn(8))
+			r.Read(b)
+			v = b
+		}
+		return NewPrimitive(randLabel(r), t, v)
+	}
+	n := r.Intn(4)
+	kids := make([]*Field, n)
+	for i := range kids {
+		kids[i] = randomField(r, depth-1)
+	}
+	return NewStruct(randLabel(r), kids...)
+}
+
+func randLabel(r *rand.Rand) string {
+	const letters = "abcdefgh"
+	n := 1 + r.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// RandomMessage builds a random message; exported within the package for
+// reuse by quick-check style tests elsewhere.
+func randomMessage(r *rand.Rand) *Message {
+	n := 1 + r.Intn(5)
+	fs := make([]*Field, n)
+	for i := range fs {
+		fs[i] = randomField(r, 3)
+	}
+	return New("M"+randLabel(r), fs...)
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMessage(r)
+		return m.Equal(m.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualSymmetric(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		a := randomMessage(rand.New(rand.NewSource(seed1)))
+		b := randomMessage(rand.New(rand.NewSource(seed2)))
+		return a.Equal(b) == b.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeStringUnknown(t *testing.T) {
+	if got := Type(99).String(); got != "type(99)" {
+		t.Errorf("unknown type = %q", got)
+	}
+	if TypeArray.String() != "array" {
+		t.Error("array name")
+	}
+}
+
+func TestChildAndAddHelpers(t *testing.T) {
+	f := NewStruct("s").Add(NewPrimitive("a", TypeInt64, 1))
+	if f.Child("a") == nil || f.Child("zz") != nil {
+		t.Error("Child lookup")
+	}
+	arr := NewArray("list", NewPrimitive("item", TypeString, "x"))
+	if arr.Type != TypeArray || len(arr.Children) != 1 {
+		t.Errorf("NewArray = %+v", arr)
+	}
+	m := New("M").Add(NewPrimitive("x", TypeInt64, 1))
+	if len(m.Fields) != 1 {
+		t.Error("Message.Add")
+	}
+}
+
+func TestNumericCoercions(t *testing.T) {
+	cases := []struct {
+		t    Type
+		in   any
+		want any
+	}{
+		{TypeInt64, int32(5), int64(5)},
+		{TypeInt64, 2.9, int64(2)},
+		{TypeUint64, uint32(6), uint64(6)},
+		{TypeUint64, uint64(7), uint64(7)},
+		{TypeUint64, 3.0, uint64(3)},
+		{TypeFloat64, float32(1.5), 1.5},
+		{TypeFloat64, int64(4), 4.0},
+		{TypeFloat64, uint64(5), 5.0},
+	}
+	for _, c := range cases {
+		got := NewPrimitive("x", c.t, c.in).Value
+		if got != c.want {
+			t.Errorf("normalize(%v, %#v) = %#v, want %#v", c.t, c.in, got, c.want)
+		}
+	}
+}

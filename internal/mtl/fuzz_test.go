@@ -1,0 +1,28 @@
+package mtl
+
+import (
+	"testing"
+
+	"starlink/internal/message"
+)
+
+func FuzzParse(f *testing.F) {
+	f.Add("a.Msg.x = b.Msg.y")
+	f.Add(`sethost("https://x") ` + "\n" + `foreach e in m.M.list.item { out.O.v[] = e.id }`)
+	f.Add("x = concat(\"a\", 1, 2.5)")
+	f.Add("try a.Msg.x = getcache(\"k\")")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Programs that parse must execute (possibly to an error) without
+		// panicking against a populated environment.
+		env := NewEnv(&Cache{})
+		env.Bind("a", message.New("Msg"))
+		env.Bind("b", message.New("Msg", message.NewPrimitive("y", message.TypeInt64, 1)))
+		env.Bind("m", message.New("M"))
+		env.Bind("out", message.New("O"))
+		_ = prog.Exec(env)
+	})
+}

@@ -1,0 +1,406 @@
+package mtl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokString
+	tokNumber
+	tokEquals
+	tokDot
+	tokComma
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '=':
+			l.emit(tokEquals, "=")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '{':
+			l.emit(tokLBrace, "{")
+		case c == '}':
+			l.emit(tokRBrace, "}")
+		case c == '[':
+			l.emit(tokLBracket, "[")
+		case c == ']':
+			l.emit(tokRBracket, "]")
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber()
+		default:
+			return nil, fmt.Errorf("%w: line %d: unexpected character %q", ErrParse, l.line, string(c))
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+	l.pos += len(text)
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), line: l.line})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("%w: line %d: unterminated string starting at %q", ErrParse, l.line, l.src[start:min(start+10, len(l.src))])
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		// A dot followed by a non-digit is a path separator, not a decimal
+		// point.
+		if l.src[l.pos] == '.' && (l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9') {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], line: l.line})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '@' || r == '*'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '@' || r == '*' || r == '/'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], line: l.line})
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse compiles an MTL program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for p.peek().kind != tokEOF {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return &Program{stmts: stmts, src: src}, nil
+}
+
+// MustParse is Parse that panics on error, for statically known programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("%w: line %d: expected %s, got %s", ErrParse, t.line, what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("%w: line %d: expected statement, got %s", ErrParse, t.line, t)
+	}
+	if t.text == "foreach" {
+		return p.foreach()
+	}
+	if t.text == "try" && p.toks[p.pos+1].kind == tokIdent {
+		p.next()
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &tryStmt{inner: inner}, nil
+	}
+	// Lookahead: ident '(' -> call statement.
+	if p.toks[p.pos+1].kind == tokLParen {
+		p.next()
+		call, err := p.callArgs(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return &callStmt{call: call}, nil
+	}
+	lhs, err := p.path(true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEquals, `"="`); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &assignStmt{lhs: lhs, rhs: rhs}, nil
+}
+
+func (p *parser) foreach() (Stmt, error) {
+	p.next() // foreach
+	v, err := p.expect(tokIdent, "loop variable")
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.expect(tokIdent, `"in"`)
+	if err != nil || in.text != "in" {
+		return nil, fmt.Errorf("%w: line %d: expected \"in\" after foreach variable", ErrParse, v.line)
+	}
+	src, err := p.path(false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, `"{"`); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for p.peek().kind != tokRBrace {
+		if p.peek().kind == tokEOF {
+			return nil, fmt.Errorf("%w: line %d: unterminated foreach body", ErrParse, v.line)
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	p.next() // }
+	return &foreachStmt{varName: v.text, src: src, body: body}, nil
+}
+
+func (p *parser) path(lvalue bool) (*pathExpr, error) {
+	first, err := p.expect(tokIdent, "identifier")
+	if err != nil {
+		return nil, err
+	}
+	pe := &pathExpr{steps: []pathStep{{label: first.text, index: -1}}}
+	var text strings.Builder
+	text.WriteString(first.text)
+	for {
+		switch p.peek().kind {
+		case tokDot:
+			p.next()
+			id, err := p.expect(tokIdent, "path component")
+			if err != nil {
+				return nil, err
+			}
+			pe.steps = append(pe.steps, pathStep{label: id.text, index: -1})
+			text.WriteString("." + id.text)
+		case tokLBracket:
+			p.next()
+			last := &pe.steps[len(pe.steps)-1]
+			if p.peek().kind == tokRBracket {
+				if !lvalue {
+					return nil, fmt.Errorf("%w: line %d: append [] only allowed on assignment targets", ErrParse, p.peek().line)
+				}
+				p.next()
+				last.append = true
+				text.WriteString("[]")
+				continue
+			}
+			num, err := p.expect(tokNumber, "index")
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(num.text)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: line %d: bad index %q", ErrParse, num.line, num.text)
+			}
+			if _, err := p.expect(tokRBracket, `"]"`); err != nil {
+				return nil, err
+			}
+			last.index = n
+			text.WriteString("[" + num.text + "]")
+		default:
+			pe.text = text.String()
+			return pe, nil
+		}
+	}
+}
+
+func (p *parser) expr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return &literalExpr{val: t.text}, nil
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad number %q", ErrParse, t.line, t.text)
+			}
+			return &literalExpr{val: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad number %q", ErrParse, t.line, t.text)
+		}
+		return &literalExpr{val: n}, nil
+	case tokIdent:
+		if p.toks[p.pos+1].kind == tokLParen {
+			p.next()
+			return p.callArgs(t.text)
+		}
+		switch t.text {
+		case "true":
+			p.next()
+			return &literalExpr{val: true}, nil
+		case "false":
+			p.next()
+			return &literalExpr{val: false}, nil
+		}
+		return p.path(false)
+	default:
+		return nil, fmt.Errorf("%w: line %d: expected expression, got %s", ErrParse, t.line, t)
+	}
+}
+
+func (p *parser) callArgs(name string) (*callExpr, error) {
+	if _, err := p.expect(tokLParen, `"("`); err != nil {
+		return nil, err
+	}
+	call := &callExpr{name: strings.ToLower(name)}
+	if p.peek().kind == tokRParen {
+		p.next()
+		return call, nil
+	}
+	for {
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		call.args = append(call.args, arg)
+		switch p.peek().kind {
+		case tokComma:
+			p.next()
+		case tokRParen:
+			p.next()
+			return call, nil
+		default:
+			return nil, fmt.Errorf("%w: line %d: expected \",\" or \")\" in %s()", ErrParse, p.peek().line, name)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

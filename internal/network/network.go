@@ -1,0 +1,482 @@
+// Package network is Starlink's network engine (paper Section 4.2): it
+// moves whole protocol messages to and from the wire so the rest of the
+// framework can stay at the abstract-message level. A transition in a
+// k-colored automaton attaches network semantics — transport (tcp/udp),
+// interaction mode (sync/async), multicast — and this engine provides the
+// matching services.
+//
+// Because protocols frame their messages differently (HTTP by headers and
+// Content-Length, GIOP by a fixed 12-byte header carrying the body size,
+// discovery protocols by datagram boundaries), message extraction is
+// delegated to a Framer chosen per protocol model.
+package network
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors reported by the network engine.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("network: connection closed")
+	// ErrMessageTooLarge guards against absurd frame sizes.
+	ErrMessageTooLarge = errors.New("network: message exceeds size limit")
+)
+
+// MaxMessageSize bounds a single framed message (16 MiB).
+const MaxMessageSize = 16 << 20
+
+// Framer extracts one protocol message from a stream and writes one back.
+// Implementations must be safe for concurrent use by different
+// connections.
+type Framer interface {
+	// ReadMessage reads exactly one message's bytes.
+	ReadMessage(r *bufio.Reader) ([]byte, error)
+	// WriteMessage writes one message's bytes.
+	WriteMessage(w io.Writer, data []byte) error
+}
+
+// Conn is a framed, bidirectional message channel.
+type Conn interface {
+	// Send writes one message.
+	Send(data []byte) error
+	// Recv reads one message.
+	Recv() ([]byte, error)
+	// SetDeadline bounds both directions.
+	SetDeadline(t time.Time) error
+	// RemoteAddr identifies the peer.
+	RemoteAddr() net.Addr
+	// Close releases the channel.
+	Close() error
+}
+
+// Listener accepts framed connections.
+type Listener interface {
+	// Accept waits for the next connection.
+	Accept() (Conn, error)
+	// Addr is the bound address.
+	Addr() net.Addr
+	// Close stops accepting.
+	Close() error
+}
+
+// ---- framers ----
+
+// LengthPrefixFramer frames messages with a 4-byte big-endian length.
+type LengthPrefixFramer struct{}
+
+var _ Framer = LengthPrefixFramer{}
+
+// ReadMessage implements Framer.
+func (LengthPrefixFramer) ReadMessage(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("network: short frame: %w", err)
+	}
+	return buf, nil
+}
+
+// WriteMessage implements Framer.
+func (LengthPrefixFramer) WriteMessage(w io.Writer, data []byte) error {
+	if len(data) > MaxMessageSize {
+		return ErrMessageTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// HTTPFramer frames HTTP/1.x requests and responses: start line, header
+// block, then a body of Content-Length bytes (0 when absent).
+type HTTPFramer struct{}
+
+var _ Framer = HTTPFramer{}
+
+// ReadMessage implements Framer.
+func (HTTPFramer) ReadMessage(r *bufio.Reader) ([]byte, error) {
+	var buf bytes.Buffer
+	contentLength := 0
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && buf.Len() == 0 {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("network: http header: %w", err)
+		}
+		buf.WriteString(line)
+		if buf.Len() > MaxMessageSize {
+			return nil, ErrMessageTooLarge
+		}
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(trimmed, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Content-Length") {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("network: bad Content-Length %q", v)
+			}
+			contentLength = n
+		}
+	}
+	if contentLength > MaxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	if contentLength > 0 {
+		body := make([]byte, contentLength)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, fmt.Errorf("network: http body: %w", err)
+		}
+		buf.Write(body)
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteMessage implements Framer.
+func (HTTPFramer) WriteMessage(w io.Writer, data []byte) error {
+	_, err := w.Write(data)
+	return err
+}
+
+// GIOPFramer frames GIOP messages: a 12-byte header whose last 4 bytes are
+// the big-endian body size.
+type GIOPFramer struct{}
+
+var _ Framer = GIOPFramer{}
+
+// ReadMessage implements Framer.
+func (GIOPFramer) ReadMessage(r *bufio.Reader) ([]byte, error) {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr[:4]) != "GIOP" {
+		return nil, fmt.Errorf("network: bad GIOP magic %q", hdr[:4])
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if n > MaxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("network: short GIOP body: %w", err)
+	}
+	return append(hdr, body...), nil
+}
+
+// WriteMessage implements Framer. The MessageSize header field is patched
+// to the actual body length so composers need not precompute it.
+func (GIOPFramer) WriteMessage(w io.Writer, data []byte) error {
+	if len(data) < 12 {
+		return fmt.Errorf("network: GIOP message shorter than header (%d bytes)", len(data))
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	binary.BigEndian.PutUint32(out[8:12], uint32(len(data)-12))
+	_, err := w.Write(out)
+	return err
+}
+
+// ---- stream connections ----
+
+type streamConn struct {
+	c      net.Conn
+	r      *bufio.Reader
+	framer Framer
+}
+
+var _ Conn = (*streamConn)(nil)
+
+// NewStreamConn wraps a net.Conn with a framer.
+func NewStreamConn(c net.Conn, framer Framer) Conn {
+	return &streamConn{c: c, r: bufio.NewReader(c), framer: framer}
+}
+
+func (s *streamConn) Send(data []byte) error {
+	return s.framer.WriteMessage(s.c, data)
+}
+
+func (s *streamConn) Recv() ([]byte, error) {
+	return s.framer.ReadMessage(s.r)
+}
+
+func (s *streamConn) SetDeadline(t time.Time) error { return s.c.SetDeadline(t) }
+func (s *streamConn) RemoteAddr() net.Addr          { return s.c.RemoteAddr() }
+func (s *streamConn) Close() error                  { return s.c.Close() }
+
+type streamListener struct {
+	l      net.Listener
+	framer Framer
+}
+
+var _ Listener = (*streamListener)(nil)
+
+func (sl *streamListener) Accept() (Conn, error) {
+	c, err := sl.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewStreamConn(c, sl.framer), nil
+}
+
+func (sl *streamListener) Addr() net.Addr { return sl.l.Addr() }
+func (sl *streamListener) Close() error   { return sl.l.Close() }
+
+// ---- datagram connections ----
+
+// datagramConn adapts a UDP socket to the Conn interface: one datagram is
+// one message. On the listening side, replies go to the most recent
+// sender, so a request/response server conn serves sequential peers; on
+// the dialling side the peer is fixed. Close may be called from another
+// goroutine (the mediator shutting a session down); Send/Recv are for one
+// goroutine at a time.
+type datagramConn struct {
+	pc        net.PacketConn
+	fixedPeer bool
+	buf       []byte
+	closed    atomic.Bool
+
+	mu   sync.Mutex
+	peer net.Addr
+}
+
+var _ Conn = (*datagramConn)(nil)
+
+func (d *datagramConn) currentPeer() net.Addr {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peer
+}
+
+func (d *datagramConn) Send(data []byte) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	peer := d.currentPeer()
+	if peer == nil {
+		return errors.New("network: datagram peer unknown")
+	}
+	_, err := d.pc.WriteTo(data, peer)
+	return err
+}
+
+func (d *datagramConn) Recv() ([]byte, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	n, addr, err := d.pc.ReadFrom(d.buf)
+	if err != nil {
+		return nil, err
+	}
+	if !d.fixedPeer {
+		d.mu.Lock()
+		d.peer = addr
+		d.mu.Unlock()
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	return out, nil
+}
+
+func (d *datagramConn) SetDeadline(t time.Time) error { return d.pc.SetDeadline(t) }
+
+func (d *datagramConn) RemoteAddr() net.Addr {
+	if peer := d.currentPeer(); peer != nil {
+		return peer
+	}
+	return d.pc.LocalAddr()
+}
+
+func (d *datagramConn) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	return d.pc.Close()
+}
+
+// ---- engine ----
+
+// Semantics describe how a protocol's messages travel; they mirror the
+// attributes attached to k-colored transitions (Fig. 4).
+type Semantics struct {
+	// Transport is "tcp" or "udp".
+	Transport string
+	// Mode is "sync" or "async" (currently informational: the automata
+	// engine decides when to wait for replies).
+	Mode string
+	// Multicast requests a multicast-capable UDP socket.
+	Multicast bool
+}
+
+// Engine opens listeners and client connections with the right transport
+// and framing. The zero value is ready to use.
+type Engine struct{}
+
+// Listen binds a server endpoint.
+func (Engine) Listen(sem Semantics, addr string, framer Framer) (Listener, error) {
+	switch sem.Transport {
+	case "", "tcp":
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("network: listen tcp %s: %w", addr, err)
+		}
+		return &streamListener{l: l, framer: framer}, nil
+	case "udp":
+		if sem.Multicast {
+			udpAddr, err := net.ResolveUDPAddr("udp", addr)
+			if err != nil {
+				return nil, fmt.Errorf("network: resolve %s: %w", addr, err)
+			}
+			pc, err := net.ListenMulticastUDP("udp", nil, udpAddr)
+			if err != nil {
+				return nil, fmt.Errorf("network: multicast listen %s: %w", addr, err)
+			}
+			return &datagramListener{pc: pc}, nil
+		}
+		pc, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("network: listen udp %s: %w", addr, err)
+		}
+		return &datagramListener{pc: pc}, nil
+	default:
+		return nil, fmt.Errorf("network: unknown transport %q", sem.Transport)
+	}
+}
+
+// Dial opens a client endpoint.
+func (Engine) Dial(sem Semantics, addr string, framer Framer) (Conn, error) {
+	switch sem.Transport {
+	case "", "tcp":
+		c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("network: dial tcp %s: %w", addr, err)
+		}
+		return NewStreamConn(c, framer), nil
+	case "udp":
+		raddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("network: resolve %s: %w", addr, err)
+		}
+		pc, err := net.ListenPacket("udp", ":0")
+		if err != nil {
+			return nil, fmt.Errorf("network: udp socket: %w", err)
+		}
+		return &datagramConn{pc: pc, peer: raddr, fixedPeer: true, buf: make([]byte, 64*1024)}, nil
+	default:
+		return nil, fmt.Errorf("network: unknown transport %q", sem.Transport)
+	}
+}
+
+// datagramListener hands out one pseudo-connection per listener; UDP has
+// no accept semantics, so Accept returns a Conn bound to the socket that
+// locks onto the first peer.
+type datagramListener struct {
+	pc   net.PacketConn
+	used bool
+}
+
+var _ Listener = (*datagramListener)(nil)
+
+func (dl *datagramListener) Accept() (Conn, error) {
+	if dl.used {
+		return nil, ErrClosed
+	}
+	dl.used = true
+	return &datagramConn{pc: dl.pc, buf: make([]byte, 64*1024)}, nil
+}
+
+func (dl *datagramListener) Addr() net.Addr { return dl.pc.LocalAddr() }
+func (dl *datagramListener) Close() error   { return dl.pc.Close() }
+
+// PacketEndpoint is a UDP socket with per-packet peer addressing, for
+// servers that answer many clients on one socket (discovery agents).
+type PacketEndpoint interface {
+	// RecvFrom reads one datagram and its source.
+	RecvFrom() ([]byte, net.Addr, error)
+	// SendTo writes one datagram to a peer.
+	SendTo(data []byte, peer net.Addr) error
+	// SetDeadline bounds both directions.
+	SetDeadline(t time.Time) error
+	// LocalAddr is the bound address.
+	LocalAddr() net.Addr
+	// Close releases the socket.
+	Close() error
+}
+
+type packetEndpoint struct {
+	pc  net.PacketConn
+	buf []byte
+}
+
+var _ PacketEndpoint = (*packetEndpoint)(nil)
+
+func (p *packetEndpoint) RecvFrom() ([]byte, net.Addr, error) {
+	n, addr, err := p.pc.ReadFrom(p.buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]byte, n)
+	copy(out, p.buf[:n])
+	return out, addr, nil
+}
+
+func (p *packetEndpoint) SendTo(data []byte, peer net.Addr) error {
+	_, err := p.pc.WriteTo(data, peer)
+	return err
+}
+
+func (p *packetEndpoint) SetDeadline(t time.Time) error { return p.pc.SetDeadline(t) }
+func (p *packetEndpoint) LocalAddr() net.Addr           { return p.pc.LocalAddr() }
+func (p *packetEndpoint) Close() error                  { return p.pc.Close() }
+
+// ListenPacket binds a UDP socket with per-packet addressing; sem may
+// request multicast membership.
+func (Engine) ListenPacket(sem Semantics, addr string) (PacketEndpoint, error) {
+	if sem.Multicast {
+		udpAddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("network: resolve %s: %w", addr, err)
+		}
+		pc, err := net.ListenMulticastUDP("udp", nil, udpAddr)
+		if err != nil {
+			return nil, fmt.Errorf("network: multicast listen %s: %w", addr, err)
+		}
+		return &packetEndpoint{pc: pc, buf: make([]byte, 64*1024)}, nil
+	}
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: listen packet %s: %w", addr, err)
+	}
+	return &packetEndpoint{pc: pc, buf: make([]byte, 64*1024)}, nil
+}
+
+// Pipe returns two in-memory connected endpoints sharing a framer — the
+// test transport.
+func Pipe(framer Framer) (Conn, Conn) {
+	a, b := net.Pipe()
+	return NewStreamConn(a, framer), NewStreamConn(b, framer)
+}

@@ -1,0 +1,438 @@
+package network
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLengthPrefixRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	f := LengthPrefixFramer{}
+	msgs := [][]byte{[]byte("hello"), {}, []byte("second message")}
+	for _, m := range msgs {
+		if err := f.WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for _, want := range msgs {
+		got, err := f.ReadMessage(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+	if _, err := f.ReadMessage(r); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestLengthPrefixLimits(t *testing.T) {
+	f := LengthPrefixFramer{}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessageSize+1)
+	if _, err := f.ReadMessage(bufio.NewReader(bytes.NewReader(hdr[:]))); !errors.Is(err, ErrMessageTooLarge) {
+		t.Errorf("oversize read err = %v", err)
+	}
+	if err := f.WriteMessage(io.Discard, make([]byte, MaxMessageSize+1)); !errors.Is(err, ErrMessageTooLarge) {
+		t.Errorf("oversize write err = %v", err)
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	buf.Write(hdr[:])
+	buf.WriteString("abc")
+	if _, err := f.ReadMessage(bufio.NewReader(&buf)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestHTTPFramer(t *testing.T) {
+	f := HTTPFramer{}
+	raw := "POST /x HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nhello"
+	extra := "GET /y HTTP/1.1\r\n\r\n"
+	r := bufio.NewReader(strings.NewReader(raw + extra))
+	got, err := f.ReadMessage(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != raw {
+		t.Errorf("first message = %q", got)
+	}
+	got2, err := f.ReadMessage(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != extra {
+		t.Errorf("second message = %q", got2)
+	}
+	if _, err := f.ReadMessage(r); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestHTTPFramerErrors(t *testing.T) {
+	f := HTTPFramer{}
+	cases := []string{
+		"GET /x HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+		"GET /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+		"GET /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+		"GET /x HTTP/1.1\r\nHost: a",
+	}
+	for _, c := range cases {
+		if _, err := f.ReadMessage(bufio.NewReader(strings.NewReader(c))); err == nil {
+			t.Errorf("ReadMessage(%q) accepted", c)
+		}
+	}
+}
+
+func TestGIOPFramer(t *testing.T) {
+	f := GIOPFramer{}
+	msg := append([]byte("GIOP\x01\x00\x00\x00"), 0, 0, 0, 0)
+	body := []byte("payload")
+	msg = append(msg, body...)
+	var buf bytes.Buffer
+	if err := f.WriteMessage(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	// Size must have been patched.
+	if got := binary.BigEndian.Uint32(buf.Bytes()[8:12]); got != uint32(len(body)) {
+		t.Errorf("patched size = %d, want %d", got, len(body))
+	}
+	got, err := f.ReadMessage(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[12:]) != "payload" {
+		t.Errorf("body = %q", got[12:])
+	}
+	if err := f.WriteMessage(io.Discard, []byte("tiny")); err == nil {
+		t.Error("short GIOP message accepted")
+	}
+	if _, err := f.ReadMessage(bufio.NewReader(strings.NewReader("NOTG\x00\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestPipeExchange(t *testing.T) {
+	a, b := Pipe(LengthPrefixFramer{})
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() {
+		msg, err := b.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- b.Send(append([]byte("echo:"), msg...))
+	}()
+	if err := a.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:ping" {
+		t.Errorf("reply = %q", reply)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPListenDial(t *testing.T) {
+	var eng Engine
+	l, err := eng.Listen(Semantics{Transport: "tcp"}, "127.0.0.1:0", LengthPrefixFramer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		msg, err := c.Recv()
+		if err != nil {
+			t.Errorf("server recv: %v", err)
+			return
+		}
+		if err := c.Send(msg); err != nil {
+			t.Errorf("server send: %v", err)
+		}
+	}()
+	c, err := eng.Dial(Semantics{Transport: "tcp"}, l.Addr().String(), LengthPrefixFramer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte("round")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "round" {
+		t.Errorf("echo = %q", got)
+	}
+	if c.RemoteAddr() == nil {
+		t.Error("no remote addr")
+	}
+	wg.Wait()
+}
+
+func TestUDPExchange(t *testing.T) {
+	var eng Engine
+	l, err := eng.Listen(Semantics{Transport: "udp"}, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		msg, err := srv.Recv()
+		if err != nil {
+			t.Errorf("server recv: %v", err)
+			return
+		}
+		if err := srv.Send(append([]byte("ack:"), msg...)); err != nil {
+			t.Errorf("server send: %v", err)
+		}
+	}()
+	c, err := eng.Dial(Semantics{Transport: "udp"}, l.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte("dgram")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ack:dgram" {
+		t.Errorf("reply = %q", got)
+	}
+	wg.Wait()
+	// Second Accept on a datagram listener is refused.
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Errorf("second accept err = %v", err)
+	}
+}
+
+func TestDatagramConnStates(t *testing.T) {
+	var eng Engine
+	l, err := eng.Listen(Semantics{Transport: "udp"}, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := l.Accept()
+	// Server cannot send before a peer is known.
+	if err := srv.Send([]byte("x")); err == nil {
+		t.Error("send without peer accepted")
+	}
+	if srv.RemoteAddr() == nil {
+		t.Error("fallback addr missing")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close err = %v", err)
+	}
+	if _, err := srv.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after close err = %v", err)
+	}
+}
+
+func TestUnknownTransport(t *testing.T) {
+	var eng Engine
+	if _, err := eng.Listen(Semantics{Transport: "carrier-pigeon"}, ":0", nil); err == nil {
+		t.Error("unknown transport accepted for listen")
+	}
+	if _, err := eng.Dial(Semantics{Transport: "carrier-pigeon"}, "localhost:1", nil); err == nil {
+		t.Error("unknown transport accepted for dial")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	var eng Engine
+	if _, err := eng.Dial(Semantics{Transport: "udp"}, "bad::addr::", nil); err == nil {
+		t.Error("bad udp addr accepted")
+	}
+	if _, err := eng.Listen(Semantics{Transport: "tcp"}, "256.256.256.256:0", nil); err == nil {
+		t.Error("bad tcp listen addr accepted")
+	}
+}
+
+func BenchmarkPipeRoundTrip(b *testing.B) {
+	a, c := Pipe(LengthPrefixFramer{})
+	defer a.Close()
+	defer c.Close()
+	go func() {
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(msg); err != nil {
+				return
+			}
+		}
+	}()
+	payload := bytes.Repeat([]byte("x"), 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPacketEndpoint(t *testing.T) {
+	var eng Engine
+	srv, err := eng.ListenPacket(Semantics{Transport: "udp"}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.LocalAddr() == nil {
+		t.Fatal("no local addr")
+	}
+	// Two independent clients get their replies at their own sockets.
+	for i := 0; i < 2; i++ {
+		c, err := eng.Dial(Semantics{Transport: "udp"}, srv.LocalAddr().String(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte{byte('a' + i)}
+		if err := c.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		data, peer, err := srv.RecvFrom()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(msg) {
+			t.Errorf("data = %q", data)
+		}
+		if err := srv.SendTo(append([]byte("ack"), data...), peer); err != nil {
+			t.Fatal(err)
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		reply, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(reply) != "ack"+string(msg) {
+			t.Errorf("reply = %q", reply)
+		}
+		c.Close()
+	}
+}
+
+func TestListenPacketMulticast(t *testing.T) {
+	var eng Engine
+	ep, err := eng.ListenPacket(Semantics{Transport: "udp", Multicast: true}, "239.255.250.250:0")
+	if err != nil {
+		t.Skipf("multicast unavailable in this environment: %v", err)
+	}
+	ep.Close()
+}
+
+func TestListenMulticastListener(t *testing.T) {
+	var eng Engine
+	l, err := eng.Listen(Semantics{Transport: "udp", Multicast: true}, "239.255.250.251:0", nil)
+	if err != nil {
+		t.Skipf("multicast unavailable: %v", err)
+	}
+	l.Close()
+}
+
+func TestListenPacketErrors(t *testing.T) {
+	var eng Engine
+	if _, err := eng.ListenPacket(Semantics{Transport: "udp"}, "bad::addr::"); err == nil {
+		t.Error("bad addr accepted")
+	}
+	if _, err := eng.ListenPacket(Semantics{Transport: "udp", Multicast: true}, "bad::addr::"); err == nil {
+		t.Error("bad multicast addr accepted")
+	}
+}
+
+func TestDatagramServerRepliesToLatestPeer(t *testing.T) {
+	var eng Engine
+	l, err := eng.Listen(Semantics{Transport: "udp"}, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := func() {
+		msg, err := srv.Recv()
+		if err != nil {
+			return
+		}
+		srv.Send(append([]byte("re:"), msg...))
+	}
+	for i := 0; i < 2; i++ {
+		c, err := eng.Dial(Semantics{Transport: "udp"}, l.Addr().String(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() { serve(); close(done) }()
+		if err := c.Send([]byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		reply, err := c.Recv()
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if string(reply) != "re:"+string(byte('0'+i)) {
+			t.Errorf("client %d reply = %q", i, reply)
+		}
+		<-done
+		c.Close()
+	}
+}

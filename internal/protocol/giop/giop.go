@@ -1,0 +1,320 @@
+// Package giop implements the GIOP 1.0 wire protocol (the IIOP message
+// layer) with CDR marshalling: the binary middleware of the paper's
+// Figs. 4, 5 and 7. Message layouts are described in MDL and interpreted
+// by the binary engine — the same spec the mediator loads — and a small
+// client/server pair provides the CORBA-style substrate for the Add/Plus
+// case study.
+package giop
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"starlink/internal/mdl"
+	"starlink/internal/mdl/binenc"
+	"starlink/internal/message"
+	"starlink/internal/network"
+)
+
+// MDLDoc is the GIOP message-description document (Fig. 5, with the
+// cdrseq parameter encoding described in package binenc).
+const MDLDoc = `
+# GIOP 1.0 message formats
+<MDL:GIOP:binary>
+<Message:GIOPRequest>
+<Rule:Magic=GIOP>
+<Rule:MessageType=0>
+<Magic:32:string>
+<VersionMajor:8><VersionMinor:8><Flags:8><MessageType:8>
+<MessageSize:32>
+<RequestID:32><Response:8>
+<align:32>
+<ObjectKeyLength:32><ObjectKey:ObjectKeyLength>
+<OperationLength:32><Operation:OperationLength:string>
+<align:64>
+<ParameterArray:cdrseq>
+<End:Message>
+
+<Message:GIOPReply>
+<Rule:Magic=GIOP>
+<Rule:MessageType=1>
+<Magic:32:string>
+<VersionMajor:8><VersionMinor:8><Flags:8><MessageType:8>
+<MessageSize:32>
+<RequestID:32><ReplyStatus:32>
+<align:64>
+<ParameterArray:cdrseq>
+<End:Message>
+`
+
+// Reply status codes (subset of GIOP).
+const (
+	StatusNoException     = 0
+	StatusUserException   = 1
+	StatusSystemException = 2
+)
+
+// Errors reported by the GIOP layer.
+var (
+	// ErrRemote is wrapped around exceptions raised by the server.
+	ErrRemote = errors.New("giop: remote exception")
+	// ErrProtocol is wrapped by protocol violations.
+	ErrProtocol = errors.New("giop: protocol error")
+)
+
+// NewCodec compiles the GIOP MDL document.
+func NewCodec() (mdl.Codec, error) {
+	spec, err := mdl.ParseString(MDLDoc)
+	if err != nil {
+		return nil, fmt.Errorf("giop: parse MDL: %w", err)
+	}
+	return binenc.New(spec)
+}
+
+// Param helpers for building CDR parameter lists.
+
+// IntParam returns an int parameter field.
+func IntParam(v int64) *message.Field {
+	return message.NewPrimitive("Parameter", message.TypeInt64, v)
+}
+
+// StringParam returns a string parameter field.
+func StringParam(s string) *message.Field {
+	return message.NewPrimitive("Parameter", message.TypeString, s)
+}
+
+// BoolParam returns a bool parameter field.
+func BoolParam(b bool) *message.Field {
+	return message.NewPrimitive("Parameter", message.TypeBool, b)
+}
+
+// DoubleParam returns a double parameter field.
+func DoubleParam(f float64) *message.Field {
+	return message.NewPrimitive("Parameter", message.TypeFloat64, f)
+}
+
+// NewRequest builds a GIOPRequest abstract message.
+func NewRequest(requestID uint64, objectKey, operation string, params []*message.Field) *message.Message {
+	return message.New("GIOPRequest",
+		message.NewPrimitive("Magic", message.TypeString, "GIOP"),
+		message.NewPrimitive("VersionMajor", message.TypeUint64, 1),
+		message.NewPrimitive("VersionMinor", message.TypeUint64, 0),
+		message.NewPrimitive("Flags", message.TypeUint64, 0),
+		message.NewPrimitive("MessageType", message.TypeUint64, 0),
+		message.NewPrimitive("MessageSize", message.TypeUint64, 0),
+		message.NewPrimitive("RequestID", message.TypeUint64, requestID),
+		message.NewPrimitive("Response", message.TypeUint64, 1),
+		message.NewPrimitive("ObjectKey", message.TypeBytes, []byte(objectKey)),
+		message.NewPrimitive("Operation", message.TypeString, operation),
+		message.NewArray("ParameterArray", params...),
+	)
+}
+
+// NewReply builds a GIOPReply abstract message.
+func NewReply(requestID uint64, status uint64, results []*message.Field) *message.Message {
+	return message.New("GIOPReply",
+		message.NewPrimitive("Magic", message.TypeString, "GIOP"),
+		message.NewPrimitive("VersionMajor", message.TypeUint64, 1),
+		message.NewPrimitive("VersionMinor", message.TypeUint64, 0),
+		message.NewPrimitive("Flags", message.TypeUint64, 0),
+		message.NewPrimitive("MessageType", message.TypeUint64, 1),
+		message.NewPrimitive("MessageSize", message.TypeUint64, 0),
+		message.NewPrimitive("RequestID", message.TypeUint64, requestID),
+		message.NewPrimitive("ReplyStatus", message.TypeUint64, status),
+		message.NewArray("ParameterArray", results...),
+	)
+}
+
+// Client invokes operations on a remote GIOP object.
+type Client struct {
+	conn      network.Conn
+	codec     mdl.Codec
+	objectKey string
+	nextID    uint64
+	timeout   time.Duration
+}
+
+// Dial connects to a GIOP server and targets objectKey.
+func Dial(addr, objectKey string) (*Client, error) {
+	codec, err := NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	var eng network.Engine
+	conn, err := eng.Dial(network.Semantics{Transport: "tcp", Mode: "sync"}, addr, network.GIOPFramer{})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, codec: codec, objectKey: objectKey, nextID: 1, timeout: 10 * time.Second}, nil
+}
+
+// Invoke calls operation synchronously (the IIOP client behaviour of
+// Fig. 4a) and returns the reply parameters.
+func (c *Client) Invoke(operation string, params ...*message.Field) ([]*message.Field, error) {
+	id := c.nextID
+	c.nextID++
+	wire, err := c.codec.Compose(NewRequest(id, c.objectKey, operation, params))
+	if err != nil {
+		return nil, fmt.Errorf("giop: compose %s: %w", operation, err)
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
+	if err := c.conn.Send(wire); err != nil {
+		return nil, fmt.Errorf("giop: send %s: %w", operation, err)
+	}
+	data, err := c.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("giop: recv reply for %s: %w", operation, err)
+	}
+	reply, err := c.codec.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("giop: parse reply: %w", err)
+	}
+	if reply.Name != "GIOPReply" {
+		return nil, fmt.Errorf("%w: expected GIOPReply, got %s", ErrProtocol, reply.Name)
+	}
+	gotID, _ := reply.GetInt("RequestID")
+	if uint64(gotID) != id {
+		return nil, fmt.Errorf("%w: reply id %d for request %d", ErrProtocol, gotID, id)
+	}
+	status, _ := reply.GetInt("ReplyStatus")
+	arr, err := reply.Lookup("ParameterArray")
+	if err != nil {
+		return nil, fmt.Errorf("%w: reply without parameters", ErrProtocol)
+	}
+	if status != StatusNoException {
+		msg := "unknown"
+		if len(arr.Children) > 0 {
+			msg = arr.Children[0].ValueString()
+		}
+		return nil, fmt.Errorf("%w: status %d: %s", ErrRemote, status, msg)
+	}
+	return arr.Children, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Handler serves one operation invocation. Returning an error raises a
+// system exception carrying the error text.
+type Handler func(objectKey, operation string, params []*message.Field) ([]*message.Field, error)
+
+// Server is a GIOP server: one handler dispatched for every request.
+// Close stops accepting and joins all connection goroutines.
+type Server struct {
+	listener network.Listener
+	codec    mdl.Codec
+	handler  Handler
+
+	mu     sync.Mutex
+	conns  map[network.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve binds addr and serves h in the background.
+func Serve(addr string, h Handler) (*Server, error) {
+	codec, err := NewCodec()
+	if err != nil {
+		return nil, err
+	}
+	var eng network.Engine
+	l, err := eng.Listen(network.Semantics{Transport: "tcp", Mode: "sync"}, addr, network.GIOPFramer{})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{listener: l, codec: codec, handler: h, conns: make(map[network.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn network.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		data, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		reply := s.handleRequest(data)
+		wire, err := s.codec.Compose(reply)
+		if err != nil {
+			return
+		}
+		if err := conn.Send(wire); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleRequest(data []byte) *message.Message {
+	req, err := s.codec.Parse(data)
+	if err != nil || req.Name != "GIOPRequest" {
+		return NewReply(0, StatusSystemException, []*message.Field{StringParam("malformed request")})
+	}
+	id, _ := req.GetInt("RequestID")
+	op, _ := req.GetString("Operation")
+	keyField := req.Field("ObjectKey")
+	key := ""
+	if keyField != nil {
+		key = keyField.ValueString()
+	}
+	var params []*message.Field
+	if arr, err := req.Lookup("ParameterArray"); err == nil {
+		params = arr.Children
+	}
+	results, err := s.handler(key, op, params)
+	if err != nil {
+		return NewReply(uint64(id), StatusSystemException, []*message.Field{StringParam(err.Error())})
+	}
+	return NewReply(uint64(id), StatusNoException, results)
+}
+
+// Close stops the server and waits for in-flight work.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,39 @@
+package httpwire
+
+import "testing"
+
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte("GET /x HTTP/1.1\r\nHost: a\r\n\r\n"))
+	f.Add([]byte("POST /p?a=1 HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"))
+	f.Add([]byte("M-SEARCH * HTTP/1.1\r\nST: x\r\n\r\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		// Successful parses must survive a marshal/parse round trip.
+		back, err := ParseRequest(req.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back.Method != req.Method || back.Target != req.Target {
+			t.Fatalf("round trip changed request line: %q %q", back.Method, back.Target)
+		}
+		req.Query() // must not panic
+	})
+}
+
+func FuzzParseResponse(f *testing.F) {
+	f.Add([]byte("HTTP/1.1 200 OK\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ParseResponse(data)
+		if err != nil {
+			return
+		}
+		if _, err := ParseResponse(resp.Marshal()); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

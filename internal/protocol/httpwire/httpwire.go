@@ -1,0 +1,431 @@
+// Package httpwire is a hand-rolled HTTP/1.1 substrate: a wire codec plus
+// a small server and client built directly on the network engine, with no
+// use of net/http. The simulated Flickr and Picasa services and the
+// protocol stacks (XML-RPC, SOAP, REST) run on top of it.
+//
+// It deliberately duplicates what the text-MDL engine can parse: the
+// services use this hand-coded path while the mediator uses MDL-generated
+// parsers, which is exactly the boundary the paper draws — and it gives
+// the ablation benchmarks a hand-coded baseline to compare the DSL
+// against.
+package httpwire
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"starlink/internal/network"
+)
+
+// Errors reported by the HTTP substrate.
+var (
+	// ErrMalformed is wrapped by all parse failures.
+	ErrMalformed = errors.New("httpwire: malformed message")
+	// ErrServerClosed is returned by Serve after Close.
+	ErrServerClosed = errors.New("httpwire: server closed")
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	// Method is the verb ("GET", "POST", ...).
+	Method string
+	// Target is the request target, including any query string.
+	Target string
+	// Proto is the protocol version ("HTTP/1.1").
+	Proto string
+	// Headers holds the header fields (first value wins on duplicates).
+	Headers map[string]string
+	// Body is the message body.
+	Body []byte
+}
+
+// Path returns the target without its query string.
+func (r *Request) Path() string {
+	if i := strings.IndexByte(r.Target, '?'); i >= 0 {
+		return r.Target[:i]
+	}
+	return r.Target
+}
+
+// Query returns the decoded query parameters.
+func (r *Request) Query() map[string][]string {
+	out := map[string][]string{}
+	i := strings.IndexByte(r.Target, '?')
+	if i < 0 {
+		return out
+	}
+	for _, kv := range strings.Split(r.Target[i+1:], "&") {
+		if kv == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		k = unescape(k)
+		out[k] = append(out[k], unescape(v))
+	}
+	return out
+}
+
+// QueryValue returns the first value of a query parameter.
+func (r *Request) QueryValue(key string) string {
+	vs := r.Query()[key]
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+func unescape(s string) string {
+	s = strings.ReplaceAll(s, "+", " ")
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			if n, err := strconv.ParseUint(s[i+1:i+3], 16, 8); err == nil {
+				b.WriteByte(byte(n))
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Response is a parsed HTTP response.
+type Response struct {
+	// Proto is the protocol version.
+	Proto string
+	// Status is the numeric status code.
+	Status int
+	// Reason is the status text.
+	Reason string
+	// Headers holds the header fields.
+	Headers map[string]string
+	// Body is the message body.
+	Body []byte
+}
+
+// Marshal renders the request on the wire, deriving Content-Length.
+func (r *Request) Marshal() []byte {
+	var b strings.Builder
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Target, proto)
+	writeHeaders(&b, r.Headers, len(r.Body))
+	b.Write(r.Body)
+	return []byte(b.String())
+}
+
+// Marshal renders the response on the wire, deriving Content-Length.
+func (r *Response) Marshal() []byte {
+	var b strings.Builder
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	reason := r.Reason
+	if reason == "" {
+		reason = defaultReason(r.Status)
+	}
+	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.Status, reason)
+	writeHeaders(&b, r.Headers, len(r.Body))
+	b.Write(r.Body)
+	return []byte(b.String())
+}
+
+func writeHeaders(b *strings.Builder, headers map[string]string, bodyLen int) {
+	keys := make([]string, 0, len(headers))
+	for k := range headers {
+		if strings.EqualFold(k, "Content-Length") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", k, headers[k])
+	}
+	fmt.Fprintf(b, "Content-Length: %d\r\n\r\n", bodyLen)
+}
+
+func defaultReason(status int) string {
+	switch status {
+	case 200:
+		return "OK"
+	case 201:
+		return "Created"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}
+
+// ParseRequest decodes one request message (as framed by
+// network.HTTPFramer).
+func ParseRequest(data []byte) (*Request, error) {
+	line, rest, err := cutLine(string(data))
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	headers, body, err := parseHeadersAndBody(rest)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{
+		Method: parts[0], Target: parts[1], Proto: parts[2],
+		Headers: headers, Body: body,
+	}, nil
+}
+
+// ParseResponse decodes one response message.
+func ParseResponse(data []byte) (*Response, error) {
+	line, rest, err := cutLine(string(data))
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: status %q", ErrMalformed, parts[1])
+	}
+	reason := ""
+	if len(parts) == 3 {
+		reason = parts[2]
+	}
+	headers, body, err := parseHeadersAndBody(rest)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Proto: parts[0], Status: status, Reason: reason,
+		Headers: headers, Body: body,
+	}, nil
+}
+
+func cutLine(s string) (line, rest string, err error) {
+	line, rest, found := strings.Cut(s, "\r\n")
+	if !found {
+		return "", "", fmt.Errorf("%w: missing CRLF", ErrMalformed)
+	}
+	return line, rest, nil
+}
+
+func parseHeadersAndBody(s string) (map[string]string, []byte, error) {
+	headers := map[string]string{}
+	for {
+		line, rest, found := strings.Cut(s, "\r\n")
+		if !found {
+			return nil, nil, fmt.Errorf("%w: header block not terminated", ErrMalformed)
+		}
+		s = rest
+		if line == "" {
+			return headers, []byte(s), nil
+		}
+		k, v, found := strings.Cut(line, ":")
+		if !found {
+			return nil, nil, fmt.Errorf("%w: header line %q", ErrMalformed, line)
+		}
+		k = strings.TrimSpace(k)
+		if _, dup := headers[k]; !dup {
+			headers[k] = strings.TrimSpace(v)
+		}
+	}
+}
+
+// Handler processes one request.
+type Handler func(*Request) *Response
+
+// Server is a minimal HTTP server over the network engine. Connections
+// are persistent (HTTP/1.1 keep-alive); Close stops accepting, closes
+// live connections and waits for all handler goroutines to exit.
+type Server struct {
+	listener network.Listener
+	handler  Handler
+
+	mu     sync.Mutex
+	conns  map[network.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve binds addr and starts serving h in the background.
+func Serve(addr string, h Handler) (*Server, error) {
+	var eng network.Engine
+	l, err := eng.Listen(network.Semantics{Transport: "tcp"}, addr, network.HTTPFramer{})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{listener: l, handler: h, conns: make(map[network.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address ("host:port").
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn network.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		data, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		req, err := ParseRequest(data)
+		var resp *Response
+		if err != nil {
+			resp = &Response{Status: 400, Body: []byte(err.Error())}
+		} else {
+			resp = s.handler(req)
+			if resp == nil {
+				resp = &Response{Status: 500, Body: []byte("handler returned no response")}
+			}
+		}
+		if err := conn.Send(resp.Marshal()); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client issues requests over a persistent connection, reconnecting on
+// demand. It is safe for sequential use; guard with a mutex for
+// concurrency.
+type Client struct {
+	// Addr is the server address ("host:port").
+	Addr string
+	// Timeout bounds one exchange (default 10s).
+	Timeout time.Duration
+
+	conn network.Conn
+}
+
+// Do sends the request and reads one response.
+func (c *Client) Do(req *Request) (*Response, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	if req.Headers == nil {
+		req.Headers = map[string]string{}
+	}
+	if _, ok := req.Headers["Host"]; !ok {
+		req.Headers["Host"] = c.Addr
+	}
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			var eng network.Engine
+			conn, err := eng.Dial(network.Semantics{Transport: "tcp"}, c.Addr, network.HTTPFramer{})
+			if err != nil {
+				return nil, err
+			}
+			c.conn = conn
+		}
+		if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		if err := c.conn.Send(req.Marshal()); err != nil {
+			c.resetConn()
+			if attempt == 0 {
+				continue // stale keep-alive connection; retry once
+			}
+			return nil, err
+		}
+		data, err := c.conn.Recv()
+		if err != nil {
+			c.resetConn()
+			if attempt == 0 {
+				continue
+			}
+			return nil, err
+		}
+		return ParseResponse(data)
+	}
+}
+
+func (c *Client) resetConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Close releases the client's connection.
+func (c *Client) Close() error {
+	c.resetConn()
+	return nil
+}
+
+// Get is a convenience GET helper.
+func (c *Client) Get(target string) (*Response, error) {
+	return c.Do(&Request{Method: "GET", Target: target})
+}
+
+// Post is a convenience POST helper.
+func (c *Client) Post(target, contentType string, body []byte) (*Response, error) {
+	return c.Do(&Request{
+		Method: "POST", Target: target,
+		Headers: map[string]string{"Content-Type": contentType},
+		Body:    body,
+	})
+}

@@ -1,0 +1,137 @@
+package jsonrpc
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestCallRoundTrip(t *testing.T) {
+	body, err := MarshalCall(7, "calc.add", float64(20), float64(22), "note", true, nil,
+		[]Value{float64(1)}, map[string]any{"k": "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, method, params, err := ParseCall(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || method != "calc.add" || len(params) != 7 {
+		t.Fatalf("id=%d method=%q params=%d", id, method, len(params))
+	}
+	if params[0] != float64(20) || params[3] != true || params[4] != nil {
+		t.Errorf("params = %#v", params)
+	}
+	if !reflect.DeepEqual(params[6], map[string]any{"k": "v"}) {
+		t.Errorf("object param = %#v", params[6])
+	}
+}
+
+func TestEmptyParams(t *testing.T) {
+	body, err := MarshalCall(1, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, params, err := ParseCall(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params == nil || len(params) != 0 {
+		t.Errorf("params = %#v", params)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	body, err := MarshalResult(9, map[string]any{"sum": float64(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, result, err := ParseResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 9 {
+		t.Errorf("id = %d", id)
+	}
+	if !reflect.DeepEqual(result, map[string]any{"sum": float64(42)}) {
+		t.Errorf("result = %#v", result)
+	}
+}
+
+func TestErrorResponse(t *testing.T) {
+	body, err := MarshalError(3, "kaput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ParseResponse(body)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Message != "kaput" {
+		t.Fatalf("err = %v", err)
+	}
+	if re.Error() == "" {
+		t.Error("empty Error()")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, _, err := ParseCall([]byte("not json")); !errors.Is(err, ErrMalformed) {
+		t.Errorf("call err = %v", err)
+	}
+	if _, _, _, err := ParseCall([]byte(`{"params":[]}`)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("missing method err = %v", err)
+	}
+	if _, _, err := ParseResponse([]byte("zap")); !errors.Is(err, ErrMalformed) {
+		t.Errorf("response err = %v", err)
+	}
+}
+
+func TestClientServerEndToEnd(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "/jsonrpc", map[string]Method{
+		"calc.add": func(params []Value) (Value, error) {
+			a, aok := params[0].(float64)
+			b, bok := params[1].(float64)
+			if !aok || !bok {
+				return nil, errors.New("want two numbers")
+			}
+			return a + b, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(srv.Addr(), "/jsonrpc")
+	defer c.Close()
+	v, err := c.Call("calc.add", float64(20), float64(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != float64(42) {
+		t.Errorf("add = %v", v)
+	}
+	var re *RemoteError
+	if _, err := c.Call("calc.add", "x", "y"); !errors.As(err, &re) {
+		t.Errorf("bad params err = %v", err)
+	}
+	if _, err := c.Call("nope"); !errors.As(err, &re) {
+		t.Errorf("unknown method err = %v", err)
+	}
+	// IDs advance and are checked.
+	if _, err := c.Call("calc.add", float64(1), float64(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerWrongEndpoint(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "/jsonrpc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.Addr(), "/other")
+	defer c.Close()
+	if _, err := c.Call("x"); err == nil {
+		t.Error("wrong endpoint accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package rest
+
+import "testing"
+
+func FuzzParseFeed(f *testing.F) {
+	seed, _ := MarshalFeed(Feed{Title: "t", Entries: []Entry{{ID: "1", Title: "x"}}})
+	f.Add(seed)
+	f.Add([]byte("<feed/>"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		feed, err := ParseFeed(data)
+		if err != nil {
+			return
+		}
+		if _, err := MarshalFeed(feed); err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+	})
+}

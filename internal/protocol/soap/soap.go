@@ -1,0 +1,262 @@
+// Package soap implements SOAP 1.1 RPC-style messaging over the httpwire
+// substrate: envelope encoding, a client and a dispatching server. The
+// case study's second Flickr client speaks SOAP (Section 5.1), and the
+// Fig. 7/8 addition service is a SOAP service.
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"starlink/internal/mdl/xmlenc"
+	"starlink/internal/message"
+	"starlink/internal/protocol/httpwire"
+)
+
+// EnvelopeNS is the SOAP 1.1 envelope namespace.
+const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// Errors reported by the SOAP layer.
+var (
+	// ErrMalformed is wrapped by all decode failures.
+	ErrMalformed = errors.New("soap: malformed envelope")
+	// ErrNoSuchMethod is the fault for unregistered operations.
+	ErrNoSuchMethod = errors.New("soap: no such method")
+)
+
+// Param is one named argument or result, in document order.
+type Param struct {
+	// Name is the element name.
+	Name string
+	// Value is the text content.
+	Value string
+}
+
+// Fault is a SOAP fault.
+type Fault struct {
+	// Code is the faultcode ("Client", "Server", ...).
+	Code string
+	// Message is the faultstring.
+	Message string
+}
+
+// Error implements error.
+func (f *Fault) Error() string { return fmt.Sprintf("soap fault %s: %s", f.Code, f.Message) }
+
+func envelope(bodyChild *message.Field) ([]byte, error) {
+	root := message.NewStruct("Envelope",
+		message.NewPrimitive("@xmlns", message.TypeString, EnvelopeNS),
+		message.NewStruct("Body", bodyChild),
+	)
+	s, err := xmlenc.EncodeField(root)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(`<?xml version="1.0"?>` + "\n" + s), nil
+}
+
+// MarshalRequest renders an RPC request envelope: the method element with
+// one child element per parameter.
+func MarshalRequest(method string, params []Param) ([]byte, error) {
+	op := message.NewStruct(method)
+	for _, p := range params {
+		op.Add(message.NewPrimitive(p.Name, message.TypeString, p.Value))
+	}
+	return envelope(op)
+}
+
+// MarshalResponse renders the conventional <MethodResponse> envelope.
+func MarshalResponse(method string, results []Param) ([]byte, error) {
+	op := message.NewStruct(method + "Response")
+	for _, p := range results {
+		op.Add(message.NewPrimitive(p.Name, message.TypeString, p.Value))
+	}
+	return envelope(op)
+}
+
+// MarshalFault renders a fault envelope.
+func MarshalFault(f *Fault) ([]byte, error) {
+	return envelope(message.NewStruct("Fault",
+		message.NewPrimitive("faultcode", message.TypeString, f.Code),
+		message.NewPrimitive("faultstring", message.TypeString, f.Message),
+	))
+}
+
+// bodyElement unwraps Envelope/Body and returns the single operation
+// element.
+func bodyElement(data []byte) (*message.Field, error) {
+	root, err := xmlenc.DecodeTree(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if root.Label != "Envelope" {
+		return nil, fmt.Errorf("%w: root %q", ErrMalformed, root.Label)
+	}
+	body := root.Child("Body")
+	if body == nil {
+		return nil, fmt.Errorf("%w: no Body", ErrMalformed)
+	}
+	for _, c := range body.Children {
+		if !strings.HasPrefix(c.Label, "@") {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: empty Body", ErrMalformed)
+}
+
+func fieldParams(op *message.Field) []Param {
+	var out []Param
+	for _, c := range op.Children {
+		if strings.HasPrefix(c.Label, "@") || c.Label == "#text" {
+			continue
+		}
+		out = append(out, Param{Name: c.Label, Value: c.ValueString()})
+	}
+	return out
+}
+
+// ParseRequest decodes an RPC request envelope.
+func ParseRequest(data []byte) (method string, params []Param, err error) {
+	op, err := bodyElement(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if op.Label == "Fault" {
+		return "", nil, parseFault(op)
+	}
+	return op.Label, fieldParams(op), nil
+}
+
+// ParseResponse decodes a response envelope, returning the result params
+// or a *Fault error.
+func ParseResponse(data []byte) (method string, results []Param, err error) {
+	op, err := bodyElement(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if op.Label == "Fault" {
+		return "", nil, parseFault(op)
+	}
+	return strings.TrimSuffix(op.Label, "Response"), fieldParams(op), nil
+}
+
+func parseFault(op *message.Field) error {
+	f := &Fault{}
+	if c := op.Child("faultcode"); c != nil {
+		f.Code = c.ValueString()
+	}
+	if c := op.Child("faultstring"); c != nil {
+		f.Message = c.ValueString()
+	}
+	return f
+}
+
+// Client calls SOAP operations at a fixed HTTP endpoint.
+type Client struct {
+	http *httpwire.Client
+	path string
+}
+
+// NewClient targets addr ("host:port") and path (e.g. "/soap").
+func NewClient(addr, path string) *Client {
+	return &Client{http: &httpwire.Client{Addr: addr}, path: path}
+}
+
+// Call invokes method with params and returns the response params.
+func (c *Client) Call(method string, params ...Param) ([]Param, error) {
+	body, err := MarshalRequest(method, params)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(&httpwire.Request{
+		Method: "POST",
+		Target: c.path,
+		Headers: map[string]string{
+			"Content-Type": "text/xml; charset=utf-8",
+			"SOAPAction":   `"` + method + `"`,
+		},
+		Body: body,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("soap: call %s: %w", method, err)
+	}
+	if resp.Status != 200 && resp.Status != 500 {
+		return nil, fmt.Errorf("soap: call %s: HTTP %d", method, resp.Status)
+	}
+	_, results, err := ParseResponse(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Close releases the client connection.
+func (c *Client) Close() error { return c.http.Close() }
+
+// Operation handles one SOAP operation.
+type Operation func(params []Param) ([]Param, *Fault)
+
+// Server dispatches SOAP requests to registered operations.
+type Server struct {
+	http *httpwire.Server
+	ops  map[string]Operation
+}
+
+// NewServer starts a SOAP server at addr/path.
+func NewServer(addr, path string, ops map[string]Operation) (*Server, error) {
+	s := &Server{ops: ops}
+	hs, err := httpwire.Serve(addr, func(req *httpwire.Request) *httpwire.Response {
+		if req.Method != "POST" || req.Path() != path {
+			return &httpwire.Response{Status: 404, Body: []byte("not a SOAP endpoint")}
+		}
+		return s.dispatch(req.Body)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.http = hs
+	return s, nil
+}
+
+func (s *Server) dispatch(body []byte) *httpwire.Response {
+	method, params, err := ParseRequest(body)
+	if err != nil {
+		return faultResponse(&Fault{Code: "Client", Message: err.Error()})
+	}
+	op, ok := s.ops[method]
+	if !ok {
+		return faultResponse(&Fault{Code: "Client", Message: ErrNoSuchMethod.Error() + ": " + method})
+	}
+	results, fault := op(params)
+	if fault != nil {
+		return faultResponse(fault)
+	}
+	out, err := MarshalResponse(method, results)
+	if err != nil {
+		return faultResponse(&Fault{Code: "Server", Message: err.Error()})
+	}
+	return &httpwire.Response{
+		Status:  200,
+		Headers: map[string]string{"Content-Type": "text/xml; charset=utf-8"},
+		Body:    out,
+	}
+}
+
+func faultResponse(f *Fault) *httpwire.Response {
+	out, err := MarshalFault(f)
+	if err != nil {
+		return &httpwire.Response{Status: 500, Body: []byte(err.Error())}
+	}
+	return &httpwire.Response{
+		Status:  500,
+		Headers: map[string]string{"Content-Type": "text/xml; charset=utf-8"},
+		Body:    out,
+	}
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.http.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.http.Close() }

@@ -1,0 +1,179 @@
+package soap
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	body, err := MarshalRequest("Plus", []Param{{Name: "x", Value: "20"}, {Name: "y", Value: "22"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), EnvelopeNS) {
+		t.Error("envelope namespace missing")
+	}
+	method, params, err := ParseRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "Plus" {
+		t.Errorf("method = %q", method)
+	}
+	if len(params) != 2 || params[0] != (Param{"x", "20"}) || params[1] != (Param{"y", "22"}) {
+		t.Errorf("params = %+v", params)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	body, err := MarshalResponse("Plus", []Param{{Name: "result", Value: "42"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	method, results, err := ParseResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "Plus" || results[0].Value != "42" {
+		t.Errorf("response = %q %+v", method, results)
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	body, err := MarshalFault(&Fault{Code: "Server", Message: "kaput"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ParseResponse(body)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.Code != "Server" || f.Message != "kaput" {
+		t.Errorf("fault = %+v", f)
+	}
+	if !strings.Contains(f.Error(), "kaput") {
+		t.Errorf("Error() = %q", f.Error())
+	}
+	// Faults surface on the request path too.
+	if _, _, err := ParseRequest(body); !errors.As(err, &f) {
+		t.Errorf("request-path fault err = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"<notsoap/>",
+		"<Envelope></Envelope>",
+		"<Envelope><Body></Body></Envelope>",
+	}
+	for _, raw := range cases {
+		if _, _, err := ParseRequest([]byte(raw)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("ParseRequest(%q) err = %v", raw, err)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	body, err := MarshalRequest("Op", []Param{{Name: "text", Value: "<b>&\"</b>"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, params, err := ParseRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params[0].Value != "<b>&\"</b>" {
+		t.Errorf("value = %q", params[0].Value)
+	}
+}
+
+func TestNamespacedEnvelopeParses(t *testing.T) {
+	raw := `<?xml version="1.0"?>
+<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+  <soap:Body><Add><x>1</x><y>2</y></Add></soap:Body>
+</soap:Envelope>`
+	method, params, err := ParseRequest([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "Add" || len(params) != 2 {
+		t.Errorf("parsed %q %+v", method, params)
+	}
+}
+
+func TestClientServerEndToEnd(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "/soap", map[string]Operation{
+		"Plus": func(params []Param) ([]Param, *Fault) {
+			if len(params) != 2 {
+				return nil, &Fault{Code: "Client", Message: "want 2 params"}
+			}
+			x, err1 := strconv.Atoi(params[0].Value)
+			y, err2 := strconv.Atoi(params[1].Value)
+			if err1 != nil || err2 != nil {
+				return nil, &Fault{Code: "Client", Message: "non-integer"}
+			}
+			return []Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(srv.Addr(), "/soap")
+	defer c.Close()
+
+	results, err := c.Call("Plus", Param{"x", "20"}, Param{"y", "22"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Value != "42" {
+		t.Errorf("results = %+v", results)
+	}
+
+	var f *Fault
+	if _, err := c.Call("Nope"); !errors.As(err, &f) {
+		t.Errorf("unknown op err = %v", err)
+	}
+	if _, err := c.Call("Plus", Param{"x", "a"}, Param{"y", "b"}); !errors.As(err, &f) || f.Code != "Client" {
+		t.Errorf("bad params err = %v", err)
+	}
+}
+
+func TestServerWrongEndpoint(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "/soap", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.Addr(), "/nope")
+	defer c.Close()
+	if _, err := c.Call("Anything"); err == nil {
+		t.Error("wrong endpoint accepted")
+	}
+}
+
+func BenchmarkMarshalRequest(b *testing.B) {
+	params := []Param{{"x", "20"}, {"y", "22"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalRequest("Plus", params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseRequest(b *testing.B) {
+	body, _ := MarshalRequest("Plus", []Param{{"x", "20"}, {"y", "22"}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ParseRequest(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package xmlrpc
+
+import "testing"
+
+func FuzzParseCall(f *testing.F) {
+	seed, _ := MarshalCall("flickr.photos.search", map[string]Value{"text": "tree"}, int64(3))
+	f.Add(seed)
+	f.Add([]byte("<methodCall><methodName>m</methodName></methodCall>"))
+	f.Add([]byte("<notxml"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		method, params, err := ParseCall(data)
+		if err != nil {
+			return
+		}
+		// Re-marshal whatever decoded.
+		if _, err := MarshalCall(method, params...); err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+	})
+}
+
+func FuzzParseResponse(f *testing.F) {
+	seed, _ := MarshalResponse(map[string]Value{"photos": []Value{"a"}})
+	f.Add(seed)
+	fault, _ := MarshalFault(&Fault{Code: 1, Message: "x"})
+	f.Add(fault)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseResponse(data)
+	})
+}

@@ -1,0 +1,253 @@
+// Package flickr simulates the Flickr web service of the case study
+// (Section 2): the photo-search subset of its API served over both
+// XML-RPC and SOAP, backed by a photostore corpus. The wire conventions
+// follow the real API shape of Fig. 1: XML-RPC methods take a single
+// struct parameter; responses carry <photos>/<photo> structures.
+package flickr
+
+import (
+	"strconv"
+
+	"starlink/internal/protocol/soap"
+	"starlink/internal/protocol/xmlrpc"
+	"starlink/internal/services/photostore"
+)
+
+// Method names of the simulated API subset.
+const (
+	MethodSearch      = "flickr.photos.search"
+	MethodGetInfo     = "flickr.photos.getInfo"
+	MethodGetComments = "flickr.photos.comments.getList"
+	MethodAddComment  = "flickr.photos.comments.addComment"
+)
+
+// XMLRPCPath and SOAPPath are the HTTP endpoints.
+const (
+	XMLRPCPath = "/services/xmlrpc"
+	SOAPPath   = "/services/soap"
+)
+
+// Service serves the Flickr API over XML-RPC and SOAP.
+type Service struct {
+	store  *photostore.Store
+	xmlrpc *xmlrpc.Server
+	soap   *soap.Server
+}
+
+// New starts the service on two ephemeral ports (XML-RPC and SOAP) over
+// the given store.
+func New(store *photostore.Store) (*Service, error) {
+	s := &Service{store: store}
+	xs, err := xmlrpc.NewServer("127.0.0.1:0", XMLRPCPath, map[string]xmlrpc.Method{
+		MethodSearch:      s.rpcSearch,
+		MethodGetInfo:     s.rpcGetInfo,
+		MethodGetComments: s.rpcGetComments,
+		MethodAddComment:  s.rpcAddComment,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ss, err := soap.NewServer("127.0.0.1:0", SOAPPath, map[string]soap.Operation{
+		MethodSearch:      s.soapSearch,
+		MethodGetInfo:     s.soapGetInfo,
+		MethodGetComments: s.soapGetComments,
+		MethodAddComment:  s.soapAddComment,
+	})
+	if err != nil {
+		xs.Close()
+		return nil, err
+	}
+	s.xmlrpc = xs
+	s.soap = ss
+	return s, nil
+}
+
+// XMLRPCAddr returns the XML-RPC endpoint address.
+func (s *Service) XMLRPCAddr() string { return s.xmlrpc.Addr() }
+
+// SOAPAddr returns the SOAP endpoint address.
+func (s *Service) SOAPAddr() string { return s.soap.Addr() }
+
+// Close stops both servers.
+func (s *Service) Close() error {
+	err1 := s.xmlrpc.Close()
+	err2 := s.soap.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// ---- XML-RPC face ----
+
+func argStruct(params []xmlrpc.Value) map[string]xmlrpc.Value {
+	if len(params) == 1 {
+		if st, ok := params[0].(map[string]xmlrpc.Value); ok {
+			return st
+		}
+	}
+	return map[string]xmlrpc.Value{}
+}
+
+func strArg(st map[string]xmlrpc.Value, key string) string {
+	switch v := st[key].(type) {
+	case string:
+		return v
+	case int64:
+		return strconv.FormatInt(v, 10)
+	default:
+		return ""
+	}
+}
+
+func intArg(st map[string]xmlrpc.Value, key string) int {
+	switch v := st[key].(type) {
+	case int64:
+		return int(v)
+	case string:
+		n, _ := strconv.Atoi(v)
+		return n
+	default:
+		return 0
+	}
+}
+
+func (s *Service) rpcSearch(params []xmlrpc.Value) (xmlrpc.Value, *xmlrpc.Fault) {
+	st := argStruct(params)
+	text := strArg(st, "text")
+	if text == "" {
+		text = strArg(st, "tags")
+	}
+	if text == "" {
+		return nil, &xmlrpc.Fault{Code: 100, Message: "text or tags required"}
+	}
+	perPage := intArg(st, "per_page")
+	photos := s.store.Search(text, perPage)
+	var list []xmlrpc.Value
+	for _, p := range photos {
+		list = append(list, map[string]xmlrpc.Value{
+			"id":    p.ID,
+			"owner": p.Owner,
+			"title": p.Title,
+		})
+	}
+	return map[string]xmlrpc.Value{
+		"photos": list,
+		"total":  int64(len(list)),
+	}, nil
+}
+
+func (s *Service) rpcGetInfo(params []xmlrpc.Value) (xmlrpc.Value, *xmlrpc.Fault) {
+	st := argStruct(params)
+	id := strArg(st, "photo_id")
+	p, ok := s.store.Get(id)
+	if !ok {
+		return nil, &xmlrpc.Fault{Code: 1, Message: "Photo not found: " + id}
+	}
+	return map[string]xmlrpc.Value{
+		"id":    p.ID,
+		"title": p.Title,
+		"owner": p.Owner,
+		"url":   p.URL,
+	}, nil
+}
+
+func (s *Service) rpcGetComments(params []xmlrpc.Value) (xmlrpc.Value, *xmlrpc.Fault) {
+	st := argStruct(params)
+	id := strArg(st, "photo_id")
+	comments, err := s.store.Comments(id)
+	if err != nil {
+		return nil, &xmlrpc.Fault{Code: 1, Message: err.Error()}
+	}
+	var list []xmlrpc.Value
+	for _, c := range comments {
+		list = append(list, map[string]xmlrpc.Value{
+			"id":     c.ID,
+			"author": c.Author,
+			"text":   c.Text,
+		})
+	}
+	return map[string]xmlrpc.Value{"comments": list}, nil
+}
+
+func (s *Service) rpcAddComment(params []xmlrpc.Value) (xmlrpc.Value, *xmlrpc.Fault) {
+	st := argStruct(params)
+	id := strArg(st, "photo_id")
+	text := strArg(st, "comment_text")
+	if text == "" {
+		return nil, &xmlrpc.Fault{Code: 100, Message: "comment_text required"}
+	}
+	c, err := s.store.AddComment(id, "flickr-user", text)
+	if err != nil {
+		return nil, &xmlrpc.Fault{Code: 1, Message: err.Error()}
+	}
+	return map[string]xmlrpc.Value{"comment_id": c.ID}, nil
+}
+
+// ---- SOAP face ----
+
+func soapArg(params []soap.Param, name string) string {
+	for _, p := range params {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	return ""
+}
+
+func (s *Service) soapSearch(params []soap.Param) ([]soap.Param, *soap.Fault) {
+	text := soapArg(params, "text")
+	if text == "" {
+		text = soapArg(params, "tags")
+	}
+	if text == "" {
+		return nil, &soap.Fault{Code: "Client", Message: "text or tags required"}
+	}
+	perPage, _ := strconv.Atoi(soapArg(params, "per_page"))
+	photos := s.store.Search(text, perPage)
+	out := []soap.Param{{Name: "total", Value: strconv.Itoa(len(photos))}}
+	for _, p := range photos {
+		out = append(out, soap.Param{Name: "photo_id", Value: p.ID})
+	}
+	return out, nil
+}
+
+func (s *Service) soapGetInfo(params []soap.Param) ([]soap.Param, *soap.Fault) {
+	id := soapArg(params, "photo_id")
+	p, ok := s.store.Get(id)
+	if !ok {
+		return nil, &soap.Fault{Code: "Client", Message: "Photo not found: " + id}
+	}
+	return []soap.Param{
+		{Name: "id", Value: p.ID},
+		{Name: "title", Value: p.Title},
+		{Name: "owner", Value: p.Owner},
+		{Name: "url", Value: p.URL},
+	}, nil
+}
+
+func (s *Service) soapGetComments(params []soap.Param) ([]soap.Param, *soap.Fault) {
+	id := soapArg(params, "photo_id")
+	comments, err := s.store.Comments(id)
+	if err != nil {
+		return nil, &soap.Fault{Code: "Client", Message: err.Error()}
+	}
+	var out []soap.Param
+	for _, c := range comments {
+		out = append(out, soap.Param{Name: "comment", Value: c.Author + ": " + c.Text})
+	}
+	return out, nil
+}
+
+func (s *Service) soapAddComment(params []soap.Param) ([]soap.Param, *soap.Fault) {
+	id := soapArg(params, "photo_id")
+	text := soapArg(params, "comment_text")
+	if text == "" {
+		return nil, &soap.Fault{Code: "Client", Message: "comment_text required"}
+	}
+	c, err := s.store.AddComment(id, "flickr-user", text)
+	if err != nil {
+		return nil, &soap.Fault{Code: "Client", Message: err.Error()}
+	}
+	return []soap.Param{{Name: "comment_id", Value: c.ID}}, nil
+}

@@ -1,0 +1,234 @@
+package flickr
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"starlink/internal/protocol/soap"
+	"starlink/internal/protocol/xmlrpc"
+	"starlink/internal/services/photostore"
+)
+
+func startService(t *testing.T) (*Service, *photostore.Store) {
+	t.Helper()
+	store := photostore.New()
+	svc, err := New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc, store
+}
+
+func TestXMLRPCSearchGetInfoCommentsFlow(t *testing.T) {
+	svc, _ := startService(t)
+	c := xmlrpc.NewClient(svc.XMLRPCAddr(), XMLRPCPath)
+	defer c.Close()
+
+	// Search (Fig. 1 signature: one struct param).
+	v, err := c.Call(MethodSearch, map[string]xmlrpc.Value{
+		"api_key": "k", "text": "tree", "per_page": int64(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.(map[string]xmlrpc.Value)
+	photos := res["photos"].([]xmlrpc.Value)
+	if len(photos) != 3 {
+		t.Fatalf("photos = %d", len(photos))
+	}
+	first := photos[0].(map[string]xmlrpc.Value)
+	id := first["id"].(string)
+
+	// getInfo resolves the URL.
+	v, err = c.Call(MethodGetInfo, map[string]xmlrpc.Value{"api_key": "k", "photo_id": id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := v.(map[string]xmlrpc.Value)
+	if info["url"] == "" || info["title"] == "" {
+		t.Errorf("info = %v", info)
+	}
+
+	// Comments list + add.
+	v, err = c.Call(MethodGetComments, map[string]xmlrpc.Value{"photo_id": id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(v.(map[string]xmlrpc.Value)["comments"].([]xmlrpc.Value))
+
+	v, err = c.Call(MethodAddComment, map[string]xmlrpc.Value{
+		"photo_id": id, "comment_text": "lovely",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(map[string]xmlrpc.Value)["comment_id"] == "" {
+		t.Error("no comment id")
+	}
+
+	v, err = c.Call(MethodGetComments, map[string]xmlrpc.Value{"photo_id": id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := len(v.(map[string]xmlrpc.Value)["comments"].([]xmlrpc.Value))
+	if after != before+1 {
+		t.Errorf("comments %d -> %d", before, after)
+	}
+}
+
+func TestXMLRPCFaults(t *testing.T) {
+	svc, _ := startService(t)
+	c := xmlrpc.NewClient(svc.XMLRPCAddr(), XMLRPCPath)
+	defer c.Close()
+	var f *xmlrpc.Fault
+	if _, err := c.Call(MethodSearch, map[string]xmlrpc.Value{"api_key": "k"}); !errors.As(err, &f) {
+		t.Errorf("search without text err = %v", err)
+	}
+	if _, err := c.Call(MethodGetInfo, map[string]xmlrpc.Value{"photo_id": "nope"}); !errors.As(err, &f) {
+		t.Errorf("getInfo on phantom err = %v", err)
+	}
+	if _, err := c.Call(MethodAddComment, map[string]xmlrpc.Value{"photo_id": "photo-0001"}); !errors.As(err, &f) {
+		t.Errorf("empty comment err = %v", err)
+	}
+	if _, err := c.Call(MethodGetComments, map[string]xmlrpc.Value{"photo_id": "ghost"}); !errors.As(err, &f) {
+		t.Errorf("comments on phantom err = %v", err)
+	}
+}
+
+func TestXMLRPCTagsFallback(t *testing.T) {
+	svc, _ := startService(t)
+	c := xmlrpc.NewClient(svc.XMLRPCAddr(), XMLRPCPath)
+	defer c.Close()
+	v, err := c.Call(MethodSearch, map[string]xmlrpc.Value{"tags": "cat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := v.(map[string]xmlrpc.Value)["total"].(int64); total != 2 {
+		t.Errorf("cat total = %d", total)
+	}
+}
+
+func TestSOAPFlow(t *testing.T) {
+	svc, store := startService(t)
+	c := soap.NewClient(svc.SOAPAddr(), SOAPPath)
+	defer c.Close()
+
+	results, err := c.Call(MethodSearch,
+		soap.Param{Name: "api_key", Value: "k"},
+		soap.Param{Name: "text", Value: "tree"},
+		soap.Param{Name: "per_page", Value: "2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	total := ""
+	for _, p := range results {
+		switch p.Name {
+		case "photo_id":
+			ids = append(ids, p.Value)
+		case "total":
+			total = p.Value
+		}
+	}
+	if len(ids) != 2 || total != "2" {
+		t.Fatalf("results = %+v", results)
+	}
+
+	info, err := c.Call(MethodGetInfo, soap.Param{Name: "photo_id", Value: ids[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := ""
+	for _, p := range info {
+		if p.Name == "url" {
+			url = p.Value
+		}
+	}
+	want, _ := store.Get(ids[0])
+	if url != want.URL {
+		t.Errorf("url = %q, want %q", url, want.URL)
+	}
+
+	added, err := c.Call(MethodAddComment,
+		soap.Param{Name: "photo_id", Value: ids[0]},
+		soap.Param{Name: "comment_text", Value: "via soap"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 1 || added[0].Name != "comment_id" {
+		t.Errorf("added = %+v", added)
+	}
+
+	comments, err := c.Call(MethodGetComments, soap.Param{Name: "photo_id", Value: ids[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range comments {
+		if p.Name == "comment" && p.Value == "flickr-user: via soap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("comment not listed: %+v", comments)
+	}
+}
+
+func TestSOAPFaults(t *testing.T) {
+	svc, _ := startService(t)
+	c := soap.NewClient(svc.SOAPAddr(), SOAPPath)
+	defer c.Close()
+	var f *soap.Fault
+	if _, err := c.Call(MethodSearch); !errors.As(err, &f) {
+		t.Errorf("empty search err = %v", err)
+	}
+	if _, err := c.Call(MethodGetInfo, soap.Param{Name: "photo_id", Value: "nope"}); !errors.As(err, &f) {
+		t.Errorf("phantom getInfo err = %v", err)
+	}
+	if _, err := c.Call(MethodAddComment, soap.Param{Name: "photo_id", Value: "photo-0001"}); !errors.As(err, &f) {
+		t.Errorf("empty comment err = %v", err)
+	}
+	if _, err := c.Call(MethodGetComments, soap.Param{Name: "photo_id", Value: "ghost"}); !errors.As(err, &f) {
+		t.Errorf("phantom comments err = %v", err)
+	}
+}
+
+func TestBothFacesShareTheStore(t *testing.T) {
+	svc, _ := startService(t)
+	xc := xmlrpc.NewClient(svc.XMLRPCAddr(), XMLRPCPath)
+	defer xc.Close()
+	sc := soap.NewClient(svc.SOAPAddr(), SOAPPath)
+	defer sc.Close()
+
+	if _, err := xc.Call(MethodAddComment, map[string]xmlrpc.Value{
+		"photo_id": "photo-0005", "comment_text": "from xmlrpc",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	comments, err := sc.Call(MethodGetComments, soap.Param{Name: "photo_id", Value: "photo-0005"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comments) != 1 {
+		t.Errorf("cross-face comments = %+v", comments)
+	}
+}
+
+func TestPerPageAsString(t *testing.T) {
+	svc, _ := startService(t)
+	c := xmlrpc.NewClient(svc.XMLRPCAddr(), XMLRPCPath)
+	defer c.Close()
+	v, err := c.Call(MethodSearch, map[string]xmlrpc.Value{"text": "tree", "per_page": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	photos := v.(map[string]xmlrpc.Value)["photos"].([]xmlrpc.Value)
+	if len(photos) != 1 {
+		t.Errorf("photos = %d", len(photos))
+	}
+	_ = strconv.Itoa(0)
+}

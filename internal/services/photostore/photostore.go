@@ -1,0 +1,237 @@
+// Package photostore is the deterministic synthetic photo/comment dataset
+// behind the simulated Flickr and Picasa services. Because the live web
+// APIs the paper tested against are unavailable (and non-deterministic),
+// both services share one corpus: end-to-end assertions can then check
+// that a Flickr client talking *through the mediator* to Picasa sees the
+// same photos a native Picasa client sees.
+package photostore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Photo is one stored photograph.
+type Photo struct {
+	// ID is the photo identifier.
+	ID string
+	// Title is the display title.
+	Title string
+	// Owner is the uploader.
+	Owner string
+	// URL locates the JPEG.
+	URL string
+	// Tags are searchable keywords.
+	Tags []string
+}
+
+// Comment is one photo comment.
+type Comment struct {
+	// ID is the comment identifier.
+	ID string
+	// PhotoID is the photo commented on.
+	PhotoID string
+	// Author wrote the comment.
+	Author string
+	// Text is the comment body.
+	Text string
+}
+
+// ErrNoSuchPhoto is returned for unknown photo ids.
+var ErrNoSuchPhoto = errors.New("photostore: no such photo")
+
+// Store is a concurrency-safe photo/comment store.
+type Store struct {
+	mu       sync.Mutex
+	photos   []Photo
+	comments map[string][]Comment
+	nextCID  int
+}
+
+// New returns a store seeded with the deterministic corpus.
+func New() *Store {
+	s := &Store{comments: make(map[string][]Comment), nextCID: 1}
+	subjects := []struct {
+		title string
+		tags  []string
+	}{
+		{"tall tree at dawn", []string{"tree", "nature", "dawn"}},
+		{"oak tree in summer", []string{"tree", "oak", "summer"}},
+		{"pine forest path", []string{"tree", "forest", "path"}},
+		{"mountain lake", []string{"mountain", "lake", "water"}},
+		{"city skyline at night", []string{"city", "night", "skyline"}},
+		{"sleeping cat", []string{"cat", "pet", "indoor"}},
+		{"cat chasing leaves", []string{"cat", "tree", "autumn"}},
+		{"desert dunes", []string{"desert", "sand", "dunes"}},
+		{"harbour boats", []string{"sea", "boat", "harbour"}},
+		{"winter birch grove", []string{"tree", "winter", "snow"}},
+	}
+	owners := []string{"alice", "bob", "carol"}
+	for i, sub := range subjects {
+		id := fmt.Sprintf("photo-%04d", i+1)
+		s.photos = append(s.photos, Photo{
+			ID:    id,
+			Title: sub.title,
+			Owner: owners[i%len(owners)],
+			URL:   fmt.Sprintf("http://photos.example/%s.jpg", id),
+			Tags:  sub.tags,
+		})
+	}
+	// Seed comments on the tree photos so getList has content.
+	s.mustAdd("photo-0001", "bob", "lovely light")
+	s.mustAdd("photo-0001", "carol", "where is this?")
+	s.mustAdd("photo-0002", "alice", "majestic oak")
+	return s
+}
+
+func (s *Store) mustAdd(photoID, author, text string) {
+	if _, err := s.AddComment(photoID, author, text); err != nil {
+		panic(err)
+	}
+}
+
+// Search returns photos whose title or tags contain the query keyword
+// (case-insensitive), capped at limit when limit > 0. Results are in
+// stable corpus order.
+func (s *Store) Search(query string, limit int) []Photo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := strings.ToLower(strings.TrimSpace(query))
+	var out []Photo
+	for _, p := range s.photos {
+		if q != "" && !matches(p, q) {
+			continue
+		}
+		out = append(out, clonePhoto(p))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+func matches(p Photo, q string) bool {
+	if strings.Contains(strings.ToLower(p.Title), q) {
+		return true
+	}
+	for _, t := range p.Tags {
+		if strings.Contains(strings.ToLower(t), q) {
+			return true
+		}
+	}
+	return false
+}
+
+func clonePhoto(p Photo) Photo {
+	cp := p
+	cp.Tags = append([]string(nil), p.Tags...)
+	return cp
+}
+
+// Get returns the photo with the given id.
+func (s *Store) Get(id string) (Photo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.photos {
+		if p.ID == id {
+			return clonePhoto(p), true
+		}
+	}
+	return Photo{}, false
+}
+
+// Comments returns a photo's comments in insertion order.
+func (s *Store) Comments(photoID string) ([]Comment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasPhoto(photoID) {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchPhoto, photoID)
+	}
+	return append([]Comment(nil), s.comments[photoID]...), nil
+}
+
+// AddComment appends a comment and returns it with its assigned id.
+func (s *Store) AddComment(photoID, author, text string) (Comment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasPhoto(photoID) {
+		return Comment{}, fmt.Errorf("%w: %q", ErrNoSuchPhoto, photoID)
+	}
+	c := Comment{
+		ID:      fmt.Sprintf("comment-%04d", s.nextCID),
+		PhotoID: photoID,
+		Author:  author,
+		Text:    text,
+	}
+	s.nextCID++
+	s.comments[photoID] = append(s.comments[photoID], c)
+	return c, nil
+}
+
+func (s *Store) hasPhoto(id string) bool {
+	for _, p := range s.photos {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate returns a store with a deterministic synthetic corpus of n
+// photos (the workload generator for the scaling sweeps): subjects cycle
+// through a fixed set of themes, so keyword searches return ~n/5 hits.
+func Generate(n int) *Store {
+	s := &Store{comments: make(map[string][]Comment), nextCID: 1}
+	themes := []struct {
+		title string
+		tags  []string
+	}{
+		{"tree study %d", []string{"tree", "nature"}},
+		{"city scene %d", []string{"city", "road"}},
+		{"cat portrait %d", []string{"cat", "pet"}},
+		{"mountain view %d", []string{"mountain", "outdoors"}},
+		{"harbour light %d", []string{"sea", "harbour"}},
+	}
+	owners := []string{"alice", "bob", "carol", "dave"}
+	for i := 0; i < n; i++ {
+		th := themes[i%len(themes)]
+		id := fmt.Sprintf("photo-%06d", i+1)
+		s.photos = append(s.photos, Photo{
+			ID:    id,
+			Title: fmt.Sprintf(th.title, i+1),
+			Owner: owners[i%len(owners)],
+			URL:   fmt.Sprintf("http://photos.example/%s.jpg", id),
+			Tags:  append([]string(nil), th.tags...),
+		})
+	}
+	return s
+}
+
+// Len reports the corpus size.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.photos)
+}
+
+// Tags returns the distinct tags in the corpus, sorted (useful for
+// workload generators).
+func (s *Store) Tags() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[string]bool{}
+	for _, p := range s.photos {
+		for _, t := range p.Tags {
+			set[t] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,192 @@
+package photostore
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSeededCorpus(t *testing.T) {
+	s := New()
+	if s.Len() != 10 {
+		t.Errorf("corpus size = %d", s.Len())
+	}
+	p, ok := s.Get("photo-0001")
+	if !ok || p.Title != "tall tree at dawn" || p.Owner != "alice" {
+		t.Errorf("photo-0001 = %+v, %v", p, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("phantom photo")
+	}
+	// Deterministic across instances.
+	s2 := New()
+	a := s.Search("tree", 0)
+	b := s2.Search("tree", 0)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic corpus: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Errorf("order differs at %d: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+	}
+}
+
+func TestSearch(t *testing.T) {
+	s := New()
+	trees := s.Search("tree", 0)
+	if len(trees) != 5 {
+		t.Errorf("tree results = %d, want 5", len(trees))
+	}
+	for _, p := range trees {
+		lower := strings.ToLower(p.Title + " " + strings.Join(p.Tags, " "))
+		if !strings.Contains(lower, "tree") {
+			t.Errorf("non-matching result %+v", p)
+		}
+	}
+	if got := s.Search("tree", 3); len(got) != 3 {
+		t.Errorf("limited results = %d", len(got))
+	}
+	if got := s.Search("TREE", 0); len(got) != len(trees) {
+		t.Error("search not case-insensitive")
+	}
+	if got := s.Search("zebra", 0); len(got) != 0 {
+		t.Errorf("zebra results = %d", len(got))
+	}
+	if got := s.Search("", 2); len(got) != 2 {
+		t.Errorf("empty query with limit = %d", len(got))
+	}
+}
+
+func TestSearchReturnsCopies(t *testing.T) {
+	s := New()
+	got := s.Search("tree", 1)
+	got[0].Tags[0] = "mutated"
+	again := s.Search("tree", 1)
+	if again[0].Tags[0] == "mutated" {
+		t.Error("Search leaks internal tag slices")
+	}
+}
+
+func TestComments(t *testing.T) {
+	s := New()
+	cs, err := s.Comments("photo-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0].Author != "bob" {
+		t.Errorf("seed comments = %+v", cs)
+	}
+	if _, err := s.Comments("nope"); !errors.Is(err, ErrNoSuchPhoto) {
+		t.Errorf("err = %v", err)
+	}
+	c, err := s.AddComment("photo-0003", "dave", "nice path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == "" || c.PhotoID != "photo-0003" {
+		t.Errorf("added = %+v", c)
+	}
+	cs, _ = s.Comments("photo-0003")
+	if len(cs) != 1 || cs[0].Text != "nice path" {
+		t.Errorf("comments after add = %+v", cs)
+	}
+	if _, err := s.AddComment("nope", "x", "y"); !errors.Is(err, ErrNoSuchPhoto) {
+		t.Errorf("add to phantom err = %v", err)
+	}
+}
+
+func TestCommentIDsUnique(t *testing.T) {
+	s := New()
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		c, err := s.AddComment("photo-0004", "x", "y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate id %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Search("tree", 0)
+				if _, err := s.AddComment("photo-0001", "c", "t"); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+				if _, err := s.Comments("photo-0001"); err != nil {
+					t.Errorf("comments: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cs, _ := s.Comments("photo-0001")
+	if len(cs) != 2+8*50 {
+		t.Errorf("comment count = %d", len(cs))
+	}
+}
+
+func TestTags(t *testing.T) {
+	s := New()
+	tags := s.Tags()
+	if len(tags) == 0 {
+		t.Fatal("no tags")
+	}
+	for i := 1; i < len(tags); i++ {
+		if tags[i-1] >= tags[i] {
+			t.Fatalf("tags not sorted/unique at %d: %v", i, tags)
+		}
+	}
+	found := false
+	for _, tag := range tags {
+		if tag == "tree" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tree tag missing")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	s := Generate(100)
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	trees := s.Search("tree", 0)
+	if len(trees) != 20 {
+		t.Errorf("tree hits = %d, want 20", len(trees))
+	}
+	// Deterministic.
+	s2 := Generate(100)
+	a, b := s.Search("cat", 3), s2.Search("cat", 3)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	// IDs unique.
+	seen := map[string]bool{}
+	for _, p := range s.Search("", 0) {
+		if seen[p.ID] {
+			t.Fatalf("duplicate id %s", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	if _, err := s.AddComment("photo-000001", "x", "y"); err != nil {
+		t.Errorf("generated photos must accept comments: %v", err)
+	}
+}

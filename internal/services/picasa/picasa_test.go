@@ -1,0 +1,121 @@
+package picasa
+
+import (
+	"strings"
+	"testing"
+
+	"starlink/internal/protocol/httpwire"
+	"starlink/internal/protocol/rest"
+	"starlink/internal/services/photostore"
+)
+
+func startService(t *testing.T) (*Service, *photostore.Store) {
+	t.Helper()
+	store := photostore.New()
+	svc, err := New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc, store
+}
+
+func TestSearchFeed(t *testing.T) {
+	svc, store := startService(t)
+	c := rest.NewClient(svc.Addr())
+	defer c.Close()
+
+	feed, err := c.Search("tree", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Entries) != 3 {
+		t.Fatalf("entries = %d", len(feed.Entries))
+	}
+	// The Picasa feed delivers the photo URL directly in the search result
+	// (the behaviour difference of Section 2.1).
+	want, _ := store.Get(feed.Entries[0].ID)
+	if feed.Entries[0].ContentSrc != want.URL {
+		t.Errorf("content src = %q, want %q", feed.Entries[0].ContentSrc, want.URL)
+	}
+	if feed.Entries[0].ContentType != "image/jpeg" {
+		t.Errorf("content type = %q", feed.Entries[0].ContentType)
+	}
+}
+
+func TestCommentsAndAdd(t *testing.T) {
+	svc, _ := startService(t)
+	c := rest.NewClient(svc.Addr())
+	defer c.Close()
+
+	before, err := c.Comments("photo-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := c.AddComment("photo-0001", "wonderful")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.ID == "" || added.Summary != "wonderful" {
+		t.Errorf("added = %+v", added)
+	}
+	after, err := c.Comments("photo-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Len() != before.Len()+1 {
+		t.Errorf("comments %d -> %d", before.Len(), after.Len())
+	}
+	last := after.Entries[len(after.Entries)-1]
+	if last.Summary != "wonderful" || last.Author != "picasa-user" {
+		t.Errorf("last comment = %+v", last)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	svc, _ := startService(t)
+	hc := &httpwire.Client{Addr: svc.Addr()}
+	defer hc.Close()
+
+	cases := []struct {
+		method, target string
+		body           string
+		wantStatus     int
+	}{
+		{"GET", rest.BasePath + "/all", "", 400},                         // missing q
+		{"GET", rest.BasePath + "/photoid/photo-0001", "", 400},          // missing kind
+		{"GET", rest.BasePath + "/photoid/ghost?kind=comment", "", 404},  // unknown photo
+		{"GET", "/somewhere/else", "", 404},                              // unknown route
+		{"POST", rest.BasePath + "/photoid/photo-0001", "not xml", 400},  // bad entry
+		{"POST", rest.BasePath + "/photoid/photo-0001", "<entry/>", 400}, // empty comment
+		{"POST", rest.BasePath + "/photoid/ghost", "<entry><summary>x</summary></entry>", 404},
+		{"DELETE", rest.BasePath + "/photoid/photo-0001", "", 404}, // unsupported verb
+	}
+	for _, tt := range cases {
+		resp, err := hc.Do(&httpwire.Request{
+			Method: tt.method, Target: tt.target, Body: []byte(tt.body),
+		})
+		if err != nil {
+			t.Fatalf("%s %s: %v", tt.method, tt.target, err)
+		}
+		if resp.Status != tt.wantStatus {
+			t.Errorf("%s %s = %d, want %d", tt.method, tt.target, resp.Status, tt.wantStatus)
+		}
+	}
+}
+
+func TestFeedLen(t *testing.T) {
+	svc, _ := startService(t)
+	c := rest.NewClient(svc.Addr())
+	defer c.Close()
+	feed, err := c.Search("tree", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feed.Len() != 5 {
+		t.Errorf("Len = %d", feed.Len())
+	}
+	if !strings.Contains(feed.Title, "Search") {
+		t.Errorf("title = %q", feed.Title)
+	}
+}

@@ -1,0 +1,48 @@
+package starlink_test
+
+import (
+	"fmt"
+
+	"starlink/internal/casestudy"
+	"starlink/starlink"
+)
+
+// ExampleMerge shows the paper's Fig. 7/8 merge: two API usage automata
+// whose only alignment input is one field equivalence.
+func ExampleMerge() {
+	merged, err := starlink.Merge(
+		casestudy.AddUsage(),  // IIOP client: Add(x, y) -> z
+		casestudy.PlusUsage(), // SOAP service: Plus(x, y) -> result
+		starlink.MergeOptions{
+			Name:  "Add+Plus",
+			Equiv: starlink.NewEquivalence([2]string{"z", "result"}),
+		},
+	)
+	if err != nil {
+		fmt.Println("merge failed:", err)
+		return
+	}
+	fmt.Println(merged.Name, "is", merged.Strength)
+	fmt.Println("bicolored states:", len(merged.BicoloredStates()))
+	fmt.Println("Add resolved:", merged.Pairings[0].Kind)
+	// Output:
+	// Add+Plus is strongly merged
+	// bicolored states: 2
+	// Add resolved: intertwined
+}
+
+// ExampleParseMTL compiles a Fig. 9-style translation program.
+func ExampleParseMTL() {
+	prog, err := starlink.ParseMTL(`
+sethost("https://picasaweb.google.com")
+out.Msg.q = in.Msg.text
+try out.Msg.max-results = in.Msg.per_page
+`)
+	if err != nil {
+		fmt.Println("parse failed:", err)
+		return
+	}
+	fmt.Println("statements:", prog.Len())
+	// Output:
+	// statements: 3
+}

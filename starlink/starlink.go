@@ -1,0 +1,143 @@
+// Package starlink is the public API of the Starlink interoperability
+// framework — a Go reproduction of "Bridging the Interoperability Gap:
+// Overcoming Combined Application and Middleware Heterogeneity"
+// (Bromberg, Grace, Réveillère, Blair — MIDDLEWARE 2011).
+//
+// Starlink connects applications that differ at BOTH the application
+// level (operation names, parameters, behaviour sequences) and the
+// middleware level (XML-RPC vs SOAP vs REST vs IIOP). Developers model
+// each side's API usage protocol as a colored automaton, state which
+// fields are semantically equivalent, and either merge the automata
+// automatically or author the merged k-colored automaton by hand; the
+// runtime interprets the result as a network mediator.
+//
+// A minimal end-to-end use:
+//
+//	models, err := starlink.LoadModels("models")
+//	if err != nil { ... }
+//	merged, err := models.Merge("AAdd", "APlus", "add-plus", "Add+Plus")
+//	if err != nil { ... }
+//	med, err := models.BuildMediator(&starlink.MediatorSpec{
+//		MergedName: "Add+Plus",
+//		Sides: []starlink.SideSpec{
+//			{Color: 1, Protocol: "giop", Defs: "AAdd", Server: true},
+//			{Color: 2, Protocol: "soap", Path: "/soap", Target: serviceAddr},
+//		},
+//	})
+//	if err != nil { ... }
+//	med.Start("127.0.0.1:9001")
+//	defer med.Close()
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+package starlink
+
+import (
+	"strings"
+
+	"starlink/internal/automata"
+	"starlink/internal/bind"
+	"starlink/internal/core"
+	"starlink/internal/engine"
+	"starlink/internal/mdl"
+	"starlink/internal/message"
+	"starlink/internal/mtl"
+)
+
+// Model and runtime types. These are aliases so the whole framework
+// shares one set of definitions; methods documented on the aliased types
+// apply unchanged.
+type (
+	// Automaton is a colored API usage (or protocol) automaton.
+	Automaton = automata.Automaton
+	// Transition is one edge of an Automaton.
+	Transition = automata.Transition
+	// MsgDef is the abstract-message template carried by transitions.
+	MsgDef = automata.MsgDef
+	// Equivalence is the semantic-equivalence relation over field labels.
+	Equivalence = automata.Equivalence
+	// MergeOptions configure automatic merging.
+	MergeOptions = automata.MergeOptions
+	// Merged is a k-colored merged automaton.
+	Merged = automata.Merged
+	// Message is an abstract message.
+	Message = message.Message
+	// Field is one labelled node of an abstract message.
+	Field = message.Field
+	// MDLSpec is a parsed Message Description Language document.
+	MDLSpec = mdl.Spec
+	// MTLProgram is a compiled Message Translation Logic program.
+	MTLProgram = mtl.Program
+	// Binder maps between concrete packets and abstract actions.
+	Binder = bind.Binder
+	// Route is one REST binding rule.
+	Route = bind.Route
+	// Models is a loaded model set.
+	Models = core.Models
+	// MediatorSpec is a mediator deployment description.
+	MediatorSpec = core.MediatorSpec
+	// SideSpec configures one color of a deployment.
+	SideSpec = core.SideSpec
+	// Mediator is a running (or startable) mediator.
+	Mediator = engine.Mediator
+	// EngineConfig assembles a mediator programmatically.
+	EngineConfig = engine.Config
+	// EngineSide configures one color programmatically.
+	EngineSide = engine.Side
+)
+
+// Action constants for automaton transitions.
+const (
+	// Send is the "!" action: invoke a remote operation.
+	Send = automata.Send
+	// Receive is the "?" action: receive an invocation's reply.
+	Receive = automata.Receive
+)
+
+// Merge strengths.
+const (
+	// StronglyMerged: every operation is intertwined or derivable.
+	StronglyMerged = automata.StronglyMerged
+	// WeaklyMerged: some replies cannot be derived.
+	WeaklyMerged = automata.WeaklyMerged
+)
+
+// LoadModels reads every model artifact (automata, merged automata, MDL,
+// routes, equivalences, mediator specs) under dir.
+func LoadModels(dir string) (*Models, error) { return core.LoadModels(dir) }
+
+// NewModels returns an empty model set with all built-in MDL engines.
+func NewModels() *Models { return core.NewModels() }
+
+// Merge constructs the k-colored merged automaton of two API usage
+// automata under a semantic-equivalence relation (paper Definitions 5-8).
+func Merge(a1, a2 *Automaton, opts MergeOptions) (*Merged, error) {
+	return automata.Merge(a1, a2, opts)
+}
+
+// NewEquivalence builds a semantic-equivalence relation from label pairs.
+func NewEquivalence(pairs ...[2]string) *Equivalence {
+	return automata.NewEquivalence(pairs...)
+}
+
+// ParseAutomaton reads an automaton from its XML form.
+func ParseAutomaton(doc string) (*Automaton, error) {
+	return automata.ParseAutomaton(doc)
+}
+
+// ParseMerged reads a merged automaton from its XML form.
+func ParseMerged(doc string) (*Merged, error) {
+	return automata.UnmarshalMerged(strings.NewReader(doc))
+}
+
+// ParseMDL reads a Message Description Language document.
+func ParseMDL(doc string) (*MDLSpec, error) { return mdl.ParseString(doc) }
+
+// ParseMTL compiles a Message Translation Logic program.
+func ParseMTL(src string) (*MTLProgram, error) { return mtl.Parse(src) }
+
+// ParseRoutes reads a REST binding route table.
+func ParseRoutes(doc string) ([]Route, error) { return bind.ParseRoutes(doc) }
+
+// NewMediator assembles a mediator from a programmatic configuration.
+func NewMediator(cfg EngineConfig) (*Mediator, error) { return engine.New(cfg) }

@@ -1,0 +1,96 @@
+package starlink_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"starlink/internal/casestudy"
+	"starlink/starlink"
+)
+
+func TestPublicMergeAndTypes(t *testing.T) {
+	merged, err := starlink.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), starlink.MergeOptions{
+		Name:  "Add+Plus",
+		Equiv: starlink.NewEquivalence([2]string{"z", "result"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Strength != starlink.StronglyMerged {
+		t.Errorf("strength = %v", merged.Strength)
+	}
+	data, err := merged.EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := starlink.ParseMerged(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "Add+Plus" {
+		t.Errorf("name = %q", back.Name)
+	}
+}
+
+func TestPublicParsers(t *testing.T) {
+	if _, err := starlink.ParseMDL(casestudy.GIOPMDLDoc); err != nil {
+		t.Errorf("ParseMDL: %v", err)
+	}
+	if _, err := starlink.ParseMTL(`a.Msg.x = 1`); err != nil {
+		t.Errorf("ParseMTL: %v", err)
+	}
+	routes, err := starlink.ParseRoutes(casestudy.PicasaRoutesDoc)
+	if err != nil || len(routes) != 3 {
+		t.Errorf("ParseRoutes: %v, %d", err, len(routes))
+	}
+	doc, err := casestudy.FlickrUsage().EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := starlink.ParseAutomaton(string(doc))
+	if err != nil || a.Name != "AFlickr" {
+		t.Errorf("ParseAutomaton: %v, %v", err, a)
+	}
+}
+
+func TestPublicLoadModels(t *testing.T) {
+	dir := t.TempDir()
+	data, err := casestudy.PicasaUsage().EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "picasa.automaton.xml"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "picasa.routes"), []byte(casestudy.PicasaRoutesDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	models, err := starlink.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if models.Automata["APicasa"] == nil || len(models.Routes["picasa"]) != 3 {
+		t.Error("models not loaded")
+	}
+	empty := starlink.NewModels()
+	if len(empty.Registry.Encodings()) != 3 {
+		t.Errorf("encodings = %v", empty.Registry.Encodings())
+	}
+}
+
+func TestPublicActionsRender(t *testing.T) {
+	if starlink.Send.String() != "!" || starlink.Receive.String() != "?" {
+		t.Error("action notation")
+	}
+	m, err := starlink.Merge(casestudy.FlickrUsage(), casestudy.PicasaUsage(), starlink.MergeOptions{
+		Equiv: casestudy.Equivalence(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.DOT(), "digraph") {
+		t.Error("DOT export broken through the public surface")
+	}
+}
