@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test check race bench fault-soak experiments fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# Tier-1: everything must build and every test pass.
+test: build
+	$(GO) test ./...
+
+# Race-enabled pass over the subsystems with real concurrency: the
+# mediation engine (sessions, retry/redial) and the network layer
+# (framers, fault injection).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/network/...
+
+# The full gate: vet, tier-1, and the race pass.
+check: test
+	$(GO) vet ./...
+	$(MAKE) race
+
+bench:
+	$(GO) test -bench . -benchtime 50x -run '^$$' .
+
+# The fault-path soak on its own: mediated flows while the service is
+# periodically killed and restarted (see BenchmarkE11FaultRecoverySoak).
+fault-soak:
+	$(GO) test -bench BenchmarkE11FaultRecoverySoak -benchtime 200x -run '^$$' .
+
+experiments:
+	$(GO) run ./cmd/benchharness
+
+fmt:
+	gofmt -l -w .

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strconv"
 	"testing"
+	"time"
 
 	"starlink/internal/automata"
 	"starlink/internal/bind"
@@ -184,6 +185,88 @@ func BenchmarkE4AddViaProtocolBridge(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- E11: fault-recovery soak ----
+
+// BenchmarkE11FaultRecoverySoak measures the mediated Add/Plus exchange
+// while the SOAP service is periodically killed and restarted on the
+// same address. Every iteration must still succeed: the figure reported
+// is the mediation latency including amortised evict/redial/replay
+// recovery.
+func BenchmarkE11FaultRecoverySoak(b *testing.B) {
+	plusOps := map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			x, _ := strconv.Atoi(params[0].Value)
+			y, _ := strconv.Atoi(params[1].Value)
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	}
+	srv, err := soap.NewServer("127.0.0.1:0", "/soap", plusOps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := srv.Addr()
+	b.Cleanup(func() { srv.Close() })
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	med, err := engine.New(engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: addr},
+		},
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { med.Close() })
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { client.Close() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%50 == 0 {
+			// Kill the service mid-session and bring it back on the same
+			// address; the next exchange hits the dead cached connection.
+			srv.Close()
+			srv, err = soap.NewServer(addr, "/soap", plusOps)
+			if err != nil {
+				b.Fatalf("rebind %s: %v", addr, err)
+			}
+		}
+		results, err := client.Invoke("Add", giop.IntParam(20), giop.IntParam(22))
+		if err != nil {
+			b.Fatalf("iteration %d: %v", i, err)
+		}
+		if results[0].ValueString() != "42" {
+			b.Fatalf("iteration %d: got %s", i, results[0].ValueString())
+		}
+	}
+	b.StopTimer()
+	st := med.Stats()
+	if b.N > 50 && st.Redials == 0 {
+		b.Error("soak never exercised recovery")
+	}
+	if st.Failures != 0 {
+		b.Errorf("failures = %d, want 0", st.Failures)
+	}
+	b.ReportMetric(float64(st.Redials), "redials")
 }
 
 // ---- E5/E7 (Fig. 9, §5.1): case-study flows, mediated vs native ----

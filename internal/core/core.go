@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"starlink/internal/automata"
 	"starlink/internal/bind"
@@ -229,6 +231,9 @@ type SideSpec struct {
 //	side <color> <protocol> [key=value ...] [server] [udp]
 //	hostmap <logical-host> = <addr>
 //	typemap <name>
+//	retries <n>
+//	backoff <duration>
+//	dialtimeout <duration>
 type MediatorSpec struct {
 	// MergedName names the merged automaton to execute.
 	MergedName string
@@ -240,6 +245,14 @@ type MediatorSpec struct {
 	HostMap map[string]string
 	// TypeMap names a loaded vocabulary map exposed as maptype().
 	TypeMap string
+	// Retries overrides the engine's service-retry count when non-nil
+	// (0 disables retries).
+	Retries *int
+	// Backoff overrides the engine's retry backoff when non-zero.
+	Backoff time.Duration
+	// DialTimeout overrides the engine's service dial timeout when
+	// non-zero.
+	DialTimeout time.Duration
 }
 
 // ParseMediatorSpec reads a deployment spec document.
@@ -305,6 +318,33 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 				return nil, fmt.Errorf("%w: line %d: typemap <name>", ErrSpec, lineNo+1)
 			}
 			spec.TypeMap = fields[1]
+		case "retries":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: retries <n>", ErrSpec, lineNo+1)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: line %d: bad retry count %q", ErrSpec, lineNo+1, fields[1])
+			}
+			spec.Retries = &n
+		case "backoff":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: backoff <duration>", ErrSpec, lineNo+1)
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("%w: line %d: bad backoff %q", ErrSpec, lineNo+1, fields[1])
+			}
+			spec.Backoff = d
+		case "dialtimeout":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: dialtimeout <duration>", ErrSpec, lineNo+1)
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("%w: line %d: bad dial timeout %q", ErrSpec, lineNo+1, fields[1])
+			}
+			spec.DialTimeout = d
 		case "hostmap":
 			rest := strings.TrimSpace(strings.TrimPrefix(line, "hostmap"))
 			host, addr, ok := strings.Cut(rest, "=")
@@ -366,9 +406,18 @@ func (m *Models) BuildMediator(spec *MediatorSpec) (*engine.Mediator, error) {
 		return nil, fmt.Errorf("%w: merged automaton %q not loaded", ErrSpec, spec.MergedName)
 	}
 	cfg := engine.Config{
-		Merged:  merged,
-		Sides:   make(map[int]*engine.Side, len(spec.Sides)),
-		HostMap: spec.HostMap,
+		Merged:       merged,
+		Sides:        make(map[int]*engine.Side, len(spec.Sides)),
+		HostMap:      spec.HostMap,
+		RetryBackoff: spec.Backoff,
+		DialTimeout:  spec.DialTimeout,
+	}
+	if spec.Retries != nil {
+		if *spec.Retries == 0 {
+			cfg.DialRetries = -1 // spec "retries 0" means none
+		} else {
+			cfg.DialRetries = *spec.Retries
+		}
 	}
 	if spec.TypeMap != "" {
 		tm, ok := m.TypeMaps[spec.TypeMap]

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"starlink/internal/automata"
 	"starlink/internal/casestudy"
@@ -130,21 +131,70 @@ func TestParseEquivalence(t *testing.T) {
 func TestParseMediatorSpecErrors(t *testing.T) {
 	cases := []string{
 		"",
-		"merged x",                              // no sides
-		"side 1 xmlrpc server",                  // no merged
-		"merged x\nside one xmlrpc",             // bad color
-		"merged x\nside 1 xmlrpc foo",           // bad option
-		"merged x\nside 1 xmlrpc a=b",           // unknown option
-		"merged x\nside 1 xmlrpc\nwat 1",        // unknown directive
-		"merged x\nmerged",                      // malformed merged
-		"merged x\nlisten",                      // malformed listen
-		"merged x\nside 1",                      // short side
-		"merged x\nside 1 xmlrpc\nhostmap nope", // malformed hostmap
+		"merged x",                                // no sides
+		"side 1 xmlrpc server",                    // no merged
+		"merged x\nside one xmlrpc",               // bad color
+		"merged x\nside 1 xmlrpc foo",             // bad option
+		"merged x\nside 1 xmlrpc a=b",             // unknown option
+		"merged x\nside 1 xmlrpc\nwat 1",          // unknown directive
+		"merged x\nmerged",                        // malformed merged
+		"merged x\nlisten",                        // malformed listen
+		"merged x\nside 1",                        // short side
+		"merged x\nside 1 xmlrpc\nhostmap nope",   // malformed hostmap
+		"merged x\nside 1 xmlrpc\nretries",        // malformed retries
+		"merged x\nside 1 xmlrpc\nretries -1",     // negative retries
+		"merged x\nside 1 xmlrpc\nretries two",    // non-numeric retries
+		"merged x\nside 1 xmlrpc\nbackoff",        // malformed backoff
+		"merged x\nside 1 xmlrpc\nbackoff -5ms",   // negative backoff
+		"merged x\nside 1 xmlrpc\nbackoff fast",   // unparseable backoff
+		"merged x\nside 1 xmlrpc\ndialtimeout",    // malformed dialtimeout
+		"merged x\nside 1 xmlrpc\ndialtimeout 0s", // zero dialtimeout
 	}
 	for _, doc := range cases {
 		if _, err := core.ParseMediatorSpec(doc); !errors.Is(err, core.ErrSpec) {
 			t.Errorf("ParseMediatorSpec(%q) err = %v", doc, err)
 		}
+	}
+}
+
+func TestParseMediatorSpecFaultDirectives(t *testing.T) {
+	spec, err := core.ParseMediatorSpec(`
+merged Add+Plus
+side 1 giop defs=AAdd server
+side 2 soap path=/soap target=127.0.0.1:9999
+retries 4
+backoff 25ms
+dialtimeout 3s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Retries == nil || *spec.Retries != 4 {
+		t.Errorf("Retries = %v, want 4", spec.Retries)
+	}
+	if spec.Backoff != 25*time.Millisecond {
+		t.Errorf("Backoff = %v", spec.Backoff)
+	}
+	if spec.DialTimeout != 3*time.Second {
+		t.Errorf("DialTimeout = %v", spec.DialTimeout)
+	}
+
+	// retries 0 is valid and means "disable recovery".
+	spec, err = core.ParseMediatorSpec("merged x\nside 1 xmlrpc path=/x server\nretries 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Retries == nil || *spec.Retries != 0 {
+		t.Errorf("Retries = %v, want 0", spec.Retries)
+	}
+
+	// Omitted directives leave the engine defaults in charge.
+	spec, err = core.ParseMediatorSpec("merged x\nside 1 xmlrpc path=/x server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Retries != nil || spec.Backoff != 0 || spec.DialTimeout != 0 {
+		t.Errorf("defaults polluted: %+v", spec)
 	}
 }
 

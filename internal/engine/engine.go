@@ -54,6 +54,10 @@ type Side struct {
 	// Target is the service address for client-role colors (ignored on the
 	// server color).
 	Target string
+	// Dialer optionally overrides how service connections are opened for
+	// this side; tests use it to inject faulty transports. Defaults to
+	// the network engine with the configured dial timeout.
+	Dialer func(sem network.Semantics, addr string, framer network.Framer) (network.Conn, error)
 }
 
 // Config assembles a mediator.
@@ -72,6 +76,82 @@ type Config struct {
 	Funcs map[string]mtl.Func
 	// ExchangeTimeout bounds each network exchange (default 10s).
 	ExchangeTimeout time.Duration
+	// DialRetries is how many times a failed service-side exchange is
+	// retried on a fresh connection before the session fails: 0 means the
+	// default (2), a negative value disables retries.
+	DialRetries int
+	// RetryBackoff is slept before the first retry and doubles with each
+	// further attempt: 0 means the default (50ms), a negative value
+	// disables the sleep.
+	RetryBackoff time.Duration
+	// DialTimeout bounds each service dial (default
+	// network.DefaultDialTimeout).
+	DialTimeout time.Duration
+	// Trace, when non-nil, receives one event per observable mediation
+	// step (state entered, transition fired, redial, session error). It
+	// is called synchronously from session goroutines and must be fast
+	// and concurrency-safe.
+	Trace func(TraceEvent)
+}
+
+// DefaultDialRetries and DefaultRetryBackoff are the fault-recovery
+// defaults applied when Config leaves the knobs zero.
+const (
+	DefaultDialRetries  = 2
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
+// TraceKind classifies TraceEvents.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceState fires when a session's automaton enters a state.
+	TraceState TraceKind = iota
+	// TraceTransition fires after a transition executes.
+	TraceTransition
+	// TraceRedial fires when a service connection is replaced (fault
+	// recovery or a sethost retarget after the first dial).
+	TraceRedial
+	// TraceError fires when a session ends with an error.
+	TraceError
+)
+
+// String names the kind for logs.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceState:
+		return "state"
+	case TraceTransition:
+		return "transition"
+	case TraceRedial:
+		return "redial"
+	case TraceError:
+		return "error"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one observable step of a mediation session, delivered to
+// the Config.Trace hook.
+type TraceEvent struct {
+	// Session numbers the client connection (1-based, in accept order).
+	Session uint64
+	// Kind selects which fields below are meaningful.
+	Kind TraceKind
+	// State is the state entered (TraceState) or the transition's target
+	// (TraceTransition).
+	State string
+	// Transition is "from->to" for TraceTransition.
+	Transition string
+	// Color is the side a message transition or redial concerns.
+	Color int
+	// Attempt is the retry attempt for TraceRedial (0 for a sethost
+	// retarget).
+	Attempt int
+	// Err carries the cause for TraceError and fault-driven TraceRedial.
+	Err error
 }
 
 // Stats are a mediator's lifetime counters.
@@ -88,13 +168,27 @@ type Stats struct {
 	// Failures is the number of sessions that ended with an error other
 	// than the client disconnecting between flows.
 	Failures uint64
+	// Redials counts service connections that were replaced during a
+	// session — after a transport fault or a sethost retarget.
+	Redials uint64
+	// RetriesExhausted counts service exchanges that still failed after
+	// every configured retry.
+	RetriesExhausted uint64
+	// ClientFailures counts failed exchanges with the client application
+	// (unparseable requests, unexpected actions, reply send errors).
+	ClientFailures uint64
+	// ServiceFailures counts service-side exchanges that failed for good
+	// (retries exhausted, protocol errors, unparseable replies).
+	ServiceFailures uint64
 }
 
 // statCounters is the internal atomic form of Stats.
 type statCounters struct {
-	sessions, flows, translations atomic.Uint64
-	messagesIn, messagesOut       atomic.Uint64
-	failures                      atomic.Uint64
+	sessions, flows, translations   atomic.Uint64
+	messagesIn, messagesOut         atomic.Uint64
+	failures                        atomic.Uint64
+	redials, retriesExhausted       atomic.Uint64
+	clientFailures, serviceFailures atomic.Uint64
 }
 
 // Mediator executes merged automata, one session per accepted client
@@ -102,6 +196,7 @@ type statCounters struct {
 type Mediator struct {
 	cfg      Config
 	programs map[int]*mtl.Program // transition index -> compiled MTL
+	outs     map[string]outgoing  // state -> outgoing transitions, precomputed
 	listener network.Listener
 	stats    statCounters
 
@@ -114,12 +209,16 @@ type Mediator struct {
 // Stats returns a snapshot of the mediator's counters.
 func (m *Mediator) Stats() Stats {
 	return Stats{
-		Sessions:     m.stats.sessions.Load(),
-		Flows:        m.stats.flows.Load(),
-		Translations: m.stats.translations.Load(),
-		MessagesIn:   m.stats.messagesIn.Load(),
-		MessagesOut:  m.stats.messagesOut.Load(),
-		Failures:     m.stats.failures.Load(),
+		Sessions:         m.stats.sessions.Load(),
+		Flows:            m.stats.flows.Load(),
+		Translations:     m.stats.translations.Load(),
+		MessagesIn:       m.stats.messagesIn.Load(),
+		MessagesOut:      m.stats.messagesOut.Load(),
+		Failures:         m.stats.failures.Load(),
+		Redials:          m.stats.redials.Load(),
+		RetriesExhausted: m.stats.retriesExhausted.Load(),
+		ClientFailures:   m.stats.clientFailures.Load(),
+		ServiceFailures:  m.stats.serviceFailures.Load(),
 	}
 }
 
@@ -133,6 +232,18 @@ func New(cfg Config) (*Mediator, error) {
 	}
 	if cfg.ExchangeTimeout == 0 {
 		cfg.ExchangeTimeout = 10 * time.Second
+	}
+	switch {
+	case cfg.DialRetries == 0:
+		cfg.DialRetries = DefaultDialRetries
+	case cfg.DialRetries < 0:
+		cfg.DialRetries = 0
+	}
+	switch {
+	case cfg.RetryBackoff == 0:
+		cfg.RetryBackoff = DefaultRetryBackoff
+	case cfg.RetryBackoff < 0:
+		cfg.RetryBackoff = 0
 	}
 	colors := map[int]bool{}
 	for _, t := range cfg.Merged.Transitions {
@@ -155,9 +266,14 @@ func New(cfg Config) (*Mediator, error) {
 	m := &Mediator{
 		cfg:      cfg,
 		programs: make(map[int]*mtl.Program),
+		outs:     make(map[string]outgoing),
 		conns:    make(map[network.Conn]struct{}),
 	}
 	for i, t := range cfg.Merged.Transitions {
+		o := m.outs[t.From]
+		o.ts = append(o.ts, t)
+		o.idx = append(o.idx, i)
+		m.outs[t.From] = o
 		if t.Kind != automata.KindGamma {
 			continue
 		}
@@ -168,6 +284,14 @@ func New(cfg Config) (*Mediator, error) {
 		m.programs[i] = prog
 	}
 	return m, nil
+}
+
+// outgoing is a state's outgoing transitions with their global indices,
+// precomputed in New so each automaton step is O(1) instead of a rescan
+// of the whole transition list.
+type outgoing struct {
+	ts  []automata.MergedTransition
+	idx []int
 }
 
 // stripComments drops generator comment lines so auto-generated MTL with
@@ -217,10 +341,17 @@ func (m *Mediator) acceptLoop() {
 		m.conns[conn] = struct{}{}
 		m.mu.Unlock()
 		m.wg.Add(1)
-		m.stats.sessions.Add(1)
+		id := m.stats.sessions.Add(1)
 		go func() {
 			defer m.wg.Done()
-			s := &session{med: m, client: conn, services: make(map[int]network.Conn)}
+			s := &session{
+				med:      m,
+				id:       id,
+				client:   conn,
+				services: make(map[int]*serviceLink),
+				lastWire: make(map[int][]byte),
+				dialed:   make(map[int]struct{}),
+			}
 			s.run()
 		}()
 	}
@@ -257,10 +388,20 @@ func (m *Mediator) removeConn(c network.Conn) {
 // whole behaviour repeatedly on one connection.
 type session struct {
 	med      *Mediator
+	id       uint64
 	client   network.Conn
-	services map[int]network.Conn
+	services map[int]*serviceLink
 	cache    mtl.Cache
-	// hostOverride holds sethost retargets per color.
+	// lastWire keeps the last request sent to each service color so a
+	// reply lost to a transport fault can be replayed on a fresh
+	// connection.
+	lastWire map[int][]byte
+	// dialed marks colors that have been dialled at least once, so a
+	// replacement dial can be counted as a redial.
+	dialed map[int]struct{}
+	// hostOverride holds the current flow's sethost retarget; it is
+	// cleared when the automaton restarts so one traversal's retarget
+	// cannot leak into the next.
 	hostOverride string
 	// pendingAction / pendingRequest track a client request that has not
 	// been answered yet, so a mediation failure can be reported as a
@@ -269,21 +410,39 @@ type session struct {
 	pendingRequest *message.Message
 }
 
+// serviceLink is a cached service-side connection together with the
+// address it was dialled to, so a later sethost retarget is detected
+// instead of silently ignored.
+type serviceLink struct {
+	conn network.Conn
+	addr string
+}
+
+// trace delivers ev to the configured hook, stamping the session id.
+func (s *session) trace(ev TraceEvent) {
+	if s.med.cfg.Trace != nil {
+		ev.Session = s.id
+		s.med.cfg.Trace(ev)
+	}
+}
+
 func (s *session) run() {
 	defer func() {
 		s.client.Close()
 		s.med.removeConn(s.client)
-		for _, c := range s.services {
-			c.Close()
+		for _, link := range s.services {
+			link.conn.Close()
 		}
 	}()
 	for {
 		s.pendingAction, s.pendingRequest = "", nil
+		s.hostOverride = ""
 		if err := s.runAutomaton(); err != nil {
 			// A recv error on the very first transition of a flow is the
 			// client ending the keep-alive connection, not a failure.
 			if !errors.Is(err, errSessionDone) {
 				s.med.stats.failures.Add(1)
+				s.trace(TraceEvent{Kind: TraceError, Err: err})
 				s.sendErrorReply(err)
 			}
 			return
@@ -332,32 +491,39 @@ func (s *session) runAutomaton() error {
 	var lastClientRequest *message.Message
 	lastServiceAction := map[int]string{}
 
+	s.trace(TraceEvent{Kind: TraceState, State: state})
 	for !merged.IsFinal(state) {
-		outs := merged.Out(state)
-		if len(outs) == 0 {
+		out := s.med.outs[state]
+		if len(out.ts) == 0 {
 			return fmt.Errorf("%w: state %s has no outgoing transitions", ErrStuck, state)
 		}
-		if len(outs) > 1 {
+		if len(out.ts) > 1 {
 			// Branch state: the client application chooses the next
 			// operation. All alternatives must be client-side invocations;
 			// the received action selects the branch.
-			next, err := s.execBranch(outs, env, &lastClientAction, &lastClientRequest)
+			next, err := s.execBranch(out.ts, env, &lastClientAction, &lastClientRequest)
 			if err != nil {
 				return err
 			}
 			state = next
+			s.trace(TraceEvent{Kind: TraceState, State: state})
 			continue
 		}
-		t, idx := outs[0], transitionIndex(merged, state, 0)
+		t, idx := out.ts[0], out.idx[0]
 		switch t.Kind {
 		case automata.KindGamma:
 			env.Host = ""
-			if prog := s.med.programs[idx]; prog != nil {
-				if err := prog.Exec(env); err != nil {
-					return fmt.Errorf("γ %s->%s: %w", t.From, t.To, err)
-				}
-				s.med.stats.translations.Add(1)
+			prog, ok := s.med.programs[idx]
+			if !ok {
+				// Defensive: every γ transition gets a compiled program in
+				// New; a miss means the automaton changed under us, and
+				// skipping the translation would corrupt the flow.
+				return fmt.Errorf("%w: no compiled γ program for %s->%s", ErrStuck, t.From, t.To)
 			}
+			if err := prog.Exec(env); err != nil {
+				return fmt.Errorf("γ %s->%s: %w", t.From, t.To, err)
+			}
+			s.med.stats.translations.Add(1)
 			if env.Host != "" {
 				s.hostOverride = env.Host
 			}
@@ -366,7 +532,9 @@ func (s *session) runAutomaton() error {
 				return err
 			}
 		}
+		s.trace(TraceEvent{Kind: TraceTransition, State: t.To, Transition: t.From + "->" + t.To, Color: t.Color})
 		state = t.To
+		s.trace(TraceEvent{Kind: TraceState, State: state})
 	}
 	return nil
 }
@@ -399,6 +567,7 @@ func (s *session) execBranch(
 	s.med.stats.messagesIn.Add(1)
 	action, abs, err := side.Binder.ParseRequest(data)
 	if err != nil {
+		s.med.stats.clientFailures.Add(1)
 		return "", fmt.Errorf("parse client request: %w", err)
 	}
 	s.pendingAction, s.pendingRequest = action, abs
@@ -411,6 +580,7 @@ func (s *session) execBranch(
 		env.Bind(t.To, abs)
 		return t.To, nil
 	}
+	s.med.stats.clientFailures.Add(1)
 	return "", fmt.Errorf("%w: got %q, automaton offers %s at %s",
 		ErrUnexpectedAction, action, branchNames(outs), outs[0].From)
 }
@@ -421,19 +591,6 @@ func branchNames(outs []automata.MergedTransition) string {
 		names[i] = t.Message
 	}
 	return strings.Join(names, "|")
-}
-
-func transitionIndex(m *automata.Merged, state string, nth int) int {
-	seen := 0
-	for i, t := range m.Transitions {
-		if t.From == state {
-			if seen == nth {
-				return i
-			}
-			seen++
-		}
-	}
-	return -1
 }
 
 func (s *session) execMessage(
@@ -459,12 +616,14 @@ func (s *session) execMessage(
 		s.med.stats.messagesIn.Add(1)
 		action, abs, err := side.Binder.ParseRequest(data)
 		if err != nil {
+			s.med.stats.clientFailures.Add(1)
 			return fmt.Errorf("parse client request: %w", err)
 		}
 		// Record the pending request before validating it, so even an
 		// unexpected action is answered with a fault.
 		s.pendingAction, s.pendingRequest = action, abs
 		if action != t.Message {
+			s.med.stats.clientFailures.Add(1)
 			return fmt.Errorf("%w: got %q, automaton expects %q at %s",
 				ErrUnexpectedAction, action, t.Message, t.From)
 		}
@@ -487,6 +646,7 @@ func (s *session) execMessage(
 			return err
 		}
 		if err := s.client.Send(data); err != nil {
+			s.med.stats.clientFailures.Add(1)
 			return fmt.Errorf("send client reply: %w", err)
 		}
 		s.med.stats.messagesOut.Add(1)
@@ -502,40 +662,121 @@ func (s *session) execMessage(
 		if err != nil {
 			return fmt.Errorf("build service request: %w", err)
 		}
-		conn, err := s.serviceConn(t.Color)
-		if err != nil {
+		if err := s.serviceSend(t.Color, data); err != nil {
 			return err
-		}
-		if err := conn.SetDeadline(time.Now().Add(cfg.ExchangeTimeout)); err != nil {
-			return err
-		}
-		if err := conn.Send(data); err != nil {
-			return fmt.Errorf("send service request: %w", err)
 		}
 		s.med.stats.messagesOut.Add(1)
 		lastServiceAction[t.Color] = t.Message
 	default:
 		// Mediator receives the service reply.
-		conn, err := s.serviceConn(t.Color)
+		data, err := s.serviceRecv(t.Color)
 		if err != nil {
 			return err
-		}
-		if err := conn.SetDeadline(time.Now().Add(cfg.ExchangeTimeout)); err != nil {
-			return err
-		}
-		data, err := conn.Recv()
-		if err != nil {
-			return fmt.Errorf("recv service reply: %w", err)
 		}
 		s.med.stats.messagesIn.Add(1)
 		abs, err := side.Binder.ParseReply(lastServiceAction[t.Color], data)
 		if err != nil {
+			s.med.stats.serviceFailures.Add(1)
 			return fmt.Errorf("parse service reply: %w", err)
 		}
 		abs.Name = t.Message
 		env.Bind(t.To, abs)
 	}
 	return nil
+}
+
+// serviceSend delivers a composed request to a service color, retrying
+// on a fresh connection when the cached one turns out to be broken. The
+// wire bytes are remembered so a later lost reply can replay them.
+func (s *session) serviceSend(color int, data []byte) error {
+	cfg := s.med.cfg
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		link, err := s.serviceConn(color, attempt)
+		if err == nil {
+			if err = link.conn.SetDeadline(time.Now().Add(cfg.ExchangeTimeout)); err == nil {
+				err = link.conn.Send(data)
+			}
+			if err == nil {
+				s.lastWire[color] = data
+				return nil
+			}
+			if !network.IsTransportError(err) {
+				s.med.stats.serviceFailures.Add(1)
+				return fmt.Errorf("send service request: %w", err)
+			}
+			s.evictService(color)
+		}
+		lastErr = err
+		if attempt >= cfg.DialRetries {
+			s.med.stats.retriesExhausted.Add(1)
+			s.med.stats.serviceFailures.Add(1)
+			return fmt.Errorf("send service request (color %d): retries exhausted: %w", color, lastErr)
+		}
+		s.backoff(attempt)
+	}
+}
+
+// serviceRecv reads a service reply, recovering from transport faults by
+// redialling and replaying the in-flight request on the new connection.
+func (s *session) serviceRecv(color int) ([]byte, error) {
+	cfg := s.med.cfg
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, err := s.tryServiceRecv(color, attempt)
+		if err == nil {
+			return data, nil
+		}
+		if !network.IsTransportError(err) {
+			s.med.stats.serviceFailures.Add(1)
+			return nil, fmt.Errorf("recv service reply: %w", err)
+		}
+		s.evictService(color)
+		lastErr = err
+		if attempt >= cfg.DialRetries || s.lastWire[color] == nil {
+			// Nothing to replay means retrying cannot produce the reply.
+			s.med.stats.retriesExhausted.Add(1)
+			s.med.stats.serviceFailures.Add(1)
+			return nil, fmt.Errorf("recv service reply (color %d): retries exhausted: %w", color, lastErr)
+		}
+		s.backoff(attempt)
+	}
+}
+
+// tryServiceRecv performs one receive attempt; on a retry (attempt > 0)
+// it first replays the remembered request so the fresh connection has
+// something to answer.
+func (s *session) tryServiceRecv(color, attempt int) ([]byte, error) {
+	link, err := s.serviceConn(color, attempt)
+	if err != nil {
+		return nil, err
+	}
+	if err := link.conn.SetDeadline(time.Now().Add(s.med.cfg.ExchangeTimeout)); err != nil {
+		return nil, err
+	}
+	if attempt > 0 {
+		if err := link.conn.Send(s.lastWire[color]); err != nil {
+			return nil, err
+		}
+	}
+	return link.conn.Recv()
+}
+
+// backoff sleeps before retry attempt+1, doubling the configured base
+// each attempt.
+func (s *session) backoff(attempt int) {
+	if d := s.med.cfg.RetryBackoff << uint(attempt); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// evictService closes and forgets a broken service connection so the
+// next exchange redials instead of inheriting the fault.
+func (s *session) evictService(color int) {
+	if link, ok := s.services[color]; ok {
+		link.conn.Close()
+		delete(s.services, color)
+	}
 }
 
 // copyCorrelationFields carries binder-internal fields (labels starting
@@ -551,24 +792,51 @@ func copyCorrelationFields(req, reply *message.Message) {
 	}
 }
 
-// serviceConn returns (dialling lazily) the connection towards a
-// client-role color, honouring sethost retargets via the host map.
-func (s *session) serviceConn(color int) (network.Conn, error) {
-	if c, ok := s.services[color]; ok {
-		return c, nil
-	}
-	side := s.med.cfg.Sides[color]
-	addr := side.Target
+// serviceAddr resolves the current target address of a client-role
+// color, honouring the flow's sethost retarget via the host map.
+func (s *session) serviceAddr(color int) string {
+	addr := s.med.cfg.Sides[color].Target
 	if s.hostOverride != "" {
 		if mapped, ok := s.med.cfg.HostMap[s.hostOverride]; ok {
 			addr = mapped
 		}
 	}
-	var eng network.Engine
-	conn, err := eng.Dial(side.Net, addr, side.Binder.Framer())
+	return addr
+}
+
+// serviceConn returns (dialling lazily) the connection towards a
+// client-role color. A cached connection is reused only while it still
+// points at the address the flow wants: a sethost retarget that fires
+// after the first dial evicts it, as does a transport fault (via
+// evictService). Replacement dials are counted as Redials; attempt > 0
+// marks a fault-recovery redial in the trace.
+func (s *session) serviceConn(color, attempt int) (*serviceLink, error) {
+	addr := s.serviceAddr(color)
+	if link, ok := s.services[color]; ok {
+		if link.addr == addr {
+			return link, nil
+		}
+		// Retargeted after caching: the old connection is no longer the
+		// one the automaton wants to talk to.
+		link.conn.Close()
+		delete(s.services, color)
+	}
+	side := s.med.cfg.Sides[color]
+	dial := side.Dialer
+	if dial == nil {
+		dial = network.Engine{DialTimeout: s.med.cfg.DialTimeout}.Dial
+	}
+	conn, err := dial(side.Net, addr, side.Binder.Framer())
 	if err != nil {
 		return nil, fmt.Errorf("dial service (color %d, %s): %w", color, addr, err)
 	}
-	s.services[color] = conn
-	return conn, nil
+	link := &serviceLink{conn: conn, addr: addr}
+	if _, redialed := s.dialed[color]; redialed {
+		s.med.stats.redials.Add(1)
+		s.trace(TraceEvent{Kind: TraceRedial, Color: color, State: addr, Attempt: attempt})
+	} else {
+		s.dialed[color] = struct{}{}
+	}
+	s.services[color] = link
+	return link, nil
 }

@@ -2,14 +2,18 @@ package engine_test
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"starlink/internal/automata"
 	"starlink/internal/bind"
 	"starlink/internal/casestudy"
 	"starlink/internal/engine"
 	"starlink/internal/network"
+	"starlink/internal/protocol/giop"
+	"starlink/internal/protocol/soap"
 	"starlink/internal/protocol/xmlrpc"
 	"starlink/internal/services/photostore"
 	"starlink/internal/services/picasa"
@@ -222,6 +226,94 @@ func TestMediationFailureSurfacesAsProtocolFault(t *testing.T) {
 	st := med.Stats()
 	if st.Failures == 0 {
 		t.Error("failure not counted")
+	}
+}
+
+// TestServiceRestartMidSessionRecovered is the fault-tolerance
+// acceptance test: the service endpoint is stopped and restarted on the
+// SAME address while a client session is live. The session's cached
+// connection is now dead; the next flow must transparently evict it,
+// redial, replay, and complete — the client never notices.
+func TestServiceRestartMidSessionRecovered(t *testing.T) {
+	plusOps := map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			x, _ := strconv.Atoi(params[0].Value)
+			y, _ := strconv.Atoi(params[1].Value)
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	}
+	srv, err := soap.NewServer("127.0.0.1:0", "/soap", plusOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := engine.New(engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: addr},
+		},
+		ExchangeTimeout: 2 * time.Second,
+		RetryBackoff:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Flow 1 establishes and caches the service connection.
+	results, err := client.Invoke("Add", giop.IntParam(1), giop.IntParam(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].ValueString() != "3" {
+		t.Fatalf("Add = %s", results[0].ValueString())
+	}
+
+	// Restart the service on the same address: the cached connection is
+	// now pointing at a dead socket.
+	srv.Close()
+	restarted, err := soap.NewServer(addr, "/soap", plusOps)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer restarted.Close()
+
+	// Flow 2 on the same session must succeed via evict + redial + replay.
+	results, err = client.Invoke("Add", giop.IntParam(20), giop.IntParam(22))
+	if err != nil {
+		t.Fatalf("flow after service restart failed: %v", err)
+	}
+	if results[0].ValueString() != "42" {
+		t.Errorf("Add after restart = %s", results[0].ValueString())
+	}
+
+	st := med.Stats()
+	if st.Redials == 0 {
+		t.Error("recovery did not redial")
+	}
+	if st.Failures != 0 || st.RetriesExhausted != 0 {
+		t.Errorf("stats = %+v, want clean recovery", st)
 	}
 }
 

@@ -30,7 +30,7 @@ import (
 
 // Result is one experiment's outcome.
 type Result struct {
-	// ID is the experiment identifier ("E1".."E9").
+	// ID is the experiment identifier ("E1".."E11").
 	ID string
 	// Artifact names the paper table/figure reproduced.
 	Artifact string
@@ -55,7 +55,7 @@ func (r Result) String() string {
 // RunAll executes every experiment in order.
 func RunAll() []Result {
 	return []Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(),
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(),
 	}
 }
 
@@ -547,6 +547,99 @@ func E10() Result {
 	r.Detail = "UPnP M-SEARCH answered from SLP registration: " + responses[0].Location
 	if responses[0].Location != "service:printer:lpr://printer1.example:515" {
 		r.Err = errors.New("wrong location")
+	}
+	return r
+}
+
+// E11 exercises the fault-tolerance path under realistic conditions:
+// the Fig. 7/8 Add->Plus deployment where the SOAP service is stopped
+// and restarted on the same address between invocations of one live
+// client session. The mediator must detect the dead cached connection,
+// redial and replay so the client's second call still succeeds.
+func E11() Result {
+	r := Result{ID: "E11", Artifact: "fault-tolerant session"}
+	plusOps := map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			x, _ := strconv.Atoi(findParam(params, "x"))
+			y, _ := strconv.Atoi(findParam(params, "y"))
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	}
+	srv, err := soap.NewServer("127.0.0.1:0", "/soap", plusOps)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	addr := srv.Addr()
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		srv.Close()
+		r.Err = err
+		return r
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		srv.Close()
+		r.Err = err
+		return r
+	}
+	med, err := engine.New(engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: addr},
+		},
+		ExchangeTimeout: 2 * time.Second,
+		RetryBackoff:    5 * time.Millisecond,
+	})
+	if err != nil {
+		srv.Close()
+		r.Err = err
+		return r
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		srv.Close()
+		r.Err = err
+		return r
+	}
+	defer med.Close()
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		srv.Close()
+		r.Err = err
+		return r
+	}
+	defer client.Close()
+	if _, err := client.Invoke("Add", giop.IntParam(1), giop.IntParam(2)); err != nil {
+		srv.Close()
+		r.Err = err
+		return r
+	}
+	// Kill the service and bring it back on the same address.
+	srv.Close()
+	restarted, err := soap.NewServer(addr, "/soap", plusOps)
+	if err != nil {
+		r.Err = fmt.Errorf("rebind %s: %w", addr, err)
+		return r
+	}
+	defer restarted.Close()
+	results, err := client.Invoke("Add", giop.IntParam(20), giop.IntParam(22))
+	if err != nil {
+		r.Err = fmt.Errorf("flow after service restart: %w", err)
+		return r
+	}
+	got := results[0].ValueString()
+	st := med.Stats()
+	r.Detail = fmt.Sprintf("service restarted mid-session; Add(20,22)=%s after %d redial(s)", got, st.Redials)
+	switch {
+	case got != "42":
+		r.Err = fmt.Errorf("got %s, want 42", got)
+	case st.Redials == 0:
+		r.Err = errors.New("recovery did not redial")
+	case st.Failures != 0:
+		r.Err = fmt.Errorf("failures = %d, want 0", st.Failures)
 	}
 	return r
 }

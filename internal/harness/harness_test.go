@@ -7,12 +7,12 @@ import (
 	"starlink/internal/harness"
 )
 
-// TestAllExperimentsPass runs the full E1-E10 reproduction suite — the
+// TestAllExperimentsPass runs the full E1-E11 reproduction suite — the
 // same entry point as cmd/benchharness.
 func TestAllExperimentsPass(t *testing.T) {
 	results := harness.RunAll()
-	if len(results) != 10 {
-		t.Fatalf("experiments = %d, want 10", len(results))
+	if len(results) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(results))
 	}
 	for _, r := range results {
 		if !r.OK() {

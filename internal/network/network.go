@@ -37,6 +37,9 @@ var (
 // MaxMessageSize bounds a single framed message (16 MiB).
 const MaxMessageSize = 16 << 20
 
+// DefaultDialTimeout bounds Dial when Engine.DialTimeout is unset.
+const DefaultDialTimeout = 10 * time.Second
+
 // Framer extracts one protocol message from a stream and writes one back.
 // Implementations must be safe for concurrent use by different
 // connections.
@@ -110,7 +113,10 @@ func (LengthPrefixFramer) WriteMessage(w io.Writer, data []byte) error {
 }
 
 // HTTPFramer frames HTTP/1.x requests and responses: start line, header
-// block, then a body of Content-Length bytes (0 when absent).
+// block, then a body of Content-Length bytes (0 when absent). Messages
+// carrying conflicting Content-Length headers are rejected — accepting
+// the last value would desynchronise the stream for the rest of the
+// connection; identical repeats are tolerated per RFC 7230 §3.3.2.
 type HTTPFramer struct{}
 
 var _ Framer = HTTPFramer{}
@@ -119,6 +125,7 @@ var _ Framer = HTTPFramer{}
 func (HTTPFramer) ReadMessage(r *bufio.Reader) ([]byte, error) {
 	var buf bytes.Buffer
 	contentLength := 0
+	seenLength := false
 	for {
 		line, err := r.ReadString('\n')
 		if err != nil {
@@ -140,7 +147,11 @@ func (HTTPFramer) ReadMessage(r *bufio.Reader) ([]byte, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("network: bad Content-Length %q", v)
 			}
+			if seenLength && n != contentLength {
+				return nil, fmt.Errorf("network: conflicting Content-Length headers (%d vs %d)", contentLength, n)
+			}
 			contentLength = n
+			seenLength = true
 		}
 	}
 	if contentLength > MaxMessageSize {
@@ -334,7 +345,11 @@ type Semantics struct {
 
 // Engine opens listeners and client connections with the right transport
 // and framing. The zero value is ready to use.
-type Engine struct{}
+type Engine struct {
+	// DialTimeout bounds connection establishment in Dial (default
+	// DefaultDialTimeout).
+	DialTimeout time.Duration
+}
 
 // Listen binds a server endpoint.
 func (Engine) Listen(sem Semantics, addr string, framer Framer) (Listener, error) {
@@ -368,10 +383,14 @@ func (Engine) Listen(sem Semantics, addr string, framer Framer) (Listener, error
 }
 
 // Dial opens a client endpoint.
-func (Engine) Dial(sem Semantics, addr string, framer Framer) (Conn, error) {
+func (e Engine) Dial(sem Semantics, addr string, framer Framer) (Conn, error) {
+	timeout := e.DialTimeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
 	switch sem.Transport {
 	case "", "tcp":
-		c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		c, err := net.DialTimeout("tcp", addr, timeout)
 		if err != nil {
 			return nil, fmt.Errorf("network: dial tcp %s: %w", addr, err)
 		}

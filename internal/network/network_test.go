@@ -95,6 +95,26 @@ func TestHTTPFramerErrors(t *testing.T) {
 	}
 }
 
+// TestHTTPFramerConflictingContentLength: a message smuggling two
+// different Content-Length values must be rejected outright — honouring
+// either value desynchronises the framing for the rest of the stream.
+func TestHTTPFramerConflictingContentLength(t *testing.T) {
+	f := HTTPFramer{}
+	conflicting := "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 2\r\n\r\nhello"
+	if _, err := f.ReadMessage(bufio.NewReader(strings.NewReader(conflicting))); err == nil {
+		t.Error("conflicting Content-Length headers accepted")
+	}
+	// Identical repeats are tolerated (RFC 7230 §3.3.2) and frame once.
+	duplicate := "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello"
+	got, err := f.ReadMessage(bufio.NewReader(strings.NewReader(duplicate)))
+	if err != nil {
+		t.Fatalf("identical duplicate rejected: %v", err)
+	}
+	if string(got) != duplicate {
+		t.Errorf("message = %q", got)
+	}
+}
+
 func TestGIOPFramer(t *testing.T) {
 	f := GIOPFramer{}
 	msg := append([]byte("GIOP\x01\x00\x00\x00"), 0, 0, 0, 0)

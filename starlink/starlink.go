@@ -84,6 +84,36 @@ type (
 	EngineConfig = engine.Config
 	// EngineSide configures one color programmatically.
 	EngineSide = engine.Side
+	// Stats are a mediator's lifetime counters, including the
+	// fault-recovery counters (Redials, RetriesExhausted, per-side
+	// failures).
+	Stats = engine.Stats
+	// TraceEvent is one observable mediation step, delivered to the
+	// EngineConfig.Trace hook.
+	TraceEvent = engine.TraceEvent
+	// TraceKind classifies TraceEvents.
+	TraceKind = engine.TraceKind
+)
+
+// Trace event kinds (see engine.TraceKind).
+const (
+	// TraceState fires when a session's automaton enters a state.
+	TraceState = engine.TraceState
+	// TraceTransition fires after a transition executes.
+	TraceTransition = engine.TraceTransition
+	// TraceRedial fires when a service connection is replaced.
+	TraceRedial = engine.TraceRedial
+	// TraceError fires when a session ends with an error.
+	TraceError = engine.TraceError
+)
+
+// Fault-recovery defaults applied when EngineConfig leaves the knobs
+// zero.
+const (
+	// DefaultDialRetries is the default service-retry count.
+	DefaultDialRetries = engine.DefaultDialRetries
+	// DefaultRetryBackoff is the default base backoff between retries.
+	DefaultRetryBackoff = engine.DefaultRetryBackoff
 )
 
 // Action constants for automaton transitions.
