@@ -12,18 +12,21 @@ test: build
 	$(GO) test ./...
 
 # Race-enabled pass over the subsystems with real concurrency: the
-# mediation engine (sessions, retry/redial) and the network layer
-# (framers, fault injection).
+# mediation engine (sessions, pooling, lifecycle, retry/redial) and the
+# network layer (framers, fault injection, the shared connection pool).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/network/...
+	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/harness/...
 
 # The full gate: vet, tier-1, and the race pass.
 check: test
 	$(GO) vet ./...
 	$(MAKE) race
 
+# Full benchmark suite with allocation stats; the raw tool output is
+# kept in BENCH_pool.json for comparison across changes.
 bench:
-	$(GO) test -bench . -benchtime 50x -run '^$$' .
+	$(GO) test -bench . -benchmem -benchtime 50x -run '^$$' -json . > BENCH_pool.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_pool.json | cut -c11- | sed 's/\\t/\t/g; s/\\n//' || true
 
 # The fault-path soak on its own: mediated flows while the service is
 # periodically killed and restarted (see BenchmarkE11FaultRecoverySoak).

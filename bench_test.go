@@ -9,6 +9,7 @@ package starlink_test
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -615,5 +616,82 @@ func BenchmarkE8SearchSweep(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---- Concurrent sessions: shared service pool under parallel load ----
+
+// benchConcurrentSessions runs b.N waves of `sessions` parallel clients,
+// each a complete session (dial, one mediated Add, close), through a
+// single mediator. The service-side connections come from the shared
+// pool, so total pool dials stay near the per-wave concurrency instead
+// of growing with the total session count.
+func benchConcurrentSessions(b *testing.B, sessions int) {
+	srv := startPlus(b)
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	med, err := engine.New(engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: srv.Addr()},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { med.Close() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client, err := giop.Dial(med.Addr(), "calc")
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer client.Close()
+				if _, err := client.Invoke("Add", giop.IntParam(20), giop.IntParam(22)); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := med.Stats()
+	b.ReportMetric(float64(st.Sessions), "sessions")
+	b.ReportMetric(float64(st.PoolDials), "pool-dials")
+	b.ReportMetric(float64(st.PoolHits), "pool-hits")
+	if b.N > 1 && st.PoolDials >= st.Sessions {
+		b.Errorf("pool dials %d >= sessions %d: no cross-session reuse", st.PoolDials, st.Sessions)
+	}
+}
+
+// BenchmarkConcurrentSessions is the concurrent-session soak: the same
+// mediated Add flow at 1, 8 and 64 parallel sessions per wave.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) { benchConcurrentSessions(b, n) })
 	}
 }

@@ -1,5 +1,5 @@
 // Command benchharness runs the paper-reproduction experiment suite
-// (E1-E11, see DESIGN.md §4 and EXPERIMENTS.md) and prints one report line
+// (E1-E12, see DESIGN.md §4 and EXPERIMENTS.md) and prints one report line
 // per experiment. It exits non-zero if any experiment fails.
 package main
 

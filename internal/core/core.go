@@ -234,6 +234,8 @@ type SideSpec struct {
 //	retries <n>
 //	backoff <duration>
 //	dialtimeout <duration>
+//	pool_size <n>
+//	pool_idle <duration>|off
 type MediatorSpec struct {
 	// MergedName names the merged automaton to execute.
 	MergedName string
@@ -253,6 +255,19 @@ type MediatorSpec struct {
 	// DialTimeout overrides the engine's service dial timeout when
 	// non-zero.
 	DialTimeout time.Duration
+	// PoolSize overrides the engine's per-(color, address) service pool
+	// bound when non-zero.
+	PoolSize int
+	// PoolIdle overrides how long pooled service connections stay warm:
+	// positive is a timeout, negative ("pool_idle off") disables idle
+	// keep-alive, zero leaves the engine default.
+	PoolIdle time.Duration
+}
+
+// specErr reports a mediator-spec problem, always naming the line and
+// the directive it occurred in so multi-directive specs stay debuggable.
+func specErr(lineNo int, directive, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: directive %q: %s", ErrSpec, lineNo+1, directive, fmt.Sprintf(format, args...))
 }
 
 // ParseMediatorSpec reads a deployment spec document.
@@ -267,21 +282,21 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 		switch fields[0] {
 		case "merged":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("%w: line %d: merged <name>", ErrSpec, lineNo+1)
+				return nil, specErr(lineNo, "merged", "want: merged <name>")
 			}
 			spec.MergedName = fields[1]
 		case "listen":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("%w: line %d: listen <addr>", ErrSpec, lineNo+1)
+				return nil, specErr(lineNo, "listen", "want: listen <addr>")
 			}
 			spec.Listen = fields[1]
 		case "side":
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("%w: line %d: side <color> <protocol> ...", ErrSpec, lineNo+1)
+				return nil, specErr(lineNo, "side", "want: side <color> <protocol> ...")
 			}
 			var side SideSpec
 			if _, err := fmt.Sscanf(fields[1], "%d", &side.Color); err != nil {
-				return nil, fmt.Errorf("%w: line %d: bad color %q", ErrSpec, lineNo+1, fields[1])
+				return nil, specErr(lineNo, "side", "bad color %q", fields[1])
 			}
 			side.Protocol = fields[2]
 			for _, kv := range fields[3:] {
@@ -295,7 +310,7 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 				}
 				k, v, ok := strings.Cut(kv, "=")
 				if !ok {
-					return nil, fmt.Errorf("%w: line %d: bad option %q", ErrSpec, lineNo+1, kv)
+					return nil, specErr(lineNo, "side", "bad option %q", kv)
 				}
 				switch k {
 				case "path":
@@ -309,47 +324,69 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 				case "target":
 					side.Target = v
 				default:
-					return nil, fmt.Errorf("%w: line %d: unknown option %q", ErrSpec, lineNo+1, k)
+					return nil, specErr(lineNo, "side", "unknown option %q", k)
 				}
 			}
 			spec.Sides = append(spec.Sides, side)
 		case "typemap":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("%w: line %d: typemap <name>", ErrSpec, lineNo+1)
+				return nil, specErr(lineNo, "typemap", "want: typemap <name>")
 			}
 			spec.TypeMap = fields[1]
 		case "retries":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("%w: line %d: retries <n>", ErrSpec, lineNo+1)
+				return nil, specErr(lineNo, "retries", "want: retries <n>")
 			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
-				return nil, fmt.Errorf("%w: line %d: bad retry count %q", ErrSpec, lineNo+1, fields[1])
+				return nil, specErr(lineNo, "retries", "bad retry count %q", fields[1])
 			}
 			spec.Retries = &n
 		case "backoff":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("%w: line %d: backoff <duration>", ErrSpec, lineNo+1)
+				return nil, specErr(lineNo, "backoff", "want: backoff <duration>")
 			}
 			d, err := time.ParseDuration(fields[1])
 			if err != nil || d < 0 {
-				return nil, fmt.Errorf("%w: line %d: bad backoff %q", ErrSpec, lineNo+1, fields[1])
+				return nil, specErr(lineNo, "backoff", "bad backoff %q", fields[1])
 			}
 			spec.Backoff = d
 		case "dialtimeout":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("%w: line %d: dialtimeout <duration>", ErrSpec, lineNo+1)
+				return nil, specErr(lineNo, "dialtimeout", "want: dialtimeout <duration>")
 			}
 			d, err := time.ParseDuration(fields[1])
 			if err != nil || d <= 0 {
-				return nil, fmt.Errorf("%w: line %d: bad dial timeout %q", ErrSpec, lineNo+1, fields[1])
+				return nil, specErr(lineNo, "dialtimeout", "bad dial timeout %q", fields[1])
 			}
 			spec.DialTimeout = d
+		case "pool_size":
+			if len(fields) != 2 {
+				return nil, specErr(lineNo, "pool_size", "want: pool_size <n>")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, specErr(lineNo, "pool_size", "bad pool size %q", fields[1])
+			}
+			spec.PoolSize = n
+		case "pool_idle":
+			if len(fields) != 2 {
+				return nil, specErr(lineNo, "pool_idle", "want: pool_idle <duration>|off")
+			}
+			if fields[1] == "off" {
+				spec.PoolIdle = -1
+				break
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				return nil, specErr(lineNo, "pool_idle", "bad idle timeout %q (or \"off\")", fields[1])
+			}
+			spec.PoolIdle = d
 		case "hostmap":
 			rest := strings.TrimSpace(strings.TrimPrefix(line, "hostmap"))
 			host, addr, ok := strings.Cut(rest, "=")
 			if !ok {
-				return nil, fmt.Errorf("%w: line %d: hostmap <host> = <addr>", ErrSpec, lineNo+1)
+				return nil, specErr(lineNo, "hostmap", "want: hostmap <host> = <addr>")
 			}
 			spec.HostMap[strings.TrimSpace(host)] = strings.TrimSpace(addr)
 		default:
@@ -357,10 +394,10 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 		}
 	}
 	if spec.MergedName == "" {
-		return nil, fmt.Errorf("%w: no merged automaton named", ErrSpec)
+		return nil, fmt.Errorf("%w: no merged automaton named (directive \"merged\" missing)", ErrSpec)
 	}
 	if len(spec.Sides) == 0 {
-		return nil, fmt.Errorf("%w: no sides configured", ErrSpec)
+		return nil, fmt.Errorf("%w: no sides configured (directive \"side\" missing)", ErrSpec)
 	}
 	return spec, nil
 }
@@ -406,19 +443,23 @@ func (m *Models) BuildMediator(spec *MediatorSpec) (*engine.Mediator, error) {
 		return nil, fmt.Errorf("%w: merged automaton %q not loaded", ErrSpec, spec.MergedName)
 	}
 	cfg := engine.Config{
-		Merged:       merged,
-		Sides:        make(map[int]*engine.Side, len(spec.Sides)),
-		HostMap:      spec.HostMap,
-		RetryBackoff: spec.Backoff,
-		DialTimeout:  spec.DialTimeout,
+		Merged:      merged,
+		Sides:       make(map[int]*engine.Side, len(spec.Sides)),
+		HostMap:     spec.HostMap,
+		DialTimeout: spec.DialTimeout,
+		PoolSize:    spec.PoolSize,
+		PoolIdle:    spec.PoolIdle,
 	}
+	// The spec's optional knobs translate into an explicit RetryPolicy;
+	// "retries 0" simply allows zero attempts — no sentinel needed.
+	retry := engine.RetryPolicy{Attempts: engine.DefaultDialRetries, Backoff: engine.DefaultRetryBackoff}
 	if spec.Retries != nil {
-		if *spec.Retries == 0 {
-			cfg.DialRetries = -1 // spec "retries 0" means none
-		} else {
-			cfg.DialRetries = *spec.Retries
-		}
+		retry.Attempts = *spec.Retries
 	}
+	if spec.Backoff > 0 {
+		retry.Backoff = spec.Backoff
+	}
+	cfg.Retry = &retry
 	if spec.TypeMap != "" {
 		tm, ok := m.TypeMaps[spec.TypeMap]
 		if !ok {
@@ -495,4 +536,15 @@ func (m *Models) Merge(a1Name, a2Name, equivName, mergedName string) (*automata.
 	}
 	m.Merged[merged.Name] = merged
 	return merged, nil
+}
+
+// MustMerge is Merge for wiring code and tests where the models are
+// known-good: a failed merge is a programming error, so it panics
+// instead of returning it.
+func (m *Models) MustMerge(a1Name, a2Name, equivName, mergedName string) *automata.Merged {
+	merged, err := m.Merge(a1Name, a2Name, equivName, mergedName)
+	if err != nil {
+		panic(err)
+	}
+	return merged
 }

@@ -450,3 +450,95 @@ func TestMediatorSpecTypemapAndUDP(t *testing.T) {
 		t.Error("missing merged+typemap accepted")
 	}
 }
+
+func TestParseMediatorSpecPoolDirectives(t *testing.T) {
+	spec, err := core.ParseMediatorSpec(`
+merged Add+Plus
+side 1 giop defs=AAdd server
+side 2 soap path=/soap target=127.0.0.1:9999
+pool_size 16
+pool_idle 30s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.PoolSize != 16 {
+		t.Errorf("PoolSize = %d, want 16", spec.PoolSize)
+	}
+	if spec.PoolIdle != 30*time.Second {
+		t.Errorf("PoolIdle = %v, want 30s", spec.PoolIdle)
+	}
+
+	// pool_idle off disables idle keep-alive.
+	spec, err = core.ParseMediatorSpec("merged x\nside 1 xmlrpc path=/x server\npool_idle off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.PoolIdle >= 0 {
+		t.Errorf("PoolIdle = %v, want negative for off", spec.PoolIdle)
+	}
+
+	for _, doc := range []string{
+		"merged x\nside 1 xmlrpc\npool_size",      // malformed pool_size
+		"merged x\nside 1 xmlrpc\npool_size 0",    // zero pool_size
+		"merged x\nside 1 xmlrpc\npool_size -2",   // negative pool_size
+		"merged x\nside 1 xmlrpc\npool_size big",  // non-numeric pool_size
+		"merged x\nside 1 xmlrpc\npool_idle",      // malformed pool_idle
+		"merged x\nside 1 xmlrpc\npool_idle 0s",   // zero pool_idle
+		"merged x\nside 1 xmlrpc\npool_idle slow", // unparseable pool_idle
+	} {
+		if _, err := core.ParseMediatorSpec(doc); !errors.Is(err, core.ErrSpec) {
+			t.Errorf("ParseMediatorSpec(%q) err = %v", doc, err)
+		}
+	}
+}
+
+// TestSpecErrorsNameDirective: every malformed directive is reported with
+// the directive's own name and a line number, so a long spec stays
+// debuggable.
+func TestSpecErrorsNameDirective(t *testing.T) {
+	cases := []struct {
+		doc       string
+		directive string
+	}{
+		{"merged x\nside 1 xmlrpc\nretries two", "retries"},
+		{"merged x\nside 1 xmlrpc\nbackoff fast", "backoff"},
+		{"merged x\nside 1 xmlrpc\ndialtimeout 0s", "dialtimeout"},
+		{"merged x\nside 1 xmlrpc\npool_size zero", "pool_size"},
+		{"merged x\nside 1 xmlrpc\npool_idle never", "pool_idle"},
+		{"merged x\nside one xmlrpc", "side"},
+		{"merged x\nside 1 xmlrpc\nhostmap nope", "hostmap"},
+		{"merged x\nside 1 xmlrpc\nlisten", "listen"},
+	}
+	for _, tt := range cases {
+		_, err := core.ParseMediatorSpec(tt.doc)
+		if err == nil {
+			t.Errorf("ParseMediatorSpec(%q) accepted", tt.doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), "directive \""+tt.directive+"\"") {
+			t.Errorf("error %q does not name directive %q", err, tt.directive)
+		}
+		if !strings.Contains(err.Error(), "line 3") && !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("error %q lacks line context", err)
+		}
+	}
+}
+
+func TestMustMerge(t *testing.T) {
+	dir := writeCaseStudyModels(t)
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := m.MustMerge("AFlickr", "APicasa", "flickr-picasa", "must")
+	if merged == nil || m.Merged["must"] == nil {
+		t.Fatal("MustMerge result not registered")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMerge with missing automaton did not panic")
+		}
+	}()
+	m.MustMerge("nope", "APicasa", "flickr-picasa", "x")
+}

@@ -17,9 +17,19 @@
 // programs against the session environment; the MTL cache keyword
 // persists for the lifetime of a client connection, which is what the
 // Fig. 10 getInfo resolution relies on.
+//
+// Service connections are not owned by sessions: each mediator keeps a
+// shared per-(color, address) pool (internal/network/pool) that sessions
+// check connections out of for the duration of a flow sequence and back
+// into when they end, so N concurrent client sessions cost far fewer
+// than N dials per color. A sethost retarget is a pool-key change — the
+// old connection returns to the pool for whichever session next wants
+// that address — and a transport fault discards the connection and
+// flushes its key before the redial/replay recovery path runs.
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -32,6 +42,7 @@ import (
 	"starlink/internal/message"
 	"starlink/internal/mtl"
 	"starlink/internal/network"
+	"starlink/internal/network/pool"
 )
 
 // Errors reported by the engine.
@@ -43,6 +54,9 @@ var (
 	ErrUnexpectedAction = errors.New("engine: unexpected action")
 	// ErrStuck is returned when the automaton has no executable transition.
 	ErrStuck = errors.New("engine: automaton stuck")
+	// errClosing aborts service exchanges when the mediator is being
+	// torn down (Close, or Shutdown past its deadline).
+	errClosing = errors.New("engine: mediator closing")
 )
 
 // Side configures one color of the mediator.
@@ -58,6 +72,31 @@ type Side struct {
 	// this side; tests use it to inject faulty transports. Defaults to
 	// the network engine with the configured dial timeout.
 	Dialer func(sem network.Semantics, addr string, framer network.Framer) (network.Conn, error)
+}
+
+// RetryPolicy is the explicit fault-recovery policy for service-side
+// exchanges. It replaces the sentinel-valued Config.DialRetries and
+// Config.RetryBackoff knobs: every field means exactly what it says,
+// with no magic zero or negative values.
+type RetryPolicy struct {
+	// Attempts is how many times a failed service exchange is retried on
+	// a fresh connection before the session fails (0 = the first failure
+	// is final).
+	Attempts int
+	// Backoff is slept before the first retry and doubles with each
+	// further attempt (0 = retry immediately).
+	Backoff time.Duration
+	// Disabled turns fault recovery off entirely; the other fields are
+	// ignored.
+	Disabled bool
+}
+
+// attempts is the number of retries the policy allows.
+func (p RetryPolicy) attempts() int {
+	if p.Disabled {
+		return 0
+	}
+	return p.Attempts
 }
 
 // Config assembles a mediator.
@@ -76,17 +115,39 @@ type Config struct {
 	Funcs map[string]mtl.Func
 	// ExchangeTimeout bounds each network exchange (default 10s).
 	ExchangeTimeout time.Duration
+	// Retry, when non-nil, is the fault-recovery policy and takes
+	// precedence over the deprecated DialRetries/RetryBackoff knobs.
+	Retry *RetryPolicy
 	// DialRetries is how many times a failed service-side exchange is
 	// retried on a fresh connection before the session fails: 0 means the
 	// default (2), a negative value disables retries.
+	//
+	// Deprecated: set Retry instead; its fields carry no sentinel
+	// values. DialRetries keeps its old semantics for compatibility and
+	// is ignored when Retry is non-nil.
 	DialRetries int
 	// RetryBackoff is slept before the first retry and doubles with each
 	// further attempt: 0 means the default (50ms), a negative value
 	// disables the sleep.
+	//
+	// Deprecated: set Retry instead; its fields carry no sentinel
+	// values. RetryBackoff keeps its old semantics for compatibility and
+	// is ignored when Retry is non-nil.
 	RetryBackoff time.Duration
-	// DialTimeout bounds each service dial (default
-	// network.DefaultDialTimeout).
+	// DialTimeout bounds each service dial — and, pool-side, how long a
+	// session waits for a pooled connection when the pool is at its
+	// bound (default network.DefaultDialTimeout).
 	DialTimeout time.Duration
+	// PoolSize caps the pooled service connections per (color, address).
+	// A session needing a connection beyond the cap waits, bounded by
+	// DialTimeout, for another session to check one in. 0 means
+	// DefaultPoolSize.
+	PoolSize int
+	// PoolIdle bounds how long an idle pooled service connection stays
+	// warm for the next session before it is reaped. 0 means
+	// DefaultPoolIdle; a negative value disables idle keep-alive (every
+	// checkin closes its connection), effectively turning pooling off.
+	PoolIdle time.Duration
 	// Trace, when non-nil, receives one event per observable mediation
 	// step (state entered, transition fired, redial, session error). It
 	// is called synchronously from session goroutines and must be fast
@@ -94,11 +155,51 @@ type Config struct {
 	Trace func(TraceEvent)
 }
 
+// retryPolicy resolves the effective fault-recovery policy: the
+// explicit Retry field when set, else a translation of the deprecated
+// sentinel-valued knobs.
+func (c Config) retryPolicy() (RetryPolicy, error) {
+	if c.Retry != nil {
+		p := *c.Retry
+		if p.Disabled {
+			return RetryPolicy{Disabled: true}, nil
+		}
+		if p.Attempts < 0 {
+			return RetryPolicy{}, fmt.Errorf("%w: negative RetryPolicy.Attempts %d", ErrConfig, p.Attempts)
+		}
+		if p.Backoff < 0 {
+			return RetryPolicy{}, fmt.Errorf("%w: negative RetryPolicy.Backoff %v", ErrConfig, p.Backoff)
+		}
+		return p, nil
+	}
+	p := RetryPolicy{Attempts: DefaultDialRetries, Backoff: DefaultRetryBackoff}
+	switch {
+	case c.DialRetries > 0:
+		p.Attempts = c.DialRetries
+	case c.DialRetries < 0:
+		p.Attempts = 0
+	}
+	switch {
+	case c.RetryBackoff > 0:
+		p.Backoff = c.RetryBackoff
+	case c.RetryBackoff < 0:
+		p.Backoff = 0
+	}
+	return p, nil
+}
+
 // DefaultDialRetries and DefaultRetryBackoff are the fault-recovery
 // defaults applied when Config leaves the knobs zero.
 const (
 	DefaultDialRetries  = 2
 	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
+// DefaultPoolSize and DefaultPoolIdle are the service-pool defaults
+// applied when Config leaves the knobs zero.
+const (
+	DefaultPoolSize = pool.DefaultMaxActive
+	DefaultPoolIdle = pool.DefaultIdleTimeout
 )
 
 // TraceKind classifies TraceEvents.
@@ -111,7 +212,7 @@ const (
 	// TraceTransition fires after a transition executes.
 	TraceTransition
 	// TraceRedial fires when a service connection is replaced (fault
-	// recovery or a sethost retarget after the first dial).
+	// recovery or a sethost retarget after the first checkout).
 	TraceRedial
 	// TraceError fires when a session ends with an error.
 	TraceError
@@ -180,6 +281,15 @@ type Stats struct {
 	// ServiceFailures counts service-side exchanges that failed for good
 	// (retries exhausted, protocol errors, unparseable replies).
 	ServiceFailures uint64
+	// PoolHits counts service-connection checkouts served by an idle
+	// pooled connection instead of a dial.
+	PoolHits uint64
+	// PoolDials counts service-connection checkouts that opened a fresh
+	// connection. PoolDials well below Sessions is pool reuse at work.
+	PoolDials uint64
+	// PoolEvictions counts pooled connections closed early: idle
+	// timeout, health-check rejection, idle overflow, or fault discard.
+	PoolEvictions uint64
 }
 
 // statCounters is the internal atomic form of Stats.
@@ -192,23 +302,40 @@ type statCounters struct {
 }
 
 // Mediator executes merged automata, one session per accepted client
-// connection.
+// connection. Its lifecycle: New → Start → (Shutdown | Close).
+// Shutdown is the graceful path (stop accepting, drain in-flight flows,
+// harvest idle sessions, close the pool); Close is the abrupt one.
 type Mediator struct {
 	cfg      Config
+	retry    RetryPolicy
 	programs map[int]*mtl.Program // transition index -> compiled MTL
 	outs     map[string]outgoing  // state -> outgoing transitions, precomputed
-	listener network.Listener
 	stats    statCounters
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[network.Conn]struct{}
-	wg     sync.WaitGroup
+	// transitions and exchanges are the latency histograms behind
+	// Snapshot: per-transition execution and per-service-exchange
+	// round-trip, lock-free log-scale bins.
+	transitions histogram
+	exchanges   histogram
+
+	// draining refuses new flows (set by Shutdown); stopping aborts
+	// in-flight service retries (set by Close and the Shutdown deadline).
+	draining atomic.Bool
+	stopping atomic.Bool
+
+	mu       sync.Mutex
+	closed   bool
+	listener network.Listener
+	pool     *pool.Pool
+	conns    map[network.Conn]struct{} // client conns of live sessions
+	svcConns map[network.Conn]struct{} // checked-out service conns
+	idle     map[network.Conn]struct{} // client conns parked between flows
+	wg       sync.WaitGroup
 }
 
 // Stats returns a snapshot of the mediator's counters.
 func (m *Mediator) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Sessions:         m.stats.sessions.Load(),
 		Flows:            m.stats.flows.Load(),
 		Translations:     m.stats.translations.Load(),
@@ -220,6 +347,14 @@ func (m *Mediator) Stats() Stats {
 		ClientFailures:   m.stats.clientFailures.Load(),
 		ServiceFailures:  m.stats.serviceFailures.Load(),
 	}
+	m.mu.Lock()
+	p := m.pool
+	m.mu.Unlock()
+	if p != nil {
+		ps := p.Stats()
+		st.PoolHits, st.PoolDials, st.PoolEvictions = ps.Hits, ps.Dials, ps.Evictions()
+	}
+	return st
 }
 
 // New validates the configuration and pre-compiles all γ MTL programs.
@@ -233,17 +368,12 @@ func New(cfg Config) (*Mediator, error) {
 	if cfg.ExchangeTimeout == 0 {
 		cfg.ExchangeTimeout = 10 * time.Second
 	}
-	switch {
-	case cfg.DialRetries == 0:
-		cfg.DialRetries = DefaultDialRetries
-	case cfg.DialRetries < 0:
-		cfg.DialRetries = 0
+	if cfg.PoolSize < 0 {
+		return nil, fmt.Errorf("%w: negative PoolSize %d", ErrConfig, cfg.PoolSize)
 	}
-	switch {
-	case cfg.RetryBackoff == 0:
-		cfg.RetryBackoff = DefaultRetryBackoff
-	case cfg.RetryBackoff < 0:
-		cfg.RetryBackoff = 0
+	retry, err := cfg.retryPolicy()
+	if err != nil {
+		return nil, err
 	}
 	colors := map[int]bool{}
 	for _, t := range cfg.Merged.Transitions {
@@ -265,9 +395,12 @@ func New(cfg Config) (*Mediator, error) {
 	}
 	m := &Mediator{
 		cfg:      cfg,
+		retry:    retry,
 		programs: make(map[int]*mtl.Program),
 		outs:     make(map[string]outgoing),
 		conns:    make(map[network.Conn]struct{}),
+		svcConns: make(map[network.Conn]struct{}),
+		idle:     make(map[network.Conn]struct{}),
 	}
 	for i, t := range cfg.Merged.Transitions {
 		o := m.outs[t.From]
@@ -308,7 +441,33 @@ func stripComments(src string) string {
 	return strings.Join(out, "\n")
 }
 
-// Start listens for client-side connections.
+// poolOptions maps the mediator configuration onto the shared service
+// pool: the configured bounds plus a dial hook that honours each side's
+// Dialer override.
+func (m *Mediator) poolOptions() pool.Options {
+	opts := pool.Options{
+		MaxActive:   m.cfg.PoolSize,
+		IdleTimeout: m.cfg.PoolIdle,
+		Dial: func(key pool.Key) (network.Conn, error) {
+			side := m.cfg.Sides[key.Color]
+			dial := side.Dialer
+			if dial == nil {
+				dial = network.Engine{DialTimeout: m.cfg.DialTimeout}.Dial
+			}
+			return dial(side.Net, key.Addr, side.Binder.Framer())
+		},
+	}
+	if m.cfg.PoolIdle < 0 {
+		// Idle keep-alive disabled: nothing is parked, so the timeout
+		// reverts to the default (it only governs an empty idle set).
+		opts.IdleTimeout = 0
+		opts.MaxIdle = -1
+	}
+	return opts
+}
+
+// Start opens the shared service pool and listens for client-side
+// connections.
 func (m *Mediator) Start(listenAddr string) error {
 	side := m.cfg.Sides[m.cfg.ServerColor]
 	var eng network.Engine
@@ -316,7 +475,15 @@ func (m *Mediator) Start(listenAddr string) error {
 	if err != nil {
 		return err
 	}
+	p, err := pool.New(m.poolOptions())
+	if err != nil {
+		l.Close()
+		return err
+	}
+	m.mu.Lock()
 	m.listener = l
+	m.pool = p
+	m.mu.Unlock()
 	m.wg.Add(1)
 	go m.acceptLoop()
 	return nil
@@ -333,7 +500,7 @@ func (m *Mediator) acceptLoop() {
 			return
 		}
 		m.mu.Lock()
-		if m.closed {
+		if m.closed || m.draining.Load() {
 			m.mu.Unlock()
 			conn.Close()
 			return
@@ -350,6 +517,7 @@ func (m *Mediator) acceptLoop() {
 				client:   conn,
 				services: make(map[int]*serviceLink),
 				lastWire: make(map[int][]byte),
+				sentAt:   make(map[int]time.Time),
 				dialed:   make(map[int]struct{}),
 			}
 			s.run()
@@ -357,7 +525,8 @@ func (m *Mediator) acceptLoop() {
 	}
 }
 
-// Close stops the mediator and waits for all sessions.
+// Close abruptly stops the mediator: in-flight sessions are cut off,
+// then everything is torn down. Use Shutdown to drain them instead.
 func (m *Mediator) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -365,6 +534,8 @@ func (m *Mediator) Close() error {
 		return nil
 	}
 	m.closed = true
+	m.draining.Store(true)
+	m.stopping.Store(true)
 	var err error
 	if m.listener != nil {
 		err = m.listener.Close()
@@ -372,14 +543,134 @@ func (m *Mediator) Close() error {
 	for c := range m.conns {
 		c.Close()
 	}
+	for c := range m.svcConns {
+		c.Close()
+	}
+	p := m.pool
 	m.mu.Unlock()
 	m.wg.Wait()
+	if p != nil {
+		p.Close()
+	}
 	return err
+}
+
+// Shutdown gracefully stops the mediator: it stops accepting new
+// sessions, harvests sessions that are idle between flows, and lets
+// in-flight flows finish — a client mid-request still receives its
+// reply. When ctx expires first, the remaining sessions are aborted as
+// by Close and ctx's error is returned. Either way the service pool is
+// closed before Shutdown returns, and the mediator cannot be restarted.
+func (m *Mediator) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	var lerr error
+	if !m.draining.Swap(true) {
+		if m.listener != nil {
+			lerr = m.listener.Close()
+		}
+		for c := range m.idle {
+			c.Close()
+			delete(m.idle, c)
+		}
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		m.stopping.Store(true)
+		m.mu.Lock()
+		for c := range m.conns {
+			c.Close()
+		}
+		for c := range m.svcConns {
+			c.Close()
+		}
+		m.mu.Unlock()
+		<-done
+	}
+	m.mu.Lock()
+	m.closed = true
+	p := m.pool
+	m.mu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+	if err != nil {
+		return err
+	}
+	return lerr
 }
 
 func (m *Mediator) removeConn(c network.Conn) {
 	m.mu.Lock()
 	delete(m.conns, c)
+	delete(m.idle, c)
+	m.mu.Unlock()
+}
+
+// parkIdle registers a client connection as idle between flows, making
+// it harvestable by Shutdown. It reports false when the mediator is
+// already draining and the session should end instead of waiting for a
+// request that will never be served.
+func (m *Mediator) parkIdle(c network.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.draining.Load() {
+		return false
+	}
+	m.idle[c] = struct{}{}
+	return true
+}
+
+// unparkIdle marks a client connection active again (a request arrived).
+func (m *Mediator) unparkIdle(c network.Conn) {
+	m.mu.Lock()
+	delete(m.idle, c)
+	m.mu.Unlock()
+}
+
+// checkout draws a service connection from the shared pool, bounding
+// the wait — dial time and pool exhaustion alike — by the configured
+// dial timeout. Checked-out connections are tracked so an abrupt
+// teardown can unblock sessions waiting on them.
+func (m *Mediator) checkout(color int, addr string) (network.Conn, error) {
+	timeout := m.cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = network.DefaultDialTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	m.mu.Lock()
+	p := m.pool
+	m.mu.Unlock()
+	if p == nil {
+		return nil, fmt.Errorf("%w: mediator not started", ErrConfig)
+	}
+	conn, err := p.Get(ctx, pool.Key{Color: color, Addr: addr})
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.svcConns[conn] = struct{}{}
+	m.mu.Unlock()
+	return conn, nil
+}
+
+func (m *Mediator) untrackService(c network.Conn) {
+	m.mu.Lock()
+	delete(m.svcConns, c)
 	m.mu.Unlock()
 }
 
@@ -396,13 +687,20 @@ type session struct {
 	// reply lost to a transport fault can be replayed on a fresh
 	// connection.
 	lastWire map[int][]byte
-	// dialed marks colors that have been dialled at least once, so a
-	// replacement dial can be counted as a redial.
+	// sentAt records when each color's in-flight request was first sent,
+	// feeding the per-exchange latency histogram at reply time.
+	sentAt map[int]time.Time
+	// dialed marks colors that have been checked out at least once, so a
+	// replacement checkout is counted as a redial.
 	dialed map[int]struct{}
 	// hostOverride holds the current flow's sethost retarget; it is
 	// cleared when the automaton restarts so one traversal's retarget
 	// cannot leak into the next.
 	hostOverride string
+	// flowStarted flips once the current traversal has received its
+	// first client request; until then the session counts as idle and
+	// may be harvested by Shutdown.
+	flowStarted bool
 	// pendingAction / pendingRequest track a client request that has not
 	// been answered yet, so a mediation failure can be reported as a
 	// protocol-level fault instead of a dropped connection.
@@ -410,12 +708,15 @@ type session struct {
 	pendingRequest *message.Message
 }
 
-// serviceLink is a cached service-side connection together with the
-// address it was dialled to, so a later sethost retarget is detected
-// instead of silently ignored.
+// serviceLink is a service-side connection checked out of the shared
+// pool, together with the pool key's address (so a sethost retarget is
+// detected as a key change) and whether a request is in flight on it (a
+// connection with an unconsumed reply cannot be returned to the pool —
+// the next session would read a stale reply).
 type serviceLink struct {
-	conn network.Conn
-	addr string
+	conn    network.Conn
+	addr    string
+	pending bool
 }
 
 // trace delivers ev to the configured hook, stamping the session id.
@@ -430,13 +731,14 @@ func (s *session) run() {
 	defer func() {
 		s.client.Close()
 		s.med.removeConn(s.client)
-		for _, link := range s.services {
-			link.conn.Close()
+		for color := range s.services {
+			s.releaseService(color)
 		}
 	}()
 	for {
 		s.pendingAction, s.pendingRequest = "", nil
 		s.hostOverride = ""
+		s.flowStarted = false
 		if err := s.runAutomaton(); err != nil {
 			// A recv error on the very first transition of a flow is the
 			// client ending the keep-alive connection, not a failure.
@@ -448,12 +750,40 @@ func (s *session) run() {
 			return
 		}
 		s.med.stats.flows.Add(1)
+		if s.med.draining.Load() {
+			// Shutdown in progress: the flow's reply is out, end the
+			// session instead of waiting for another request.
+			return
+		}
 	}
 }
 
 // errSessionDone marks the clean end of a session (client disconnected
-// between flows).
+// between flows, or the mediator drained it).
 var errSessionDone = errors.New("engine: session done")
+
+// recvClientRequest reads one client request without a deadline. The
+// flow-initial read parks the session as idle first, so a Shutdown can
+// harvest clients that are merely holding their keep-alive connection
+// open between flows.
+func (s *session) recvClientRequest() ([]byte, error) {
+	if err := s.client.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	if s.flowStarted {
+		return s.client.Recv()
+	}
+	if !s.med.parkIdle(s.client) {
+		return nil, errSessionDone
+	}
+	data, err := s.client.Recv()
+	s.med.unparkIdle(s.client)
+	if err != nil {
+		return nil, err
+	}
+	s.flowStarted = true
+	return data, nil
+}
 
 // sendErrorReply reports a mediation failure to a client that is still
 // waiting for an answer, if the client-side binder can build faults.
@@ -501,15 +831,18 @@ func (s *session) runAutomaton() error {
 			// Branch state: the client application chooses the next
 			// operation. All alternatives must be client-side invocations;
 			// the received action selects the branch.
+			start := time.Now()
 			next, err := s.execBranch(out.ts, env, &lastClientAction, &lastClientRequest)
 			if err != nil {
 				return err
 			}
+			s.med.transitions.observe(time.Since(start))
 			state = next
 			s.trace(TraceEvent{Kind: TraceState, State: state})
 			continue
 		}
 		t, idx := out.ts[0], out.idx[0]
+		start := time.Now()
 		switch t.Kind {
 		case automata.KindGamma:
 			env.Host = ""
@@ -532,6 +865,7 @@ func (s *session) runAutomaton() error {
 				return err
 			}
 		}
+		s.med.transitions.observe(time.Since(start))
 		s.trace(TraceEvent{Kind: TraceTransition, State: t.To, Transition: t.From + "->" + t.To, Color: t.Color})
 		state = t.To
 		s.trace(TraceEvent{Kind: TraceState, State: state})
@@ -557,10 +891,7 @@ func (s *session) execBranch(
 		}
 	}
 	side := cfg.Sides[cfg.ServerColor]
-	if err := s.client.SetDeadline(time.Time{}); err != nil {
-		return "", err
-	}
-	data, err := s.client.Recv()
+	data, err := s.recvClientRequest()
 	if err != nil {
 		return "", fmt.Errorf("%w: %v", errSessionDone, err)
 	}
@@ -606,10 +937,7 @@ func (s *session) execMessage(
 	switch {
 	case serverSide && t.Action == automata.Send:
 		// Client invokes: mediator receives the request.
-		if err := s.client.SetDeadline(time.Time{}); err != nil {
-			return err
-		}
-		data, err := s.client.Recv()
+		data, err := s.recvClientRequest()
 		if err != nil {
 			return fmt.Errorf("%w: %v", errSessionDone, err) // client gone
 		}
@@ -686,7 +1014,7 @@ func (s *session) execMessage(
 }
 
 // serviceSend delivers a composed request to a service color, retrying
-// on a fresh connection when the cached one turns out to be broken. The
+// on a fresh connection when the pooled one turns out to be broken. The
 // wire bytes are remembered so a later lost reply can replay them.
 func (s *session) serviceSend(color int, data []byte) error {
 	cfg := s.med.cfg
@@ -695,10 +1023,12 @@ func (s *session) serviceSend(color int, data []byte) error {
 		link, err := s.serviceConn(color, attempt)
 		if err == nil {
 			if err = link.conn.SetDeadline(time.Now().Add(cfg.ExchangeTimeout)); err == nil {
+				link.pending = true
 				err = link.conn.Send(data)
 			}
 			if err == nil {
 				s.lastWire[color] = data
+				s.sentAt[color] = time.Now()
 				return nil
 			}
 			if !network.IsTransportError(err) {
@@ -708,7 +1038,7 @@ func (s *session) serviceSend(color int, data []byte) error {
 			s.evictService(color)
 		}
 		lastErr = err
-		if attempt >= cfg.DialRetries {
+		if attempt >= s.med.retry.attempts() || s.med.stopping.Load() {
 			s.med.stats.retriesExhausted.Add(1)
 			s.med.stats.serviceFailures.Add(1)
 			return fmt.Errorf("send service request (color %d): retries exhausted: %w", color, lastErr)
@@ -720,11 +1050,17 @@ func (s *session) serviceSend(color int, data []byte) error {
 // serviceRecv reads a service reply, recovering from transport faults by
 // redialling and replaying the in-flight request on the new connection.
 func (s *session) serviceRecv(color int) ([]byte, error) {
-	cfg := s.med.cfg
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		data, err := s.tryServiceRecv(color, attempt)
 		if err == nil {
+			if link, ok := s.services[color]; ok {
+				link.pending = false
+			}
+			if t0, ok := s.sentAt[color]; ok {
+				s.med.exchanges.observe(time.Since(t0))
+				delete(s.sentAt, color)
+			}
 			return data, nil
 		}
 		if !network.IsTransportError(err) {
@@ -733,7 +1069,7 @@ func (s *session) serviceRecv(color int) ([]byte, error) {
 		}
 		s.evictService(color)
 		lastErr = err
-		if attempt >= cfg.DialRetries || s.lastWire[color] == nil {
+		if attempt >= s.med.retry.attempts() || s.lastWire[color] == nil || s.med.stopping.Load() {
 			// Nothing to replay means retrying cannot produce the reply.
 			s.med.stats.retriesExhausted.Add(1)
 			s.med.stats.serviceFailures.Add(1)
@@ -755,6 +1091,7 @@ func (s *session) tryServiceRecv(color, attempt int) ([]byte, error) {
 		return nil, err
 	}
 	if attempt > 0 {
+		link.pending = true
 		if err := link.conn.Send(s.lastWire[color]); err != nil {
 			return nil, err
 		}
@@ -765,18 +1102,43 @@ func (s *session) tryServiceRecv(color, attempt int) ([]byte, error) {
 // backoff sleeps before retry attempt+1, doubling the configured base
 // each attempt.
 func (s *session) backoff(attempt int) {
-	if d := s.med.cfg.RetryBackoff << uint(attempt); d > 0 {
+	if d := s.med.retry.Backoff << uint(attempt); d > 0 && !s.med.retry.Disabled {
 		time.Sleep(d)
 	}
 }
 
-// evictService closes and forgets a broken service connection so the
-// next exchange redials instead of inheriting the fault.
-func (s *session) evictService(color int) {
-	if link, ok := s.services[color]; ok {
-		link.conn.Close()
-		delete(s.services, color)
+// releaseService checks a color's connection back into the shared pool.
+// A connection with an unconsumed reply in flight would poison its next
+// user, so it is discarded instead of parked.
+func (s *session) releaseService(color int) {
+	link, ok := s.services[color]
+	if !ok {
+		return
 	}
+	delete(s.services, color)
+	s.med.untrackService(link.conn)
+	key := pool.Key{Color: color, Addr: link.addr}
+	if link.pending {
+		s.med.pool.Discard(key, link.conn)
+	} else {
+		s.med.pool.Put(key, link.conn)
+	}
+}
+
+// evictService reports a broken service connection to the pool so the
+// next exchange checks out a fresh one, and flushes the key's idle
+// siblings: they were dialled to the same dead endpoint, and vetting
+// them one by one would burn the retry budget on stale sockets.
+func (s *session) evictService(color int) {
+	link, ok := s.services[color]
+	if !ok {
+		return
+	}
+	delete(s.services, color)
+	s.med.untrackService(link.conn)
+	key := pool.Key{Color: color, Addr: link.addr}
+	s.med.pool.Discard(key, link.conn)
+	s.med.pool.Flush(key)
 }
 
 // copyCorrelationFields carries binder-internal fields (labels starting
@@ -804,31 +1166,29 @@ func (s *session) serviceAddr(color int) string {
 	return addr
 }
 
-// serviceConn returns (dialling lazily) the connection towards a
-// client-role color. A cached connection is reused only while it still
-// points at the address the flow wants: a sethost retarget that fires
-// after the first dial evicts it, as does a transport fault (via
-// evictService). Replacement dials are counted as Redials; attempt > 0
-// marks a fault-recovery redial in the trace.
+// serviceConn returns (checking out of the pool lazily) the connection
+// towards a client-role color. A held connection is kept only while it
+// still points at the address the flow wants: a sethost retarget that
+// fires after the first checkout is a pool-key change — the old
+// connection goes back to the pool for its own key — as is a transport
+// fault (via evictService). Replacement checkouts are counted as
+// Redials; attempt > 0 marks a fault-recovery redial in the trace.
 func (s *session) serviceConn(color, attempt int) (*serviceLink, error) {
 	addr := s.serviceAddr(color)
 	if link, ok := s.services[color]; ok {
 		if link.addr == addr {
 			return link, nil
 		}
-		// Retargeted after caching: the old connection is no longer the
-		// one the automaton wants to talk to.
-		link.conn.Close()
-		delete(s.services, color)
+		// Retargeted after checkout: the connection is healthy, it just
+		// points somewhere this flow no longer wants to talk to.
+		s.releaseService(color)
 	}
-	side := s.med.cfg.Sides[color]
-	dial := side.Dialer
-	if dial == nil {
-		dial = network.Engine{DialTimeout: s.med.cfg.DialTimeout}.Dial
+	if s.med.stopping.Load() {
+		return nil, fmt.Errorf("service connection (color %d, %s): %w", color, addr, errClosing)
 	}
-	conn, err := dial(side.Net, addr, side.Binder.Framer())
+	conn, err := s.med.checkout(color, addr)
 	if err != nil {
-		return nil, fmt.Errorf("dial service (color %d, %s): %w", color, addr, err)
+		return nil, fmt.Errorf("service connection (color %d, %s): %w", color, addr, err)
 	}
 	link := &serviceLink{conn: conn, addr: addr}
 	if _, redialed := s.dialed[color]; redialed {

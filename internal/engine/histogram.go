@@ -1,0 +1,152 @@
+// Latency histograms for the mediation hot path. The bins are fixed
+// log-scale buckets updated with lock-free atomic adds, so observing a
+// latency costs two atomic increments and never serialises concurrent
+// sessions; Snapshot reads are torn-but-monotonic, which is fine for
+// monitoring.
+package engine
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log-scale latency bins. Bucket 0 covers
+// [0, 1µs); bucket i (i >= 1) covers [2^(i-1)µs, 2^i µs); the last
+// bucket absorbs everything above ~18 minutes.
+const histBuckets = 32
+
+// histogram is the internal atomic form of a LatencyHistogram.
+type histogram struct {
+	bins  [histBuckets]atomic.Uint64
+	count atomic.Uint64
+	sum   atomic.Uint64 // nanoseconds
+}
+
+// histBucket maps a duration to its bin index.
+func histBucket(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketLow is the inclusive lower bound of bin i.
+func bucketLow(i int) time.Duration {
+	if i == 0 {
+		return 0
+	}
+	return time.Duration(uint64(1)<<(i-1)) * time.Microsecond
+}
+
+// observe records one latency.
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.bins[histBucket(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+}
+
+// snapshot copies the live counters into an exported form.
+func (h *histogram) snapshot() LatencyHistogram {
+	out := LatencyHistogram{
+		Buckets: make([]LatencyBucket, histBuckets),
+		Count:   h.count.Load(),
+		Sum:     time.Duration(h.sum.Load()),
+	}
+	for i := range h.bins {
+		high := time.Duration(1<<63 - 1)
+		if i < histBuckets-1 {
+			high = bucketLow(i + 1)
+		}
+		out.Buckets[i] = LatencyBucket{
+			Low:   bucketLow(i),
+			High:  high,
+			Count: h.bins[i].Load(),
+		}
+	}
+	return out
+}
+
+// LatencyBucket is one bin of a latency histogram snapshot.
+type LatencyBucket struct {
+	// Low and High bound the bin: Low <= latency < High.
+	Low, High time.Duration
+	// Count is the number of observations that fell in the bin.
+	Count uint64
+}
+
+// LatencyHistogram is a point-in-time copy of a latency distribution:
+// fixed log-scale buckets (1µs resolution at the bottom, doubling per
+// bin) plus the total observation count and latency sum.
+type LatencyHistogram struct {
+	// Buckets in ascending latency order.
+	Buckets []LatencyBucket
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the total observed latency.
+	Sum time.Duration
+}
+
+// Mean is the average observed latency (0 with no observations).
+func (l LatencyHistogram) Mean() time.Duration {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.Sum / time.Duration(l.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <=
+// 1): the upper edge of the bucket the q-th observation fell in. With no
+// observations it returns 0.
+func (l LatencyHistogram) Quantile(q float64) time.Duration {
+	if l.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(l.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range l.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.High
+		}
+	}
+	return l.Buckets[len(l.Buckets)-1].High
+}
+
+// Snapshot is a consistent-enough view of a mediator's runtime metrics:
+// the lifetime counters plus the latency distributions the counters
+// cannot express.
+type Snapshot struct {
+	// Stats are the mediator's lifetime counters (Sessions, Flows,
+	// pool and failure counters).
+	Stats Stats
+	// Transitions is the latency distribution of individual automaton
+	// transitions — γ translations and message exchanges alike, one
+	// observation per executed transition.
+	Transitions LatencyHistogram
+	// Exchanges is the latency distribution of service request/reply
+	// round-trips, measured from the first request send to the reply
+	// receipt; fault-recovery replays are included, so recovery shows
+	// up as tail latency rather than disappearing.
+	Exchanges LatencyHistogram
+}
+
+// Snapshot captures the mediator's counters and latency histograms.
+func (m *Mediator) Snapshot() Snapshot {
+	return Snapshot{
+		Stats:       m.Stats(),
+		Transitions: m.transitions.snapshot(),
+		Exchanges:   m.exchanges.snapshot(),
+	}
+}

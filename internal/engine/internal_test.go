@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryPolicyTranslation pins the compatibility shim: the deprecated
+// sentinel knobs translate into the explicit policy exactly as their old
+// documentation promised, and an explicit Retry wins outright.
+func TestRetryPolicyTranslation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want RetryPolicy
+	}{
+		{"zero values mean defaults", Config{},
+			RetryPolicy{Attempts: DefaultDialRetries, Backoff: DefaultRetryBackoff}},
+		{"positive legacy values pass through", Config{DialRetries: 5, RetryBackoff: time.Second},
+			RetryPolicy{Attempts: 5, Backoff: time.Second}},
+		{"negative legacy values disable", Config{DialRetries: -1, RetryBackoff: -1},
+			RetryPolicy{Attempts: 0, Backoff: 0}},
+		{"explicit policy wins over legacy", Config{Retry: &RetryPolicy{Attempts: 1}, DialRetries: 9, RetryBackoff: time.Hour},
+			RetryPolicy{Attempts: 1}},
+		{"disabled ignores other fields", Config{Retry: &RetryPolicy{Attempts: 7, Backoff: time.Hour, Disabled: true}},
+			RetryPolicy{Disabled: true}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.cfg.retryPolicy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("retryPolicy() = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+	t.Run("disabled policy allows no attempts", func(t *testing.T) {
+		if got := (RetryPolicy{Attempts: 5, Disabled: true}).attempts(); got != 0 {
+			t.Errorf("attempts() = %d, want 0", got)
+		}
+	})
+}
+
+// TestHistogramBuckets pins the bin layout: bucket 0 is sub-microsecond,
+// each following bucket doubles, and out-of-range values clamp.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{100 * time.Hour, histBuckets - 1},
+	}
+	for _, tt := range cases {
+		if got := histBucket(tt.d); got != tt.want {
+			t.Errorf("histBucket(%v) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if histBucket(bucketLow(i)) != i {
+			t.Errorf("bucketLow(%d) = %v does not map back to its bucket", i, bucketLow(i))
+		}
+	}
+}
+
+// TestHistogramSnapshot checks observe/snapshot round-trips, Mean, and
+// the upper-bound Quantile estimate.
+func TestHistogramSnapshot(t *testing.T) {
+	var h histogram
+	if got := h.snapshot(); got.Count != 0 || got.Mean() != 0 || got.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram: %+v", got)
+	}
+	h.observe(-time.Second) // clamped to 0
+	for i := 0; i < 9; i++ {
+		h.observe(time.Millisecond)
+	}
+	snap := h.snapshot()
+	if snap.Count != 10 {
+		t.Fatalf("Count = %d, want 10", snap.Count)
+	}
+	if want := 9 * time.Millisecond; snap.Sum != want {
+		t.Errorf("Sum = %v, want %v", snap.Sum, want)
+	}
+	if got := snap.Mean(); got != 900*time.Microsecond {
+		t.Errorf("Mean = %v, want 900µs", got)
+	}
+	// The 50th percentile observation is a 1ms one; its bucket's upper
+	// edge is 1024µs.
+	if got := snap.Quantile(0.5); got != 1024*time.Microsecond {
+		t.Errorf("Quantile(0.5) = %v, want 1.024ms", got)
+	}
+	// The 10th percentile is the clamped zero observation: bucket 0's
+	// upper edge is 1µs.
+	if got := snap.Quantile(0.05); got != time.Microsecond {
+		t.Errorf("Quantile(0.05) = %v, want 1µs", got)
+	}
+	var total uint64
+	for _, b := range snap.Buckets {
+		total += b.Count
+	}
+	if total != snap.Count {
+		t.Errorf("bucket counts sum to %d, Count is %d", total, snap.Count)
+	}
+}

@@ -6,9 +6,11 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"starlink/internal/automata"
@@ -30,7 +32,7 @@ import (
 
 // Result is one experiment's outcome.
 type Result struct {
-	// ID is the experiment identifier ("E1".."E11").
+	// ID is the experiment identifier ("E1".."E12").
 	ID string
 	// Artifact names the paper table/figure reproduced.
 	Artifact string
@@ -55,7 +57,7 @@ func (r Result) String() string {
 // RunAll executes every experiment in order.
 func RunAll() []Result {
 	return []Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(),
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(),
 	}
 }
 
@@ -640,6 +642,111 @@ func E11() Result {
 		r.Err = errors.New("recovery did not redial")
 	case st.Failures != 0:
 		r.Err = fmt.Errorf("failures = %d, want 0", st.Failures)
+	}
+	return r
+}
+
+// E12 measures the shared service-side connection pool under concurrent
+// sessions and the graceful-drain lifecycle: two waves of parallel IIOP
+// clients run through one mediator, whose SOAP-side connections must be
+// reused across sessions (pool dials < sessions), and the mediator is
+// then retired with Shutdown rather than Close.
+func E12() Result {
+	r := Result{ID: "E12", Artifact: "concurrent-session pool"}
+	srv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			x, _ := strconv.Atoi(findParam(params, "x"))
+			y, _ := strconv.Atoi(findParam(params, "y"))
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	defer srv.Close()
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	med, err := engine.New(engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: srv.Addr()},
+		},
+		ExchangeTimeout: 5 * time.Second,
+		Retry:           &engine.RetryPolicy{Attempts: 2, Backoff: 5 * time.Millisecond},
+	})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		r.Err = err
+		return r
+	}
+	defer med.Close()
+
+	const waves, perWave = 2, 8
+	for wave := 0; wave < waves; wave++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, perWave)
+		for i := 0; i < perWave; i++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				client, err := giop.Dial(med.Addr(), "calc")
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer client.Close()
+				results, err := client.Invoke("Add", giop.IntParam(int64(n)), giop.IntParam(int64(n)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := results[0].ValueString(); got != strconv.Itoa(2*n) {
+					errs <- fmt.Errorf("Add(%d,%d) = %s", n, n, got)
+				}
+			}(i + 1)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			r.Err = err
+			return r
+		}
+		// Between waves every session has ended; the next wave's checkouts
+		// must hit the idle pool instead of dialling.
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	st := med.Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := med.Shutdown(ctx); err != nil {
+		r.Err = fmt.Errorf("graceful shutdown: %w", err)
+		return r
+	}
+	r.Detail = fmt.Sprintf("%d sessions served by %d service dial(s), %d pool hit(s); drained cleanly",
+		st.Sessions, st.PoolDials, st.PoolHits)
+	switch {
+	case st.Sessions != waves*perWave:
+		r.Err = fmt.Errorf("sessions = %d, want %d", st.Sessions, waves*perWave)
+	case st.PoolDials >= st.Sessions:
+		r.Err = fmt.Errorf("pool dials = %d, not below sessions = %d", st.PoolDials, st.Sessions)
+	case st.PoolHits == 0:
+		r.Err = errors.New("no pool hits: connections not reused across sessions")
 	}
 	return r
 }

@@ -1,0 +1,451 @@
+// Package pool is the mediator's shared service-side connection pool.
+// The paper deploys mediators as long-lived network components (Fig. 6)
+// that stand between every client of one application and the service of
+// the other; related work on mediating connectors treats the connector
+// as shared infrastructure whose resource management is decoupled from
+// any single interaction. This pool is that decoupling: sessions check
+// service connections out for the duration of a flow sequence and check
+// them back in when they finish, so N concurrent client sessions no
+// longer cost N dials per service.
+//
+// Connections are pooled per Key — a (color, resolved address) pair — so
+// an MTL sethost retarget is just a change of key: the old connection
+// returns to the pool for whichever session next talks to the old
+// address, instead of being torn down.
+//
+// The pool is bounded (MaxActive per key), keeps idle connections warm
+// up to MaxIdle, reaps them after IdleTimeout, and vets each checkout
+// against the idle deadline and an optional Health probe. Callers that
+// observe a transport fault return the connection with Discard (and may
+// Flush the key's remaining idle connections, which were dialled to the
+// same dead endpoint).
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starlink/internal/network"
+)
+
+// ErrClosed is returned by Get after Close.
+var ErrClosed = errors.New("pool: closed")
+
+// Defaults applied when Options leave the knobs zero.
+const (
+	// DefaultMaxActive caps connections per key (checked out + idle).
+	DefaultMaxActive = 128
+	// DefaultIdleTimeout is how long an idle connection stays warm.
+	DefaultIdleTimeout = 90 * time.Second
+)
+
+// Key identifies one pooled destination: an automaton color and the
+// resolved service address it currently maps to.
+type Key struct {
+	// Color is the client-role color the connection serves.
+	Color int
+	// Addr is the resolved service address (after hostmap/sethost).
+	Addr string
+}
+
+// String renders the key for error messages.
+func (k Key) String() string { return fmt.Sprintf("color %d @ %s", k.Color, k.Addr) }
+
+// Options configure a Pool.
+type Options struct {
+	// Dial opens a new connection for a key. Required.
+	Dial func(Key) (network.Conn, error)
+	// MaxActive caps the connections alive per key, checked out plus
+	// idle; a checkout beyond the cap blocks until a connection is
+	// checked in or the Get context expires. 0 means DefaultMaxActive.
+	MaxActive int
+	// MaxIdle caps the idle connections kept per key: overflow checkins
+	// are closed. 0 adopts MaxActive (keep everything the cap allows);
+	// a negative value keeps none, disabling reuse.
+	MaxIdle int
+	// IdleTimeout bounds how long an idle connection may wait for reuse
+	// before the reaper (or a checkout vet) closes it. 0 means
+	// DefaultIdleTimeout.
+	IdleTimeout time.Duration
+	// Health, when non-nil, vets an idle connection at checkout; an
+	// error closes it and the checkout falls through to the next idle
+	// connection or a fresh dial.
+	Health func(network.Conn) error
+}
+
+// Stats are a pool's lifetime counters plus its current occupancy.
+type Stats struct {
+	// Hits counts checkouts served by an idle connection.
+	Hits uint64
+	// Dials counts checkouts that opened a fresh connection.
+	Dials uint64
+	// Expired counts idle connections closed by IdleTimeout.
+	Expired uint64
+	// Unhealthy counts idle connections rejected by the Health probe.
+	Unhealthy uint64
+	// Overflow counts checkins closed because MaxIdle was reached.
+	Overflow uint64
+	// Discarded counts connections reported broken via Discard/Flush.
+	Discarded uint64
+	// Active is the current number of live connections (all keys).
+	Active int
+	// Idle is the current number of idle connections (all keys).
+	Idle int
+}
+
+// Evictions sums every way a pooled connection was closed early.
+func (s Stats) Evictions() uint64 { return s.Expired + s.Unhealthy + s.Overflow + s.Discarded }
+
+// idleConn is one parked connection with its checkin time.
+type idleConn struct {
+	conn  network.Conn
+	since time.Time
+}
+
+// bucket is the per-key state: parked connections (LIFO, so the most
+// recently used — least likely to be stale — is reused first), the live
+// count the MaxActive bound applies to, and the checkouts blocked on it.
+type bucket struct {
+	idle    []idleConn
+	total   int
+	waiters []chan struct{}
+}
+
+// Pool is a bounded, keyed connection pool. All methods are safe for
+// concurrent use.
+type Pool struct {
+	opts Options
+
+	hits, dials         atomic.Uint64
+	expired, unhealthy  atomic.Uint64
+	overflow, discarded atomic.Uint64
+
+	mu     sync.Mutex
+	keys   map[Key]*bucket
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates the options, fills in defaults, and starts the idle
+// reaper. The caller must Close the pool to stop the reaper.
+func New(opts Options) (*Pool, error) {
+	if opts.Dial == nil {
+		return nil, errors.New("pool: Options.Dial is required")
+	}
+	if opts.MaxActive < 0 {
+		return nil, fmt.Errorf("pool: negative MaxActive %d", opts.MaxActive)
+	}
+	if opts.MaxActive == 0 {
+		opts.MaxActive = DefaultMaxActive
+	}
+	switch {
+	case opts.MaxIdle == 0:
+		opts.MaxIdle = opts.MaxActive
+	case opts.MaxIdle < 0:
+		opts.MaxIdle = 0
+	case opts.MaxIdle > opts.MaxActive:
+		opts.MaxIdle = opts.MaxActive
+	}
+	if opts.IdleTimeout < 0 {
+		return nil, fmt.Errorf("pool: negative IdleTimeout %v", opts.IdleTimeout)
+	}
+	if opts.IdleTimeout == 0 {
+		opts.IdleTimeout = DefaultIdleTimeout
+	}
+	p := &Pool{
+		opts: opts,
+		keys: make(map[Key]*bucket),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go p.reap()
+	return p, nil
+}
+
+// bucketLocked returns (creating lazily) the bucket of a key. Caller
+// holds p.mu.
+func (p *Pool) bucketLocked(key Key) *bucket {
+	b := p.keys[key]
+	if b == nil {
+		b = &bucket{}
+		p.keys[key] = b
+	}
+	return b
+}
+
+// Get checks a connection out for key: the freshest healthy idle
+// connection when one is parked, a new dial while the key is under its
+// MaxActive bound, and otherwise it blocks until a connection is checked
+// in or ctx expires. The caller owns the connection until it calls Put
+// (still usable) or Discard (broken).
+func (p *Pool) Get(ctx context.Context, key Key) (network.Conn, error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		b := p.bucketLocked(key)
+		if n := len(b.idle); n > 0 {
+			ic := b.idle[n-1]
+			b.idle = b.idle[:n-1]
+			p.mu.Unlock()
+			if !p.vet(ic) {
+				p.release(key)
+				continue
+			}
+			p.hits.Add(1)
+			return ic.conn, nil
+		}
+		if b.total < p.opts.MaxActive {
+			b.total++
+			p.mu.Unlock()
+			conn, err := p.opts.Dial(key)
+			if err != nil {
+				p.release(key)
+				return nil, err
+			}
+			p.dials.Add(1)
+			return conn, nil
+		}
+		w := make(chan struct{}, 1)
+		b.waiters = append(b.waiters, w)
+		p.mu.Unlock()
+		select {
+		case <-w:
+			// A slot or an idle connection freed up; contend for it.
+		case <-ctx.Done():
+			p.abandon(key, w)
+			return nil, fmt.Errorf("pool: checkout (%v): %w", key, ctx.Err())
+		}
+	}
+}
+
+// vet decides whether a just-unparked idle connection is still worth
+// handing out, closing it when not. Runs outside the pool lock so a slow
+// Health probe cannot stall other checkouts.
+func (p *Pool) vet(ic idleConn) bool {
+	if time.Since(ic.since) > p.opts.IdleTimeout {
+		p.expired.Add(1)
+		ic.conn.Close()
+		return false
+	}
+	if p.opts.Health != nil {
+		if err := p.opts.Health(ic.conn); err != nil {
+			p.unhealthy.Add(1)
+			ic.conn.Close()
+			return false
+		}
+	}
+	return true
+}
+
+// release returns a key's capacity slot after its connection died (a
+// failed dial, a vetted-out idle connection, a Discard) and wakes one
+// blocked checkout.
+func (p *Pool) release(key Key) {
+	p.mu.Lock()
+	if b, ok := p.keys[key]; ok && !p.closed {
+		b.total--
+		p.wakeLocked(b)
+	}
+	p.mu.Unlock()
+}
+
+// wakeLocked hands a freed slot/connection to the oldest live waiter.
+// Caller holds p.mu.
+func (p *Pool) wakeLocked(b *bucket) {
+	for len(b.waiters) > 0 {
+		w := b.waiters[0]
+		b.waiters = b.waiters[1:]
+		select {
+		case w <- struct{}{}:
+			return
+		default:
+			// Abandoned waiter that already consumed a wakeup; skip it.
+		}
+	}
+}
+
+// abandon withdraws a waiter whose context expired. If the waiter was
+// already signalled, the wakeup is passed on so it is not lost.
+func (p *Pool) abandon(key Key, w chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.keys[key]
+	if !ok {
+		return
+	}
+	for i, o := range b.waiters {
+		if o == w {
+			b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+			return
+		}
+	}
+	select {
+	case <-w:
+		p.wakeLocked(b)
+	default:
+	}
+}
+
+// Put checks a healthy connection back in. Beyond MaxIdle (with no
+// checkout waiting for it) the connection is closed instead of parked.
+func (p *Pool) Put(key Key, conn network.Conn) {
+	if conn == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b := p.bucketLocked(key)
+	if len(b.idle) >= p.opts.MaxIdle && len(b.waiters) == 0 {
+		b.total--
+		p.overflow.Add(1)
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.idle = append(b.idle, idleConn{conn: conn, since: time.Now()})
+	p.wakeLocked(b)
+	p.mu.Unlock()
+}
+
+// Discard reports a checked-out connection broken: it is closed and its
+// capacity slot freed for a fresh dial.
+func (p *Pool) Discard(key Key, conn network.Conn) {
+	if conn != nil {
+		conn.Close()
+	}
+	p.discarded.Add(1)
+	p.release(key)
+}
+
+// Flush closes every idle connection parked under key. Callers use it
+// after a transport fault: the key's idle siblings were dialled to the
+// same endpoint and are presumed just as dead, so draining them up front
+// spends retry budget on fresh dials instead of stale sockets.
+func (p *Pool) Flush(key Key) {
+	p.mu.Lock()
+	b, ok := p.keys[key]
+	if !ok || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	victims := b.idle
+	b.idle = nil
+	b.total -= len(victims)
+	p.discarded.Add(uint64(len(victims)))
+	for range victims {
+		p.wakeLocked(b)
+	}
+	p.mu.Unlock()
+	for _, ic := range victims {
+		ic.conn.Close()
+	}
+}
+
+// reap periodically closes idle connections that outlived IdleTimeout.
+func (p *Pool) reap() {
+	defer close(p.done)
+	interval := p.opts.IdleTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case now := <-t.C:
+			p.reapOnce(now)
+		}
+	}
+}
+
+// reapOnce sweeps every bucket once, closing expired idle connections
+// outside the lock.
+func (p *Pool) reapOnce(now time.Time) {
+	var victims []network.Conn
+	p.mu.Lock()
+	for _, b := range p.keys {
+		keep := b.idle[:0]
+		for _, ic := range b.idle {
+			if now.Sub(ic.since) > p.opts.IdleTimeout {
+				victims = append(victims, ic.conn)
+				b.total--
+				p.wakeLocked(b)
+			} else {
+				keep = append(keep, ic)
+			}
+		}
+		b.idle = keep
+	}
+	p.expired.Add(uint64(len(victims)))
+	p.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// Close stops the reaper, closes all idle connections, and fails blocked
+// and future checkouts with ErrClosed. Connections currently checked out
+// are unaffected; a later Put/Discard of one just closes it.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	var victims []network.Conn
+	for _, b := range p.keys {
+		for _, ic := range b.idle {
+			victims = append(victims, ic.conn)
+		}
+		b.idle = nil
+		for _, w := range b.waiters {
+			select {
+			case w <- struct{}{}:
+			default:
+			}
+		}
+		b.waiters = nil
+	}
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
+	for _, c := range victims {
+		c.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the pool's counters and occupancy.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Hits:      p.hits.Load(),
+		Dials:     p.dials.Load(),
+		Expired:   p.expired.Load(),
+		Unhealthy: p.unhealthy.Load(),
+		Overflow:  p.overflow.Load(),
+		Discarded: p.discarded.Load(),
+	}
+	p.mu.Lock()
+	for _, b := range p.keys {
+		s.Active += b.total
+		s.Idle += len(b.idle)
+	}
+	p.mu.Unlock()
+	return s
+}

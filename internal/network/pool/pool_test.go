@@ -1,0 +1,439 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"starlink/internal/network"
+)
+
+// fakeConn is a no-op network.Conn that records whether it was closed.
+type fakeConn struct {
+	id     int
+	closed atomic.Bool
+}
+
+var _ network.Conn = (*fakeConn)(nil)
+
+func (f *fakeConn) Send([]byte) error           { return nil }
+func (f *fakeConn) Recv() ([]byte, error)       { return nil, nil }
+func (f *fakeConn) SetDeadline(time.Time) error { return nil }
+func (f *fakeConn) RemoteAddr() net.Addr        { return nil }
+func (f *fakeConn) Close() error                { f.closed.Store(true); return nil }
+
+// dialer hands out fakeConns and counts dials.
+type dialer struct {
+	mu    sync.Mutex
+	conns []*fakeConn
+	err   error
+}
+
+func (d *dialer) dial(Key) (network.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return nil, d.err
+	}
+	c := &fakeConn{id: len(d.conns)}
+	d.conns = append(d.conns, c)
+	return c, nil
+}
+
+func (d *dialer) dials() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.conns)
+}
+
+func newTestPool(t *testing.T, opts Options) (*Pool, *dialer) {
+	t.Helper()
+	d := &dialer{}
+	if opts.Dial == nil {
+		opts.Dial = d.dial
+	}
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, d
+}
+
+var testKey = Key{Color: 2, Addr: "svc:1"}
+
+func TestCheckoutReusesCheckedInConn(t *testing.T) {
+	p, d := newTestPool(t, Options{})
+	ctx := context.Background()
+	c1, err := p.Get(ctx, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(testKey, c1)
+	c2, err := p.Get(ctx, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("checkin not reused")
+	}
+	if d.dials() != 1 {
+		t.Errorf("dials = %d, want 1", d.dials())
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Dials != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 dial", st)
+	}
+	// A different key never sees another key's connections.
+	other := Key{Color: 2, Addr: "svc:2"}
+	p.Put(testKey, c2)
+	c3, err := p.Get(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c2 {
+		t.Error("keys share connections")
+	}
+}
+
+func TestConcurrentCheckoutCheckin(t *testing.T) {
+	p, d := newTestPool(t, Options{MaxActive: 8})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, err := p.Get(ctx, testKey)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%7 == 0 {
+					p.Discard(testKey, c)
+				} else {
+					p.Put(testKey, c)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Active > 8 {
+		t.Errorf("active = %d, exceeds MaxActive 8", st.Active)
+	}
+	if d.dials() < 1 {
+		t.Error("no dials recorded")
+	}
+	if st.Hits == 0 {
+		t.Error("no reuse under contention")
+	}
+}
+
+// TestExhaustionBlocksUntilCheckin: with the key at its bound, Get must
+// block — and complete once another holder checks in.
+func TestExhaustionBlocksUntilCheckin(t *testing.T) {
+	p, _ := newTestPool(t, Options{MaxActive: 1})
+	ctx := context.Background()
+	held, err := p.Get(ctx, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan network.Conn, 1)
+	go func() {
+		c, err := p.Get(ctx, testKey)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- c
+	}()
+	select {
+	case <-got:
+		t.Fatal("checkout succeeded past MaxActive")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Put(testKey, held)
+	select {
+	case c := <-got:
+		if c != held {
+			t.Error("waiter did not receive the checked-in conn")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke after checkin")
+	}
+}
+
+// TestExhaustionContextError: a bounded wait fails with the context's
+// error instead of blocking forever.
+func TestExhaustionContextError(t *testing.T) {
+	p, _ := newTestPool(t, Options{MaxActive: 1})
+	if _, err := p.Get(context.Background(), testKey); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := p.Get(ctx, testKey)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestIdleReaping(t *testing.T) {
+	p, d := newTestPool(t, Options{IdleTimeout: 30 * time.Millisecond})
+	c, err := p.Get(context.Background(), testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(testKey, c)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := p.Stats(); st.Expired == 1 && st.Idle == 0 && st.Active == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := p.Stats(); st.Expired != 1 || st.Idle != 0 || st.Active != 0 {
+		t.Fatalf("stats after reap window = %+v", st)
+	}
+	if !d.conns[0].closed.Load() {
+		t.Error("reaped conn not closed")
+	}
+	// The next checkout dials fresh.
+	if _, err := p.Get(context.Background(), testKey); err != nil {
+		t.Fatal(err)
+	}
+	if d.dials() != 2 {
+		t.Errorf("dials = %d, want 2", d.dials())
+	}
+}
+
+// TestExpiredVettedAtCheckout: even before the reaper runs, a checkout
+// never hands out a connection past its idle deadline.
+func TestExpiredVettedAtCheckout(t *testing.T) {
+	p, d := newTestPool(t, Options{IdleTimeout: 20 * time.Millisecond})
+	c, err := p.Get(context.Background(), testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(testKey, c)
+	time.Sleep(30 * time.Millisecond)
+	c2, err := p.Get(context.Background(), testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c && !d.conns[0].closed.Load() {
+		t.Error("stale idle conn handed out")
+	}
+}
+
+func TestHealthCheckEvictsAtCheckout(t *testing.T) {
+	bad := errors.New("stale")
+	var vetted atomic.Int64
+	p, d := newTestPool(t, Options{
+		Health: func(c network.Conn) error {
+			if vetted.Add(1) == 1 {
+				return bad
+			}
+			return nil
+		},
+	})
+	ctx := context.Background()
+	c, err := p.Get(ctx, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(testKey, c)
+	c2, err := p.Get(ctx, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c {
+		t.Error("unhealthy conn handed out")
+	}
+	if !d.conns[0].closed.Load() {
+		t.Error("unhealthy conn not closed")
+	}
+	st := p.Stats()
+	if st.Unhealthy != 1 || st.Dials != 2 {
+		t.Errorf("stats = %+v, want 1 unhealthy / 2 dials", st)
+	}
+}
+
+func TestMaxIdleOverflowCloses(t *testing.T) {
+	p, d := newTestPool(t, Options{MaxActive: 4, MaxIdle: 1})
+	ctx := context.Background()
+	c1, _ := p.Get(ctx, testKey)
+	c2, err := p.Get(ctx, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(testKey, c1)
+	p.Put(testKey, c2)
+	st := p.Stats()
+	if st.Idle != 1 || st.Overflow != 1 {
+		t.Errorf("stats = %+v, want 1 idle / 1 overflow", st)
+	}
+	if !d.conns[1].closed.Load() {
+		t.Error("overflow conn not closed")
+	}
+}
+
+func TestFlushDrainsIdle(t *testing.T) {
+	p, d := newTestPool(t, Options{})
+	ctx := context.Background()
+	c1, _ := p.Get(ctx, testKey)
+	c2, _ := p.Get(ctx, testKey)
+	p.Put(testKey, c1)
+	p.Put(testKey, c2)
+	p.Flush(testKey)
+	st := p.Stats()
+	if st.Idle != 0 || st.Active != 0 || st.Discarded != 2 {
+		t.Errorf("stats after flush = %+v", st)
+	}
+	for i, c := range d.conns {
+		if !c.closed.Load() {
+			t.Errorf("conn %d not closed by flush", i)
+		}
+	}
+}
+
+func TestDiscardFreesSlotForWaiter(t *testing.T) {
+	p, d := newTestPool(t, Options{MaxActive: 1})
+	ctx := context.Background()
+	held, _ := p.Get(ctx, testKey)
+	got := make(chan error, 1)
+	go func() {
+		_, err := p.Get(ctx, testKey)
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Discard(testKey, held)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke after discard")
+	}
+	if d.dials() != 2 {
+		t.Errorf("dials = %d, want 2 (discard forces a fresh dial)", d.dials())
+	}
+	if !d.conns[0].closed.Load() {
+		t.Error("discarded conn not closed")
+	}
+}
+
+func TestCloseFailsCheckoutsAndClosesIdle(t *testing.T) {
+	d := &dialer{}
+	p, err := New(Options{Dial: d.dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c1, _ := p.Get(ctx, testKey)
+	out, _ := p.Get(ctx, testKey)
+	p.Put(testKey, c1)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.conns[0].closed.Load() {
+		t.Error("idle conn not closed by Close")
+	}
+	if _, err := p.Get(ctx, testKey); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after Close = %v, want ErrClosed", err)
+	}
+	// A checked-out conn returned after Close is closed, not parked.
+	p.Put(testKey, out)
+	if !d.conns[1].closed.Load() {
+		t.Error("post-Close checkin not closed")
+	}
+	// Close is idempotent.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseWakesBlockedCheckout(t *testing.T) {
+	d := &dialer{}
+	p, err := New(Options{Dial: d.dial, MaxActive: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := p.Get(ctx, testKey); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := p.Get(ctx, testKey)
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked Get after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked checkout never woke on Close")
+	}
+}
+
+func TestDialErrorFreesSlot(t *testing.T) {
+	d := &dialer{err: errors.New("refused")}
+	p, err := New(Options{Dial: d.dial, MaxActive: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	ctx := context.Background()
+	if _, err := p.Get(ctx, testKey); err == nil {
+		t.Fatal("dial error not propagated")
+	}
+	// The failed dial must not leak the capacity slot.
+	d.mu.Lock()
+	d.err = nil
+	d.mu.Unlock()
+	if _, err := p.Get(ctx, testKey); err != nil {
+		t.Fatalf("slot leaked by failed dial: %v", err)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("New accepted a nil Dial")
+	}
+	d := &dialer{}
+	if _, err := New(Options{Dial: d.dial, MaxActive: -1}); err == nil {
+		t.Error("New accepted a negative MaxActive")
+	}
+	if _, err := New(Options{Dial: d.dial, IdleTimeout: -time.Second}); err == nil {
+		t.Error("New accepted a negative IdleTimeout")
+	}
+	// Negative MaxIdle disables reuse entirely.
+	p, err := New(Options{Dial: d.dial, MaxIdle: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	c, err := p.Get(context.Background(), testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(testKey, c)
+	if st := p.Stats(); st.Idle != 0 || st.Overflow != 1 {
+		t.Errorf("stats = %+v, want nothing kept idle", st)
+	}
+}

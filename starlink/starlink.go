@@ -26,7 +26,7 @@
 //	})
 //	if err != nil { ... }
 //	med.Start("127.0.0.1:9001")
-//	defer med.Close()
+//	defer med.Close() // or med.Shutdown(ctx) for a graceful drain
 //
 // See the examples directory for complete programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
@@ -86,8 +86,20 @@ type (
 	EngineSide = engine.Side
 	// Stats are a mediator's lifetime counters, including the
 	// fault-recovery counters (Redials, RetriesExhausted, per-side
-	// failures).
+	// failures) and the service-pool counters (PoolHits, PoolDials,
+	// PoolEvictions).
 	Stats = engine.Stats
+	// RetryPolicy is the explicit, sentinel-free fault-recovery policy
+	// for EngineConfig.Retry.
+	RetryPolicy = engine.RetryPolicy
+	// Snapshot bundles Stats with the mediator's latency histograms
+	// (per-transition and per-service-exchange); see Mediator.Snapshot.
+	Snapshot = engine.Snapshot
+	// LatencyHistogram is a point-in-time latency distribution with Mean
+	// and Quantile estimators.
+	LatencyHistogram = engine.LatencyHistogram
+	// LatencyBucket is one bin of a LatencyHistogram.
+	LatencyBucket = engine.LatencyBucket
 	// TraceEvent is one observable mediation step, delivered to the
 	// EngineConfig.Trace hook.
 	TraceEvent = engine.TraceEvent
@@ -107,13 +119,19 @@ const (
 	TraceError = engine.TraceError
 )
 
-// Fault-recovery defaults applied when EngineConfig leaves the knobs
-// zero.
+// Fault-recovery and pooling defaults applied when EngineConfig leaves
+// the knobs zero.
 const (
 	// DefaultDialRetries is the default service-retry count.
 	DefaultDialRetries = engine.DefaultDialRetries
 	// DefaultRetryBackoff is the default base backoff between retries.
 	DefaultRetryBackoff = engine.DefaultRetryBackoff
+	// DefaultPoolSize is the default per-(color, address) bound on
+	// pooled service connections.
+	DefaultPoolSize = engine.DefaultPoolSize
+	// DefaultPoolIdle is the default idle keep-alive for pooled service
+	// connections.
+	DefaultPoolIdle = engine.DefaultPoolIdle
 )
 
 // Action constants for automaton transitions.
@@ -150,6 +168,24 @@ func NewEquivalence(pairs ...[2]string) *Equivalence {
 	return automata.NewEquivalence(pairs...)
 }
 
+// Parse helpers
+//
+// Every model artifact has an in-memory parser, one per DSL, so programs
+// can author models as string literals instead of files. They mirror the
+// file extensions LoadModels dispatches on:
+//
+//	ParseAutomaton     *.automaton.xml   colored API usage automata
+//	ParseMerged        *.merged.xml      k-colored merged automata
+//	ParseMDL           *.mdl             message description documents
+//	ParseMTL           (γ transitions)   message translation programs
+//	ParseRoutes        *.routes          REST binding route tables
+//	ParseEquivalence   *.equiv           semantic-equivalence tables
+//	ParseTypeMap       *.typemap         vocabulary maps for maptype()
+//	ParseMediatorSpec  *.mediator        mediator deployment specs
+//
+// All of them report errors with line context; ParseMediatorSpec errors
+// additionally name the offending directive.
+
 // ParseAutomaton reads an automaton from its XML form.
 func ParseAutomaton(doc string) (*Automaton, error) {
 	return automata.ParseAutomaton(doc)
@@ -169,5 +205,27 @@ func ParseMTL(src string) (*MTLProgram, error) { return mtl.Parse(src) }
 // ParseRoutes reads a REST binding route table.
 func ParseRoutes(doc string) ([]Route, error) { return bind.ParseRoutes(doc) }
 
+// ParseEquivalence reads a semantic-equivalence table: one
+// "label = label" pair per line, # comments allowed.
+func ParseEquivalence(doc string) (*Equivalence, error) {
+	return core.ParseEquivalence(doc)
+}
+
+// ParseTypeMap reads a vocabulary map ("from = to" per line), exposed to
+// MTL programs as the maptype() function.
+func ParseTypeMap(doc string) (map[string]string, error) {
+	return core.ParseTypeMap(doc)
+}
+
+// ParseMediatorSpec reads a mediator deployment spec document (see
+// MediatorSpec for the directive grammar).
+func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
+	return core.ParseMediatorSpec(doc)
+}
+
 // NewMediator assembles a mediator from a programmatic configuration.
+//
+// The returned Mediator's lifecycle is New → Start → (Shutdown | Close):
+// Shutdown(ctx) stops accepting, drains in-flight sessions until ctx
+// expires, and closes the shared service pool; Close is the abrupt path.
 func NewMediator(cfg EngineConfig) (*Mediator, error) { return engine.New(cfg) }

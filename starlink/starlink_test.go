@@ -1,11 +1,14 @@
 package starlink_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"starlink/internal/bind"
 	"starlink/internal/casestudy"
 	"starlink/starlink"
 )
@@ -92,5 +95,66 @@ func TestPublicActionsRender(t *testing.T) {
 	}
 	if !strings.Contains(m.DOT(), "digraph") {
 		t.Error("DOT export broken through the public surface")
+	}
+}
+
+func TestPublicModelParsers(t *testing.T) {
+	eq, err := starlink.ParseEquivalence("a = b\n")
+	if err != nil || !eq.Equivalent("a", "b") {
+		t.Errorf("ParseEquivalence: %v", err)
+	}
+	tm, err := starlink.ParseTypeMap("jpeg = image/jpeg\n")
+	if err != nil || tm["jpeg"] != "image/jpeg" {
+		t.Errorf("ParseTypeMap: %v, %v", err, tm)
+	}
+	spec, err := starlink.ParseMediatorSpec(
+		"merged x\nside 1 xmlrpc path=/x server\npool_size 4\npool_idle off\n")
+	if err != nil || spec.PoolSize != 4 || spec.PoolIdle >= 0 {
+		t.Errorf("ParseMediatorSpec: %v, %+v", err, spec)
+	}
+	if _, err := starlink.ParseMediatorSpec("merged x\nside 1 xmlrpc\npool_size nope"); err == nil ||
+		!strings.Contains(err.Error(), `directive "pool_size"`) {
+		t.Errorf("spec error does not name the directive: %v", err)
+	}
+}
+
+// TestPublicLifecycleAndMetrics exercises the redesigned lifecycle API
+// through the facade: sentinel-free retry policy, pool knobs, graceful
+// Shutdown, and the Snapshot metrics view.
+func TestPublicLifecycleAndMetrics(t *testing.T) {
+	models := starlink.NewModels()
+	models.Automata["AAdd"] = casestudy.AddUsage()
+	models.Automata["APlus"] = casestudy.PlusUsage()
+	models.Equivalences["add-plus"] = casestudy.AddPlusEquivalence()
+	merged := models.MustMerge("AAdd", "APlus", "add-plus", "Add+Plus")
+
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := starlink.NewMediator(starlink.EngineConfig{
+		Merged: merged,
+		Sides: map[int]*starlink.EngineSide{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: "127.0.0.1:1"},
+		},
+		Retry:    &starlink.RetryPolicy{Attempts: 1, Backoff: time.Millisecond},
+		PoolSize: 2,
+		PoolIdle: starlink.DefaultPoolIdle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	var snap starlink.Snapshot = med.Snapshot()
+	if snap.Stats.Sessions != 0 || snap.Transitions.Count != 0 {
+		t.Errorf("fresh snapshot not empty: %+v", snap.Stats)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := med.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown = %v", err)
 	}
 }
