@@ -12,10 +12,11 @@ test: build
 	$(GO) test ./...
 
 # Race-enabled pass over the subsystems with real concurrency: the
-# mediation engine (sessions, pooling, lifecycle, retry/redial) and the
-# network layer (framers, fault injection, the shared connection pool).
+# mediation engine (sessions, pooling, lifecycle, retry/redial), the
+# network layer (framers, fault injection, the shared connection pool)
+# and the observability subsystem (lock-free rings, tracer, admin).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/harness/...
+	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/harness/... ./internal/observe/...
 
 # The full gate: vet, tier-1, and the race pass.
 check: test
@@ -23,10 +24,12 @@ check: test
 	$(MAKE) race
 
 # Full benchmark suite with allocation stats; the raw tool output is
-# kept in BENCH_pool.json for comparison across changes.
+# kept in BENCH_pool.json for comparison across changes, and the
+# tracer-overhead sweep in BENCH_observe.json.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 50x -run '^$$' -json . > BENCH_pool.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_pool.json | cut -c11- | sed 's/\\t/\t/g; s/\\n//' || true
+	$(GO) run ./cmd/benchharness -observe BENCH_observe.json
 
 # The fault-path soak on its own: mediated flows while the service is
 # periodically killed and restarted (see BenchmarkE11FaultRecoverySoak).

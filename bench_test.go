@@ -23,6 +23,7 @@ import (
 	"starlink/internal/message"
 	"starlink/internal/mtl"
 	"starlink/internal/network"
+	"starlink/internal/observe"
 	"starlink/internal/protocol/giop"
 	"starlink/internal/protocol/httpwire"
 	"starlink/internal/protocol/rest"
@@ -625,8 +626,10 @@ func BenchmarkE8SearchSweep(b *testing.B) {
 // each a complete session (dial, one mediated Add, close), through a
 // single mediator. The service-side connections come from the shared
 // pool, so total pool dials stay near the per-wave concurrency instead
-// of growing with the total session count.
-func benchConcurrentSessions(b *testing.B, sessions int) {
+// of growing with the total session count. With observed set, the full
+// flow tracer is attached and enabled — the pair of benchmarks bounds
+// the observability tax (EXPERIMENTS.md E13).
+func benchConcurrentSessions(b *testing.B, sessions int, observed bool) {
 	srv := startPlus(b)
 	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
 		Equiv: casestudy.AddPlusEquivalence(),
@@ -638,13 +641,18 @@ func benchConcurrentSessions(b *testing.B, sessions int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	med, err := engine.New(engine.Config{
+	cfg := engine.Config{
 		Merged: merged,
 		Sides: map[int]*engine.Side{
 			1: {Binder: giopBinder},
 			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: srv.Addr()},
 		},
-	})
+	}
+	var obs *observe.Observer
+	if observed {
+		obs = observe.Instrument(&cfg, observe.Options{})
+	}
+	med, err := engine.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -686,12 +694,28 @@ func benchConcurrentSessions(b *testing.B, sessions int) {
 	if b.N > 1 && st.PoolDials >= st.Sessions {
 		b.Errorf("pool dials %d >= sessions %d: no cross-session reuse", st.PoolDials, st.Sessions)
 	}
+	if observed {
+		ost := obs.Stats()
+		b.ReportMetric(float64(ost.FlowsAssembled), "flows-traced")
+		if b.N > 1 && ost.FlowsAssembled == 0 {
+			b.Error("observed run assembled no flow traces")
+		}
+	}
 }
 
 // BenchmarkConcurrentSessions is the concurrent-session soak: the same
 // mediated Add flow at 1, 8 and 64 parallel sessions per wave.
 func BenchmarkConcurrentSessions(b *testing.B) {
 	for _, n := range []int{1, 8, 64} {
-		b.Run(strconv.Itoa(n), func(b *testing.B) { benchConcurrentSessions(b, n) })
+		b.Run(strconv.Itoa(n), func(b *testing.B) { benchConcurrentSessions(b, n, false) })
+	}
+}
+
+// BenchmarkConcurrentSessionsObserved is the same soak with the flow
+// tracer enabled; compare against BenchmarkConcurrentSessions for the
+// observability overhead (target <5%, EXPERIMENTS.md E13).
+func BenchmarkConcurrentSessionsObserved(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) { benchConcurrentSessions(b, n, true) })
 	}
 }

@@ -1,9 +1,15 @@
 // Command benchharness runs the paper-reproduction experiment suite
-// (E1-E12, see DESIGN.md §4 and EXPERIMENTS.md) and prints one report line
+// (E1-E13, see DESIGN.md §4 and EXPERIMENTS.md) and prints one report line
 // per experiment. It exits non-zero if any experiment fails.
+//
+// With -observe <file>, it additionally measures the flow tracer's
+// per-flow overhead at 1, 8 and 64 concurrent sessions and writes the
+// points as JSON (the committed BENCH_observe.json baseline).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -11,6 +17,9 @@ import (
 )
 
 func main() {
+	observeOut := flag.String("observe", "", "write tracer-overhead measurements (JSON) to this file")
+	flag.Parse()
+
 	fmt.Println("Starlink experiment harness — MIDDLEWARE 2011 reproduction")
 	fmt.Println()
 	failures := 0
@@ -26,4 +35,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("all experiments passed")
+
+	if *observeOut != "" {
+		points, err := harness.MeasureObserveOverhead([]int{1, 8, 64}, 50)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness: observe measurement:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*observeOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tracer-overhead measurements written to %s\n", *observeOut)
+		for _, p := range points {
+			fmt.Printf("  %2d session(s): off %.0fns/flow, on %.0fns/flow (%+.1f%%)\n",
+				p.Sessions, p.OffNsPerFlow, p.OnNsPerFlow, p.OverheadPct)
+		}
+	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	starlink run -models <dir> -mediator <name> [-listen addr]
+//	starlink run -models <dir> -mediator <name> [-listen addr] [-admin addr]
 //	starlink export-models <dir>
 //	starlink list -models <dir>
 package main
@@ -53,6 +53,7 @@ func runMediator(args []string) error {
 	modelsDir := fs.String("models", "models", "models directory")
 	name := fs.String("mediator", "", "mediator spec name")
 	listen := fs.String("listen", "", "listen address override")
+	admin := fs.String("admin", "", "admin endpoint address (overrides the spec's admin directive)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,12 +64,15 @@ func runMediator(args []string) error {
 	if err != nil {
 		return err
 	}
-	med, err := models.StartMediator(*name, *listen)
+	dep, err := models.Deploy(*name, *listen, *admin)
 	if err != nil {
 		return err
 	}
-	defer med.Close()
-	fmt.Printf("mediator %s listening on %s\n", *name, med.Addr())
+	defer dep.Close()
+	fmt.Printf("mediator %s listening on %s\n", *name, dep.Mediator.Addr())
+	if dep.Admin != nil {
+		fmt.Printf("admin endpoint on http://%s (/metrics /healthz /flows /automaton.dot)\n", dep.Admin.Addr())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

@@ -23,6 +23,7 @@ import (
 	"starlink/internal/mdl/xmlenc"
 	"starlink/internal/mtl"
 	"starlink/internal/network"
+	"starlink/internal/observe"
 )
 
 // Errors reported by the core layer.
@@ -236,6 +237,7 @@ type SideSpec struct {
 //	dialtimeout <duration>
 //	pool_size <n>
 //	pool_idle <duration>|off
+//	admin <addr>
 type MediatorSpec struct {
 	// MergedName names the merged automaton to execute.
 	MergedName string
@@ -262,6 +264,9 @@ type MediatorSpec struct {
 	// positive is a timeout, negative ("pool_idle off") disables idle
 	// keep-alive, zero leaves the engine default.
 	PoolIdle time.Duration
+	// Admin, when non-empty, is the address the deployment's admin
+	// endpoint (/metrics, /healthz, /flows, /automaton.dot) binds to.
+	Admin string
 }
 
 // specErr reports a mediator-spec problem, always naming the line and
@@ -382,6 +387,11 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 				return nil, specErr(lineNo, "pool_idle", "bad idle timeout %q (or \"off\")", fields[1])
 			}
 			spec.PoolIdle = d
+		case "admin":
+			if len(fields) != 2 {
+				return nil, specErr(lineNo, "admin", "want: admin <addr>")
+			}
+			spec.Admin = fields[1]
 		case "hostmap":
 			rest := strings.TrimSpace(strings.TrimPrefix(line, "hostmap"))
 			host, addr, ok := strings.Cut(rest, "=")
@@ -438,9 +448,20 @@ func (m *Models) BuildBinder(side SideSpec) (bind.Binder, error) {
 
 // BuildMediator assembles (but does not start) a mediator from a spec.
 func (m *Models) BuildMediator(spec *MediatorSpec) (*engine.Mediator, error) {
+	cfg, err := m.buildConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(cfg)
+}
+
+// buildConfig translates a spec into an engine configuration; Deploy
+// and BuildMediator share it so observability can be wired in between
+// translation and engine construction.
+func (m *Models) buildConfig(spec *MediatorSpec) (engine.Config, error) {
 	merged, ok := m.Merged[spec.MergedName]
 	if !ok {
-		return nil, fmt.Errorf("%w: merged automaton %q not loaded", ErrSpec, spec.MergedName)
+		return engine.Config{}, fmt.Errorf("%w: merged automaton %q not loaded", ErrSpec, spec.MergedName)
 	}
 	cfg := engine.Config{
 		Merged:      merged,
@@ -463,14 +484,14 @@ func (m *Models) BuildMediator(spec *MediatorSpec) (*engine.Mediator, error) {
 	if spec.TypeMap != "" {
 		tm, ok := m.TypeMaps[spec.TypeMap]
 		if !ok {
-			return nil, fmt.Errorf("%w: vocabulary map %q not loaded", ErrSpec, spec.TypeMap)
+			return engine.Config{}, fmt.Errorf("%w: vocabulary map %q not loaded", ErrSpec, spec.TypeMap)
 		}
 		cfg.Funcs = map[string]mtl.Func{"maptype": mtl.TableFunc(tm)}
 	}
 	for _, ss := range spec.Sides {
 		binder, err := m.BuildBinder(ss)
 		if err != nil {
-			return nil, err
+			return engine.Config{}, err
 		}
 		transport := ss.Transport
 		if transport == "" {
@@ -485,7 +506,85 @@ func (m *Models) BuildMediator(spec *MediatorSpec) (*engine.Mediator, error) {
 			cfg.ServerColor = ss.Color
 		}
 	}
-	return engine.New(cfg)
+	return cfg, nil
+}
+
+// Deployment is a running mediator together with its optional
+// observability attachments.
+type Deployment struct {
+	// Mediator is the running mediation engine.
+	Mediator *engine.Mediator
+	// Observer is the flow tracer; nil when the deployment has no admin
+	// endpoint.
+	Observer *observe.Observer
+	// Admin is the running admin endpoint; nil when not configured.
+	Admin *observe.Admin
+}
+
+// Close stops the admin endpoint (if any) and the mediator.
+func (d *Deployment) Close() error {
+	var firstErr error
+	if d.Admin != nil {
+		firstErr = d.Admin.Close()
+	}
+	if err := d.Mediator.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Deploy builds and starts the named mediator spec like StartMediator,
+// and additionally stands up the observability subsystem when an admin
+// address is configured — via the spec's "admin" directive or the
+// adminOverride argument (which wins when non-empty). With an admin
+// address the mediator is instrumented with a flow tracer and flight
+// recorder, and the admin endpoint serves /metrics, /healthz, /flows
+// and /automaton.dot for it.
+func (m *Models) Deploy(name, listenOverride, adminOverride string) (*Deployment, error) {
+	spec, ok := m.Mediators[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: mediator spec %q not loaded", ErrSpec, name)
+	}
+	cfg, err := m.buildConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	adminAddr := spec.Admin
+	if adminOverride != "" {
+		adminAddr = adminOverride
+	}
+	d := &Deployment{}
+	if adminAddr != "" {
+		d.Observer = observe.Instrument(&cfg, observe.Options{})
+	}
+	med, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	listen := spec.Listen
+	if listenOverride != "" {
+		listen = listenOverride
+	}
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	if err := med.Start(listen); err != nil {
+		return nil, err
+	}
+	d.Mediator = med
+	if adminAddr != "" {
+		admin, err := observe.ServeAdmin(adminAddr, observe.AdminConfig{
+			Registry: observe.MediatorRegistry(med, d.Observer),
+			Observer: d.Observer,
+			Mediator: med,
+		})
+		if err != nil {
+			med.Close()
+			return nil, fmt.Errorf("core: admin endpoint: %w", err)
+		}
+		d.Admin = admin
+	}
+	return d, nil
 }
 
 // StartMediator builds and starts the named mediator spec, listening on

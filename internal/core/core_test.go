@@ -11,6 +11,7 @@ import (
 	"starlink/internal/automata"
 	"starlink/internal/casestudy"
 	"starlink/internal/core"
+	"starlink/internal/protocol/httpwire"
 	"starlink/internal/protocol/slp"
 	"starlink/internal/protocol/ssdp"
 	"starlink/internal/protocol/xmlrpc"
@@ -541,4 +542,99 @@ func TestMustMerge(t *testing.T) {
 		}
 	}()
 	m.MustMerge("nope", "APicasa", "flickr-picasa", "x")
+}
+
+func TestParseMediatorSpecAdminDirective(t *testing.T) {
+	spec, err := core.ParseMediatorSpec("merged x\nside 1 xmlrpc path=/x server\nadmin 127.0.0.1:9090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Admin != "127.0.0.1:9090" {
+		t.Errorf("Admin = %q", spec.Admin)
+	}
+	if _, err := core.ParseMediatorSpec("merged x\nside 1 xmlrpc\nadmin"); !errors.Is(err, core.ErrSpec) {
+		t.Errorf("bare admin err = %v", err)
+	}
+}
+
+// TestDeployWithAdmin stands up a full observed deployment from disk
+// models: mediator plus flow tracer plus admin endpoint, with the admin
+// address supplied as an override.
+func TestDeployWithAdmin(t *testing.T) {
+	store := photostore.New()
+	pic, err := picasa.New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pic.Close()
+
+	dir := writeCaseStudyModels(t)
+	specPath := filepath.Join(dir, "flickr-xmlrpc.mediator")
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.ReplaceAll(string(data), "127.0.0.1:9002", pic.Addr())
+	if err := os.WriteFile(specPath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := m.Deploy("flickr-xmlrpc", "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if dep.Observer == nil || dep.Admin == nil {
+		t.Fatal("deployment missing observability attachments")
+	}
+
+	c := xmlrpc.NewClient(dep.Mediator.Addr(), "/services/xmlrpc")
+	v, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+		"text": "tree", "per_page": int64(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if photos := v.(map[string]xmlrpc.Value)["photos"].([]xmlrpc.Value); len(photos) != 1 {
+		t.Errorf("photos = %d", len(photos))
+	}
+	c.Close()
+
+	hc := &httpwire.Client{Addr: dep.Admin.Addr()}
+	defer hc.Close()
+	resp, err := hc.Get("/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "\"ok\"") {
+		t.Errorf("healthz = %d %s", resp.Status, resp.Body)
+	}
+	resp, err = hc.Get("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp.Body), "starlink_sessions_total 1") {
+		t.Errorf("metrics missing session count:\n%s", resp.Body)
+	}
+	resp, err = hc.Get("/automaton.dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp.Body), "digraph") {
+		t.Errorf("automaton.dot = %s", resp.Body)
+	}
+
+	// Without an admin address the deployment is a bare mediator.
+	bare, err := m.Deploy("flickr-xmlrpc", "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if bare.Observer != nil || bare.Admin != nil {
+		t.Error("bare deployment grew observability attachments")
+	}
 }

@@ -150,9 +150,24 @@ type Config struct {
 	PoolIdle time.Duration
 	// Trace, when non-nil, receives one event per observable mediation
 	// step (state entered, transition fired, redial, session error). It
-	// is called synchronously from session goroutines and must be fast
-	// and concurrency-safe.
+	// is called synchronously from session goroutines and must be fast,
+	// non-blocking and concurrency-safe; a panicking hook is recovered
+	// and counted in Stats.HookPanics instead of killing the session.
 	Trace func(TraceEvent)
+	// Observer, when non-nil, receives the same events as Trace through
+	// the structured sink interface (internal/observe implements it).
+	// The same contract applies: called synchronously from session
+	// goroutines, must not block, panics are recovered and counted.
+	Observer Observer
+}
+
+// Observer is a structured trace sink: it receives every TraceEvent a
+// Config.Trace hook would, as an interface so observability subsystems
+// can be plugged in without closure indirection. Implementations must
+// be concurrency-safe and must not block — they run inline on the
+// mediation hot path.
+type Observer interface {
+	ObserveTrace(TraceEvent)
 }
 
 // retryPolicy resolves the effective fault-recovery policy: the
@@ -214,8 +229,16 @@ const (
 	// TraceRedial fires when a service connection is replaced (fault
 	// recovery or a sethost retarget after the first checkout).
 	TraceRedial
-	// TraceError fires when a session ends with an error.
+	// TraceError fires when a session ends with an error; it doubles as
+	// the end marker of the flow that failed.
 	TraceError
+	// TraceFlowStart fires when a flow's first client request arrives.
+	TraceFlowStart
+	// TraceFlowEnd fires when an automaton traversal completes cleanly.
+	TraceFlowEnd
+	// TraceSessionEnd fires when a session's goroutine exits, however it
+	// ended; observers use it to release per-session state.
+	TraceSessionEnd
 )
 
 // String names the kind for logs.
@@ -229,6 +252,12 @@ func (k TraceKind) String() string {
 		return "redial"
 	case TraceError:
 		return "error"
+	case TraceFlowStart:
+		return "flow-start"
+	case TraceFlowEnd:
+		return "flow-end"
+	case TraceSessionEnd:
+		return "session-end"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}
@@ -239,8 +268,12 @@ func (k TraceKind) String() string {
 type TraceEvent struct {
 	// Session numbers the client connection (1-based, in accept order).
 	Session uint64
+	// Flow numbers the automaton traversal within the session (1-based).
+	Flow uint64
 	// Kind selects which fields below are meaningful.
 	Kind TraceKind
+	// Time is when the event was emitted.
+	Time time.Time
 	// State is the state entered (TraceState) or the transition's target
 	// (TraceTransition).
 	State string
@@ -251,9 +284,18 @@ type TraceEvent struct {
 	// Attempt is the retry attempt for TraceRedial (0 for a sethost
 	// retarget).
 	Attempt int
+	// Elapsed is the step duration for TraceTransition and TraceFlowEnd.
+	Elapsed time.Duration
 	// Err carries the cause for TraceError and fault-driven TraceRedial.
 	Err error
+	// Wire is a truncated copy (at most MaxTraceWire bytes) of the last
+	// wire message received before a TraceError — the raw packet a parse
+	// or translate fault choked on, for post-hoc diagnosis.
+	Wire []byte
 }
+
+// MaxTraceWire bounds the wire capture attached to TraceError events.
+const MaxTraceWire = 256
 
 // Stats are a mediator's lifetime counters.
 type Stats struct {
@@ -290,6 +332,10 @@ type Stats struct {
 	// PoolEvictions counts pooled connections closed early: idle
 	// timeout, health-check rejection, idle overflow, or fault discard.
 	PoolEvictions uint64
+	// HookPanics counts panics recovered from user Trace/Observer hooks.
+	// A non-zero value means an observability callback is buggy; the
+	// mediation flows themselves were unaffected.
+	HookPanics uint64
 }
 
 // statCounters is the internal atomic form of Stats.
@@ -299,6 +345,7 @@ type statCounters struct {
 	failures                        atomic.Uint64
 	redials, retriesExhausted       atomic.Uint64
 	clientFailures, serviceFailures atomic.Uint64
+	hookPanics                      atomic.Uint64
 }
 
 // Mediator executes merged automata, one session per accepted client
@@ -346,6 +393,7 @@ func (m *Mediator) Stats() Stats {
 		RetriesExhausted: m.stats.retriesExhausted.Load(),
 		ClientFailures:   m.stats.clientFailures.Load(),
 		ServiceFailures:  m.stats.serviceFailures.Load(),
+		HookPanics:       m.stats.hookPanics.Load(),
 	}
 	m.mu.Lock()
 	p := m.pool
@@ -697,6 +745,13 @@ type session struct {
 	// cleared when the automaton restarts so one traversal's retarget
 	// cannot leak into the next.
 	hostOverride string
+	// flow numbers the current automaton traversal (1-based); flowT0 is
+	// when its first client request arrived, and lastRecv keeps the last
+	// wire message received — attached (truncated) to error traces so
+	// the flight recorder can show what a parse fault choked on.
+	flow     uint64
+	flowT0   time.Time
+	lastRecv []byte
 	// flowStarted flips once the current traversal has received its
 	// first client request; until then the session counts as idle and
 	// may be harvested by Shutdown.
@@ -719,16 +774,54 @@ type serviceLink struct {
 	pending bool
 }
 
-// trace delivers ev to the configured hook, stamping the session id.
+// trace delivers ev to the configured hooks, stamping the session id,
+// flow number and time. Each hook is shielded individually: a panic in
+// one is recovered and counted without starving the other or killing
+// the session goroutine mid-flow.
 func (s *session) trace(ev TraceEvent) {
-	if s.med.cfg.Trace != nil {
-		ev.Session = s.id
-		s.med.cfg.Trace(ev)
+	m := s.med
+	if m.cfg.Trace == nil && m.cfg.Observer == nil {
+		return
 	}
+	ev.Session = s.id
+	ev.Flow = s.flow
+	ev.Time = time.Now()
+	if m.cfg.Trace != nil {
+		m.callHook(func() { m.cfg.Trace(ev) })
+	}
+	if m.cfg.Observer != nil {
+		m.callHook(func() { m.cfg.Observer.ObserveTrace(ev) })
+	}
+}
+
+// callHook runs one user observability callback, recovering a panic
+// into the HookPanics counter so a buggy hook cannot take a session
+// down with it.
+func (m *Mediator) callHook(hook func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.stats.hookPanics.Add(1)
+		}
+	}()
+	hook()
+}
+
+// truncWire copies at most MaxTraceWire bytes of a wire message for
+// attachment to a TraceError event.
+func truncWire(data []byte) []byte {
+	if data == nil {
+		return nil
+	}
+	n := len(data)
+	if n > MaxTraceWire {
+		n = MaxTraceWire
+	}
+	return append([]byte(nil), data[:n]...)
 }
 
 func (s *session) run() {
 	defer func() {
+		s.trace(TraceEvent{Kind: TraceSessionEnd})
 		s.client.Close()
 		s.med.removeConn(s.client)
 		for color := range s.services {
@@ -739,17 +832,21 @@ func (s *session) run() {
 		s.pendingAction, s.pendingRequest = "", nil
 		s.hostOverride = ""
 		s.flowStarted = false
+		s.flow++
 		if err := s.runAutomaton(); err != nil {
 			// A recv error on the very first transition of a flow is the
 			// client ending the keep-alive connection, not a failure.
 			if !errors.Is(err, errSessionDone) {
 				s.med.stats.failures.Add(1)
-				s.trace(TraceEvent{Kind: TraceError, Err: err})
+				s.trace(TraceEvent{Kind: TraceError, Err: err, Wire: truncWire(s.lastRecv)})
 				s.sendErrorReply(err)
 			}
 			return
 		}
 		s.med.stats.flows.Add(1)
+		if s.flowStarted {
+			s.trace(TraceEvent{Kind: TraceFlowEnd, Elapsed: time.Since(s.flowT0)})
+		}
 		if s.med.draining.Load() {
 			// Shutdown in progress: the flow's reply is out, end the
 			// session instead of waiting for another request.
@@ -771,7 +868,11 @@ func (s *session) recvClientRequest() ([]byte, error) {
 		return nil, err
 	}
 	if s.flowStarted {
-		return s.client.Recv()
+		data, err := s.client.Recv()
+		if err == nil {
+			s.lastRecv = data
+		}
+		return data, err
 	}
 	if !s.med.parkIdle(s.client) {
 		return nil, errSessionDone
@@ -782,6 +883,9 @@ func (s *session) recvClientRequest() ([]byte, error) {
 		return nil, err
 	}
 	s.flowStarted = true
+	s.flowT0 = time.Now()
+	s.lastRecv = data
+	s.trace(TraceEvent{Kind: TraceFlowStart})
 	return data, nil
 }
 
@@ -836,7 +940,12 @@ func (s *session) runAutomaton() error {
 			if err != nil {
 				return err
 			}
-			s.med.transitions.observe(time.Since(start))
+			elapsed := time.Since(start)
+			s.med.transitions.observe(elapsed)
+			s.trace(TraceEvent{
+				Kind: TraceTransition, State: next, Transition: state + "->" + next,
+				Color: s.med.cfg.ServerColor, Elapsed: elapsed,
+			})
 			state = next
 			s.trace(TraceEvent{Kind: TraceState, State: state})
 			continue
@@ -865,8 +974,12 @@ func (s *session) runAutomaton() error {
 				return err
 			}
 		}
-		s.med.transitions.observe(time.Since(start))
-		s.trace(TraceEvent{Kind: TraceTransition, State: t.To, Transition: t.From + "->" + t.To, Color: t.Color})
+		elapsed := time.Since(start)
+		s.med.transitions.observe(elapsed)
+		s.trace(TraceEvent{
+			Kind: TraceTransition, State: t.To, Transition: t.From + "->" + t.To,
+			Color: t.Color, Elapsed: elapsed,
+		})
 		state = t.To
 		s.trace(TraceEvent{Kind: TraceState, State: state})
 	}
@@ -1054,6 +1167,7 @@ func (s *session) serviceRecv(color int) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		data, err := s.tryServiceRecv(color, attempt)
 		if err == nil {
+			s.lastRecv = data
 			if link, ok := s.services[color]; ok {
 				link.pending = false
 			}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -24,6 +25,12 @@ func TestRetryPolicyTranslation(t *testing.T) {
 			RetryPolicy{Attempts: 1}},
 		{"disabled ignores other fields", Config{Retry: &RetryPolicy{Attempts: 7, Backoff: time.Hour, Disabled: true}},
 			RetryPolicy{Disabled: true}},
+		{"legacy knobs resolve independently", Config{DialRetries: 5, RetryBackoff: -1},
+			RetryPolicy{Attempts: 5, Backoff: 0}},
+		{"legacy disable with explicit backoff", Config{DialRetries: -1, RetryBackoff: time.Minute},
+			RetryPolicy{Attempts: 0, Backoff: time.Minute}},
+		{"explicit zero policy means zero, not defaults", Config{Retry: &RetryPolicy{}},
+			RetryPolicy{}},
 	}
 	for _, tt := range cases {
 		t.Run(tt.name, func(t *testing.T) {
@@ -39,6 +46,22 @@ func TestRetryPolicyTranslation(t *testing.T) {
 	t.Run("disabled policy allows no attempts", func(t *testing.T) {
 		if got := (RetryPolicy{Attempts: 5, Disabled: true}).attempts(); got != 0 {
 			t.Errorf("attempts() = %d, want 0", got)
+		}
+	})
+	t.Run("negative explicit values are config errors", func(t *testing.T) {
+		for name, cfg := range map[string]Config{
+			"attempts": {Retry: &RetryPolicy{Attempts: -1}},
+			"backoff":  {Retry: &RetryPolicy{Backoff: -time.Second}},
+		} {
+			if _, err := cfg.retryPolicy(); !errors.Is(err, ErrConfig) {
+				t.Errorf("%s: err = %v, want ErrConfig", name, err)
+			}
+		}
+	})
+	t.Run("disabled explicit policy skips validation", func(t *testing.T) {
+		got, err := (Config{Retry: &RetryPolicy{Attempts: -1, Disabled: true}}).retryPolicy()
+		if err != nil || got != (RetryPolicy{Disabled: true}) {
+			t.Errorf("retryPolicy() = %+v, %v", got, err)
 		}
 	})
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,7 +21,9 @@ import (
 	"starlink/internal/engine"
 	"starlink/internal/message"
 	"starlink/internal/network"
+	"starlink/internal/observe"
 	"starlink/internal/protocol/giop"
+	"starlink/internal/protocol/httpwire"
 	"starlink/internal/protocol/rest"
 	"starlink/internal/protocol/slp"
 	"starlink/internal/protocol/soap"
@@ -57,7 +60,7 @@ func (r Result) String() string {
 // RunAll executes every experiment in order.
 func RunAll() []Result {
 	return []Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(),
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(),
 	}
 }
 
@@ -647,12 +650,14 @@ func E11() Result {
 }
 
 // E12 measures the shared service-side connection pool under concurrent
-// sessions and the graceful-drain lifecycle: two waves of parallel IIOP
-// clients run through one mediator, whose SOAP-side connections must be
-// reused across sessions (pool dials < sessions), and the mediator is
-// then retired with Shutdown rather than Close.
+// sessions and the graceful-drain lifecycle — now soaked with the full
+// observability subsystem attached: two waves of parallel IIOP clients
+// run through one instrumented mediator (flow tracer + flight recorder
+// + admin endpoint), one deliberately bad request exercises the flight
+// recorder, the admin routes are scraped over the wire, and the
+// mediator is then retired with Shutdown rather than Close.
 func E12() Result {
-	r := Result{ID: "E12", Artifact: "concurrent-session pool"}
+	r := Result{ID: "E12", Artifact: "concurrent pool + admin"}
 	srv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
 		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
 			x, _ := strconv.Atoi(findParam(params, "x"))
@@ -677,7 +682,7 @@ func E12() Result {
 		r.Err = err
 		return r
 	}
-	med, err := engine.New(engine.Config{
+	cfg := engine.Config{
 		Merged: merged,
 		Sides: map[int]*engine.Side{
 			1: {Binder: giopBinder},
@@ -685,7 +690,9 @@ func E12() Result {
 		},
 		ExchangeTimeout: 5 * time.Second,
 		Retry:           &engine.RetryPolicy{Attempts: 2, Backoff: 5 * time.Millisecond},
-	})
+	}
+	obs := observe.Instrument(&cfg, observe.Options{})
+	med, err := engine.New(cfg)
 	if err != nil {
 		r.Err = err
 		return r
@@ -695,6 +702,16 @@ func E12() Result {
 		return r
 	}
 	defer med.Close()
+	admin, err := observe.ServeAdmin("127.0.0.1:0", observe.AdminConfig{
+		Registry: observe.MediatorRegistry(med, obs),
+		Observer: obs,
+		Mediator: med,
+	})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	defer admin.Close()
 
 	const waves, perWave = 2, 8
 	for wave := 0; wave < waves; wave++ {
@@ -731,6 +748,52 @@ func E12() Result {
 		time.Sleep(20 * time.Millisecond)
 	}
 
+	// One deliberately bad request: Bogus parses as GIOP but is not an
+	// action the automaton accepts, so the flow fails and the flight
+	// recorder captures its wire image.
+	bad, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if _, err := bad.Invoke("Bogus", giop.IntParam(1)); err == nil {
+		bad.Close()
+		r.Err = errors.New("bogus invocation unexpectedly succeeded")
+		return r
+	}
+	bad.Close()
+
+	// Scrape the admin endpoint over the wire.
+	hc := &httpwire.Client{Addr: admin.Addr()}
+	defer hc.Close()
+	metricsResp, err := hc.Get("/metrics")
+	if err != nil {
+		r.Err = fmt.Errorf("scrape /metrics: %w", err)
+		return r
+	}
+	if !strings.Contains(string(metricsResp.Body), "starlink_flows_total") {
+		r.Err = errors.New("/metrics missing starlink_flows_total")
+		return r
+	}
+	flowsResp, err := hc.Get("/flows")
+	if err != nil {
+		r.Err = fmt.Errorf("scrape /flows: %w", err)
+		return r
+	}
+	if !strings.Contains(string(flowsResp.Body), "Bogus") {
+		r.Err = errors.New("/flows does not show the recorded failure's wire image")
+		return r
+	}
+	dotResp, err := hc.Get("/automaton.dot")
+	if err != nil {
+		r.Err = fmt.Errorf("scrape /automaton.dot: %w", err)
+		return r
+	}
+	if !strings.Contains(string(dotResp.Body), "digraph") {
+		r.Err = errors.New("/automaton.dot is not a DOT document")
+		return r
+	}
+
 	st := med.Stats()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -738,15 +801,158 @@ func E12() Result {
 		r.Err = fmt.Errorf("graceful shutdown: %w", err)
 		return r
 	}
-	r.Detail = fmt.Sprintf("%d sessions served by %d service dial(s), %d pool hit(s); drained cleanly",
+	r.Detail = fmt.Sprintf("%d sessions, %d dial(s), %d pool hit(s); admin served metrics+flows+dot; drained",
 		st.Sessions, st.PoolDials, st.PoolHits)
 	switch {
-	case st.Sessions != waves*perWave:
-		r.Err = fmt.Errorf("sessions = %d, want %d", st.Sessions, waves*perWave)
+	case st.Sessions != waves*perWave+1: // +1 for the injected-fault session
+		r.Err = fmt.Errorf("sessions = %d, want %d", st.Sessions, waves*perWave+1)
 	case st.PoolDials >= st.Sessions:
 		r.Err = fmt.Errorf("pool dials = %d, not below sessions = %d", st.PoolDials, st.Sessions)
 	case st.PoolHits == 0:
 		r.Err = errors.New("no pool hits: connections not reused across sessions")
+	case st.Failures != 1:
+		r.Err = fmt.Errorf("failures = %d, want the 1 injected fault", st.Failures)
+	case obs.Recorder().Len() == 0:
+		r.Err = errors.New("flight recorder is empty after the injected fault")
 	}
 	return r
+}
+
+// E13 quantifies the observability tax: the same concurrent Add/Plus
+// workload is run with the flow tracer disabled and enabled, and the
+// per-flow times compared. The design target is <5% at the benchmark
+// scale (see EXPERIMENTS.md E13 and BENCH_observe.json); here the gate
+// is deliberately loose (50%) so the experiment flags regressions, not
+// scheduler noise.
+func E13() Result {
+	r := Result{ID: "E13", Artifact: "tracer overhead"}
+	points, err := MeasureObserveOverhead([]int{1, 8}, 40)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	detail := make([]string, len(points))
+	for i, p := range points {
+		detail[i] = fmt.Sprintf("%ds: off %.0fµs on %.0fµs (%+.1f%%)",
+			p.Sessions, p.OffNsPerFlow/1e3, p.OnNsPerFlow/1e3, p.OverheadPct)
+		if p.OverheadPct > 50 {
+			r.Err = fmt.Errorf("tracer overhead %.1f%% at %d sessions exceeds the 50%% sanity gate",
+				p.OverheadPct, p.Sessions)
+		}
+	}
+	r.Detail = strings.Join(detail, "; ")
+	return r
+}
+
+// ObservePoint is one concurrency level of the tracer-overhead
+// measurement: per-flow latency with the tracer off and on.
+type ObservePoint struct {
+	// Sessions is the number of concurrent client sessions.
+	Sessions int `json:"sessions"`
+	// OffNsPerFlow and OnNsPerFlow are mean wall nanoseconds per
+	// mediated flow with the tracer disabled resp. enabled.
+	OffNsPerFlow float64 `json:"tracer_off_ns_per_flow"`
+	OnNsPerFlow  float64 `json:"tracer_on_ns_per_flow"`
+	// OverheadPct is (on-off)/off in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// MeasureObserveOverhead runs the Add/Plus workload at each concurrency
+// level with the flow tracer disabled then enabled, flows complete
+// GIOP->SOAP mediations each. The benchharness -observe flag and E13
+// share this.
+func MeasureObserveOverhead(sessionCounts []int, flowsPerSession int) ([]ObservePoint, error) {
+	srv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			x, _ := strconv.Atoi(findParam(params, "x"))
+			y, _ := strconv.Atoi(findParam(params, "y"))
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: srv.Addr()},
+		},
+		ExchangeTimeout: 5 * time.Second,
+	}
+	obs := observe.Instrument(&cfg, observe.Options{Disabled: true})
+	med, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	defer med.Close()
+
+	run := func(sessions int) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		start := time.Now()
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client, err := giop.Dial(med.Addr(), "calc")
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer client.Close()
+				for f := 0; f < flowsPerSession; f++ {
+					if _, err := client.Invoke("Add", giop.IntParam(2), giop.IntParam(3)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+		return elapsed / time.Duration(sessions*flowsPerSession), nil
+	}
+
+	var points []ObservePoint
+	for _, sessions := range sessionCounts {
+		obs.SetEnabled(false)
+		if _, err := run(sessions); err != nil { // warm the pool and caches
+			return nil, err
+		}
+		off, err := run(sessions)
+		if err != nil {
+			return nil, err
+		}
+		obs.SetEnabled(true)
+		on, err := run(sessions)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ObservePoint{
+			Sessions:     sessions,
+			OffNsPerFlow: float64(off.Nanoseconds()),
+			OnNsPerFlow:  float64(on.Nanoseconds()),
+			OverheadPct:  100 * (float64(on) - float64(off)) / float64(off),
+		})
+	}
+	return points, nil
 }

@@ -1,0 +1,152 @@
+package observe
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"starlink/internal/engine"
+	"starlink/internal/protocol/httpwire"
+)
+
+// AdminConfig wires an Admin endpoint to its data sources. Every field
+// is optional; routes whose source is missing answer 404.
+type AdminConfig struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// Observer backs /flows and /automaton.dot.
+	Observer *Observer
+	// Mediator enriches /healthz with live session/flow counters.
+	Mediator *engine.Mediator
+}
+
+// Admin is a running admin endpoint: a pure-stdlib HTTP server (built
+// on internal/protocol/httpwire, no net/http) serving
+//
+//	GET /healthz        liveness plus headline counters (JSON)
+//	GET /metrics        Prometheus text exposition
+//	GET /flows[?n=K]    the flight recorder's last failed/slow flows,
+//	                    span trees and wire hexdumps included (JSON)
+//	GET /automaton.dot  the live merged automaton in Graphviz format
+//	                    with per-transition hit counts
+type Admin struct {
+	cfg    AdminConfig
+	srv    *httpwire.Server
+	uptime *Uptime
+}
+
+// ServeAdmin binds addr and serves the admin routes in the background.
+func ServeAdmin(addr string, cfg AdminConfig) (*Admin, error) {
+	a := &Admin{cfg: cfg, uptime: NewUptime()}
+	srv, err := httpwire.Serve(addr, a.handle)
+	if err != nil {
+		return nil, err
+	}
+	a.srv = srv
+	return a, nil
+}
+
+// Addr returns the bound address ("host:port").
+func (a *Admin) Addr() string { return a.srv.Addr() }
+
+// Close stops the endpoint and waits for in-flight requests.
+func (a *Admin) Close() error { return a.srv.Close() }
+
+func (a *Admin) handle(req *httpwire.Request) *httpwire.Response {
+	if req.Method != "GET" {
+		return &httpwire.Response{Status: 400, Body: []byte("only GET is supported\n")}
+	}
+	switch req.Path() {
+	case "/healthz":
+		return a.healthz()
+	case "/metrics":
+		return a.metrics()
+	case "/flows":
+		return a.flows(req)
+	case "/automaton.dot":
+		return a.automatonDOT()
+	default:
+		return &httpwire.Response{Status: 404, Body: []byte("not found\n")}
+	}
+}
+
+func (a *Admin) healthz() *httpwire.Response {
+	body := map[string]any{
+		"status":    "ok",
+		"uptime_ns": a.uptime.Elapsed().Nanoseconds(),
+	}
+	if med := a.cfg.Mediator; med != nil {
+		st := med.Stats()
+		body["sessions"] = st.Sessions
+		body["flows"] = st.Flows
+		body["failures"] = st.Failures
+	}
+	if obs := a.cfg.Observer; obs != nil {
+		body["tracer_enabled"] = obs.Enabled()
+		body["recorder_entries"] = obs.Recorder().Len()
+	}
+	return jsonResponse(body)
+}
+
+func (a *Admin) metrics() *httpwire.Response {
+	if a.cfg.Registry == nil {
+		return &httpwire.Response{Status: 404, Body: []byte("no metrics registry\n")}
+	}
+	var b strings.Builder
+	if err := a.cfg.Registry.WriteText(&b); err != nil {
+		return &httpwire.Response{Status: 500, Body: []byte(err.Error() + "\n")}
+	}
+	return &httpwire.Response{
+		Status:  200,
+		Headers: map[string]string{"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+		Body:    []byte(b.String()),
+	}
+}
+
+func (a *Admin) flows(req *httpwire.Request) *httpwire.Response {
+	if a.cfg.Observer == nil {
+		return &httpwire.Response{Status: 404, Body: []byte("no observer attached\n")}
+	}
+	entries := a.cfg.Observer.Recorder().Entries()
+	if nStr := req.QueryValue("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			return &httpwire.Response{Status: 400, Body: []byte(fmt.Sprintf("bad n %q\n", nStr))}
+		}
+		if n < len(entries) {
+			entries = entries[len(entries)-n:]
+		}
+	}
+	if entries == nil {
+		entries = []*FlowTrace{}
+	}
+	return jsonResponse(entries)
+}
+
+func (a *Admin) automatonDOT() *httpwire.Response {
+	if a.cfg.Observer == nil {
+		return &httpwire.Response{Status: 404, Body: []byte("no observer attached\n")}
+	}
+	dot := a.cfg.Observer.DOT()
+	if dot == "" {
+		return &httpwire.Response{Status: 404, Body: []byte("observer has no merged automaton\n")}
+	}
+	return &httpwire.Response{
+		Status:  200,
+		Headers: map[string]string{"Content-Type": "text/vnd.graphviz; charset=utf-8"},
+		Body:    []byte(dot),
+	}
+}
+
+func jsonResponse(v any) *httpwire.Response {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return &httpwire.Response{Status: 500, Body: []byte(err.Error() + "\n")}
+	}
+	return &httpwire.Response{
+		Status:  200,
+		Headers: map[string]string{"Content-Type": "application/json; charset=utf-8"},
+		Body:    append(data, '\n'),
+	}
+}

@@ -1,0 +1,222 @@
+package observe_test
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/bind"
+	"starlink/internal/casestudy"
+	"starlink/internal/engine"
+	"starlink/internal/observe"
+	"starlink/internal/protocol/giop"
+	"starlink/internal/protocol/httpwire"
+	"starlink/internal/protocol/soap"
+)
+
+// TestAdminEndToEnd runs the Fig. 7/8 Add/Plus scenario with a fully
+// instrumented mediator — observer, metrics registry and admin endpoint
+// — then drives good and bad flows through it and scrapes every admin
+// route over the wire.
+func TestAdminEndToEnd(t *testing.T) {
+	plusSrv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			sum := 0
+			for _, p := range params {
+				n, _ := strconv.Atoi(p.Value)
+				sum += n
+			}
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(sum)}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plusSrv.Close()
+
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Name:  "Add+Plus",
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: plusSrv.Addr()},
+		},
+	}
+	obs := observe.Instrument(&cfg, observe.Options{})
+	med, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	admin, err := observe.ServeAdmin("127.0.0.1:0", observe.AdminConfig{
+		Registry: observe.MediatorRegistry(med, obs),
+		Observer: obs,
+		Mediator: med,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	// Two good flows on one session.
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int64{{20, 22}, {1, 2}} {
+		results, err := client.Invoke("Add", giop.IntParam(pair[0]), giop.IntParam(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].ValueString() != strconv.FormatInt(pair[0]+pair[1], 10) {
+			t.Fatalf("Add = %v", results)
+		}
+	}
+	client.Close()
+
+	// One bad flow: the automaton expects Add, so Bogus parses but hits
+	// an unexpected action — a failed flow for the flight recorder.
+	bad, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Invoke("Bogus", giop.IntParam(1)); err == nil {
+		t.Fatal("Bogus invocation succeeded")
+	}
+	bad.Close()
+
+	// Sessions tear down asynchronously after client close.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		st := med.Stats()
+		if st.Flows >= 2 && st.Failures >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	hc := &httpwire.Client{Addr: admin.Addr()}
+	defer hc.Close()
+	get := func(target string) *httpwire.Response {
+		t.Helper()
+		resp, err := hc.Get(target)
+		if err != nil {
+			t.Fatalf("GET %s: %v", target, err)
+		}
+		return resp
+	}
+
+	t.Run("healthz", func(t *testing.T) {
+		resp := get("/healthz")
+		if resp.Status != 200 {
+			t.Fatalf("status = %d", resp.Status)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(resp.Body, &body); err != nil {
+			t.Fatal(err)
+		}
+		if body["status"] != "ok" {
+			t.Errorf("status field = %v", body["status"])
+		}
+		if body["sessions"].(float64) < 2 {
+			t.Errorf("sessions = %v", body["sessions"])
+		}
+		if body["tracer_enabled"] != true {
+			t.Errorf("tracer_enabled = %v", body["tracer_enabled"])
+		}
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		resp := get("/metrics")
+		if resp.Status != 200 {
+			t.Fatalf("status = %d", resp.Status)
+		}
+		if ct := resp.Headers["Content-Type"]; !strings.Contains(ct, "version=0.0.4") {
+			t.Errorf("Content-Type = %q", ct)
+		}
+		out := string(resp.Body)
+		for _, want := range []string{
+			"starlink_flows_total 2",
+			"starlink_failures_total 1",
+			"starlink_tracer_enabled 1",
+			"starlink_transition_seconds_bucket",
+			"starlink_transition_seconds_count",
+			"starlink_transition_hits_total{transition=",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("metrics missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("flows", func(t *testing.T) {
+		resp := get("/flows")
+		if resp.Status != 200 {
+			t.Fatalf("status = %d", resp.Status)
+		}
+		var flows []observe.FlowTrace
+		if err := json.Unmarshal(resp.Body, &flows); err != nil {
+			t.Fatalf("%v\n%s", err, resp.Body)
+		}
+		if len(flows) != 1 {
+			t.Fatalf("recorded flows = %d, want the 1 failure", len(flows))
+		}
+		ft := flows[0]
+		if ft.Err == "" {
+			t.Error("recorded flow has no error")
+		}
+		if !strings.Contains(ft.Wire, "Bogus") {
+			t.Errorf("wire hexdump does not show the offending request:\n%s", ft.Wire)
+		}
+		// ?n=0 truncates to nothing but stays valid JSON.
+		resp = get("/flows?n=0")
+		if err := json.Unmarshal(resp.Body, &flows); err != nil || len(flows) != 0 {
+			t.Errorf("flows?n=0 = %s (err %v)", resp.Body, err)
+		}
+	})
+
+	t.Run("automaton.dot", func(t *testing.T) {
+		resp := get("/automaton.dot")
+		if resp.Status != 200 {
+			t.Fatalf("status = %d", resp.Status)
+		}
+		dot := string(resp.Body)
+		if !strings.Contains(dot, "digraph \"Add+Plus\"") {
+			t.Errorf("DOT header missing:\n%s", dot)
+		}
+		// The good path ran twice; at least one edge label shows it.
+		if !strings.Contains(dot, "(2)") {
+			t.Errorf("DOT has no live hit counts:\n%s", dot)
+		}
+	})
+
+	t.Run("not-found and bad method", func(t *testing.T) {
+		if resp := get("/nope"); resp.Status != 404 {
+			t.Errorf("status = %d, want 404", resp.Status)
+		}
+		resp, err := hc.Post("/metrics", "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != 400 {
+			t.Errorf("POST status = %d, want 400", resp.Status)
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package observe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"starlink/internal/engine"
+)
+
+// Registry is a pull-model metrics registry: each metric is a name,
+// help text and a closure sampled at exposition time, rendered in the
+// Prometheus text format (version 0.0.4). Starlink's counters already
+// live as lock-free atomics inside the engine, pool and observer, so
+// the registry stores no state of its own — a scrape is a walk over
+// snapshot closures.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	names   map[string]bool
+}
+
+// metric is one registered family; exactly one of the sample funcs is
+// set, selected by typ.
+type metric struct {
+	name, help, typ string
+	scalar          func() float64
+	labelKey        string
+	vec             func() map[string]uint64
+	hist            func() engine.LatencyHistogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("observe: metric %q registered twice", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers a monotonically increasing metric.
+func (r *Registry) Counter(name, help string, f func() uint64) {
+	r.register(&metric{name: name, help: help, typ: "counter",
+		scalar: func() float64 { return float64(f()) }})
+}
+
+// Gauge registers a point-in-time value.
+func (r *Registry) Gauge(name, help string, f func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", scalar: f})
+}
+
+// CounterVec registers a counter family keyed by one label; f returns
+// the current label→value samples.
+func (r *Registry) CounterVec(name, labelKey, help string, f func() map[string]uint64) {
+	r.register(&metric{name: name, help: help, typ: "counter", labelKey: labelKey, vec: f})
+}
+
+// Histogram registers a latency distribution exposed with cumulative
+// le buckets in seconds.
+func (r *Registry) Histogram(name, help string, f func() engine.LatencyHistogram) {
+	r.register(&metric{name: name, help: help, typ: "histogram", hist: f})
+}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case m.vec != nil:
+			err = writeVec(w, m)
+		case m.hist != nil:
+			err = writeHistogram(w, m.name, m.hist())
+		default:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.scalar()))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeVec(w io.Writer, m *metric) error {
+	samples := m.vec()
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.labelKey, k, samples[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h engine.LatencyHistogram) error {
+	var cumulative uint64
+	for i, b := range h.Buckets {
+		cumulative += b.Count
+		le := "+Inf"
+		if i < len(h.Buckets)-1 {
+			le = formatFloat(b.High.Seconds())
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cumulative); err != nil {
+			return err
+		}
+	}
+	if len(h.Buckets) == 0 {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum.Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// integral values without an exponent, the rest in compact form.
+func formatFloat(v float64) string {
+	if v == float64(uint64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", uint64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// RegisterMediator wires a mediator's whole Snapshot surface — the
+// lifetime Stats counters, the pool counters and both 32-bin latency
+// histograms — into the registry under the starlink_* namespace.
+func RegisterMediator(r *Registry, med *engine.Mediator) {
+	stat := func(f func(engine.Stats) uint64) func() uint64 {
+		return func() uint64 { return f(med.Stats()) }
+	}
+	r.Counter("starlink_sessions_total", "Client connections accepted.",
+		stat(func(s engine.Stats) uint64 { return s.Sessions }))
+	r.Counter("starlink_flows_total", "Complete automaton traversals.",
+		stat(func(s engine.Stats) uint64 { return s.Flows }))
+	r.Counter("starlink_translations_total", "Gamma (MTL) transitions executed.",
+		stat(func(s engine.Stats) uint64 { return s.Translations }))
+	r.Counter("starlink_messages_in_total", "Messages received from either side.",
+		stat(func(s engine.Stats) uint64 { return s.MessagesIn }))
+	r.Counter("starlink_messages_out_total", "Messages sent to either side.",
+		stat(func(s engine.Stats) uint64 { return s.MessagesOut }))
+	r.Counter("starlink_failures_total", "Sessions that ended with an error.",
+		stat(func(s engine.Stats) uint64 { return s.Failures }))
+	r.Counter("starlink_redials_total", "Service connections replaced mid-session.",
+		stat(func(s engine.Stats) uint64 { return s.Redials }))
+	r.Counter("starlink_retries_exhausted_total", "Service exchanges that failed after every retry.",
+		stat(func(s engine.Stats) uint64 { return s.RetriesExhausted }))
+	r.Counter("starlink_client_failures_total", "Failed client-side exchanges.",
+		stat(func(s engine.Stats) uint64 { return s.ClientFailures }))
+	r.Counter("starlink_service_failures_total", "Service-side exchanges that failed for good.",
+		stat(func(s engine.Stats) uint64 { return s.ServiceFailures }))
+	r.Counter("starlink_pool_hits_total", "Service checkouts served by an idle pooled connection.",
+		stat(func(s engine.Stats) uint64 { return s.PoolHits }))
+	r.Counter("starlink_pool_dials_total", "Service checkouts that opened a fresh connection.",
+		stat(func(s engine.Stats) uint64 { return s.PoolDials }))
+	r.Counter("starlink_pool_evictions_total", "Pooled connections closed early.",
+		stat(func(s engine.Stats) uint64 { return s.PoolEvictions }))
+	r.Counter("starlink_hook_panics_total", "Panics recovered from Trace/Observer hooks.",
+		stat(func(s engine.Stats) uint64 { return s.HookPanics }))
+	r.Histogram("starlink_transition_seconds", "Latency of individual automaton transitions.",
+		func() engine.LatencyHistogram { return med.Snapshot().Transitions })
+	r.Histogram("starlink_exchange_seconds", "Latency of service request/reply round-trips.",
+		func() engine.LatencyHistogram { return med.Snapshot().Exchanges })
+}
+
+// RegisterObserver wires the tracer's and flight recorder's own
+// counters, plus the per-transition hit counts, into the registry.
+func RegisterObserver(r *Registry, o *Observer) {
+	r.Gauge("starlink_tracer_enabled", "1 when the flow tracer is enabled.",
+		func() float64 {
+			if o.Enabled() {
+				return 1
+			}
+			return 0
+		})
+	r.Counter("starlink_tracer_events_total", "TraceEvents consumed by the tracer.",
+		func() uint64 { return o.Stats().Events })
+	r.Counter("starlink_tracer_flows_assembled_total", "Span trees assembled from completed flows.",
+		func() uint64 { return o.Stats().FlowsAssembled })
+	r.Counter("starlink_tracer_flows_sampled_total", "Completed flows kept in the flow ring.",
+		func() uint64 { return o.Stats().FlowsSampled })
+	r.Counter("starlink_tracer_flows_dropped_total", "Completed flows sampled out of the flow ring.",
+		func() uint64 { return o.Stats().FlowsDropped })
+	r.Gauge("starlink_recorder_entries", "Flows currently held by the flight recorder.",
+		func() float64 { return float64(o.Recorder().Len()) })
+	r.Counter("starlink_recorder_failed_total", "Failed flows flight-recorded.",
+		func() uint64 { return o.Recorder().Stats().Failed })
+	r.Counter("starlink_recorder_slow_total", "Slow flows flight-recorded.",
+		func() uint64 { return o.Recorder().Stats().Slow })
+	if o.transitions != nil {
+		r.CounterVec("starlink_transition_hits_total", "transition",
+			"Executions per merged-automaton transition.", o.TransitionHits)
+	}
+}
+
+// MediatorRegistry builds a Registry pre-wired with a mediator's
+// metrics and, when obs is non-nil, the observer's. This is the
+// one-call path from "I have a mediator" to "I can serve /metrics".
+func MediatorRegistry(med *engine.Mediator, obs *Observer) *Registry {
+	r := NewRegistry()
+	RegisterMediator(r, med)
+	if obs != nil {
+		RegisterObserver(r, obs)
+	}
+	return r
+}
+
+// Uptime is a small helper metric source for /healthz-style gauges.
+type Uptime struct{ t0 time.Time }
+
+// NewUptime starts counting now.
+func NewUptime() *Uptime { return &Uptime{t0: time.Now()} }
+
+// Elapsed is the time since construction.
+func (u *Uptime) Elapsed() time.Duration { return time.Since(u.t0) }

@@ -1,0 +1,352 @@
+// Package observe is Starlink's runtime observability subsystem. The
+// paper's mediators are long-lived components "deployed in the network"
+// (§3-5); this package makes a running one inspectable without stopping
+// it, in four parts:
+//
+//   - a flow tracer (Observer) that consumes engine TraceEvents and
+//     assembles them into per-session span trees — session → flow →
+//     transition spans with durations, colors, state names and
+//     redial/error annotations — kept in a bounded lock-free ring;
+//   - a metrics Registry fed from engine.Stats, the service-pool
+//     counters and the 32-bin latency histograms, rendered in
+//     Prometheus text exposition format;
+//   - a flight Recorder holding the last N failed or slow flows with
+//     their span trees and a truncated wire-level hexdump of the
+//     offending message, for post-hoc diagnosis of parse/translate
+//     faults;
+//   - an Admin endpoint (pure-stdlib, built on internal/protocol/
+//     httpwire, no net/http) serving /metrics, /healthz, /flows and
+//     /automaton.dot.
+//
+// The tracer sits on the mediation hot path, so its cost profile is
+// explicit: when disabled (SetEnabled(false)) every event costs exactly
+// one atomic load; when enabled, a transition event costs one map read
+// into a pre-built read-only table plus one atomic add, and span
+// assembly appends to per-session state that only that session's
+// goroutine touches.
+package observe
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/engine"
+)
+
+// Defaults applied when Options fields are zero.
+const (
+	// DefaultFlowRing is the bound on retained completed flows.
+	DefaultFlowRing = 256
+	// DefaultRecorderSize is the flight recorder's bound.
+	DefaultRecorderSize = 64
+)
+
+// Options configure an Observer.
+type Options struct {
+	// Merged, when non-nil, enables per-transition hit counters and the
+	// live /automaton.dot export; transition spans are also annotated
+	// with the edge's kind (message vs γ) and abstract message name.
+	Merged *automata.Merged
+	// FlowRing bounds the ring of retained completed flows (default
+	// DefaultFlowRing).
+	FlowRing int
+	// RecorderSize bounds the flight recorder (default
+	// DefaultRecorderSize).
+	RecorderSize int
+	// SampleRate keeps one in every SampleRate completed flows in the
+	// flow ring (default 1 = keep every flow). Failed and slow flows
+	// always reach the flight recorder regardless of sampling.
+	SampleRate int
+	// SlowThreshold, when positive, flight-records healthy flows at
+	// least this slow. Zero records only failures.
+	SlowThreshold time.Duration
+	// Disabled starts the observer switched off; SetEnabled(true) turns
+	// it on at runtime.
+	Disabled bool
+}
+
+// transitionStat is one merged-automaton edge's identity and live hit
+// counter. The table of these is built once and read-only afterwards,
+// so the hot path never takes a lock.
+type transitionStat struct {
+	kind    automata.MergedKind
+	message string
+	hits    atomic.Uint64
+}
+
+// Observer is the flow tracer: it implements engine.Observer, assembles
+// TraceEvents into FlowTraces and feeds the flight recorder. One
+// Observer instruments one mediator.
+type Observer struct {
+	opts        Options
+	enabled     atomic.Bool
+	transitions map[string]*transitionStat
+
+	// sessions holds the per-session assembly state; events for one
+	// session arrive from that session's goroutine only, so the values
+	// need no internal locking.
+	sessions sync.Map // uint64 -> *sessionTrace
+
+	flows    *ring[FlowTrace]
+	recorder *Recorder
+
+	sampleN atomic.Uint64
+
+	events         atomic.Uint64
+	flowsAssembled atomic.Uint64
+	flowsSampled   atomic.Uint64
+	flowsDropped   atomic.Uint64
+}
+
+// sessionTrace is one session's open flow being assembled.
+type sessionTrace struct {
+	cur *FlowTrace
+}
+
+// New builds an Observer.
+func New(opts Options) *Observer {
+	if opts.FlowRing <= 0 {
+		opts.FlowRing = DefaultFlowRing
+	}
+	if opts.RecorderSize <= 0 {
+		opts.RecorderSize = DefaultRecorderSize
+	}
+	if opts.SampleRate <= 0 {
+		opts.SampleRate = 1
+	}
+	o := &Observer{
+		opts:     opts,
+		flows:    newRing[FlowTrace](opts.FlowRing),
+		recorder: newRecorder(opts.RecorderSize, opts.SlowThreshold),
+	}
+	if opts.Merged != nil {
+		o.transitions = make(map[string]*transitionStat, len(opts.Merged.Transitions))
+		for _, t := range opts.Merged.Transitions {
+			o.transitions[t.From+"->"+t.To] = &transitionStat{kind: t.Kind, message: t.Message}
+		}
+	}
+	o.enabled.Store(!opts.Disabled)
+	return o
+}
+
+// Instrument attaches a new Observer to an engine configuration,
+// defaulting Options.Merged to the configuration's automaton so hit
+// counts and the DOT export work out of the box. Call before
+// engine.New — the engine copies its Config.
+func Instrument(cfg *engine.Config, opts Options) *Observer {
+	if opts.Merged == nil {
+		opts.Merged = cfg.Merged
+	}
+	o := New(opts)
+	cfg.Observer = o
+	return o
+}
+
+// SetEnabled switches tracing on or off at runtime. Disabled, every
+// ObserveTrace call returns after a single atomic load.
+func (o *Observer) SetEnabled(on bool) { o.enabled.Store(on) }
+
+// Enabled reports whether the tracer is currently on.
+func (o *Observer) Enabled() bool { return o.enabled.Load() }
+
+// Recorder returns the observer's flight recorder.
+func (o *Observer) Recorder() *Recorder { return o.recorder }
+
+// ObserveTrace implements engine.Observer. It must stay cheap: it runs
+// synchronously inside session goroutines.
+func (o *Observer) ObserveTrace(ev engine.TraceEvent) {
+	if !o.enabled.Load() {
+		return
+	}
+	o.events.Add(1)
+	switch ev.Kind {
+	case engine.TraceFlowStart:
+		st := o.session(ev.Session)
+		st.cur = &FlowTrace{
+			Session: ev.Session,
+			Flow:    ev.Flow,
+			Start:   ev.Time,
+			Root:    &Span{Kind: SpanFlow, Name: "flow", Start: ev.Time},
+		}
+	case engine.TraceTransition:
+		if ts := o.transitions[ev.Transition]; ts != nil {
+			ts.hits.Add(1)
+		}
+		st := o.session(ev.Session)
+		if st.cur == nil {
+			return
+		}
+		sp := &Span{
+			Kind:     SpanMessage,
+			Name:     ev.Transition,
+			State:    ev.State,
+			Color:    ev.Color,
+			Start:    ev.Time.Add(-ev.Elapsed),
+			Duration: ev.Elapsed,
+		}
+		if ts := o.transitions[ev.Transition]; ts != nil {
+			if ts.kind == automata.KindGamma {
+				sp.Kind = SpanGamma
+			}
+			sp.Message = ts.message
+		}
+		st.cur.Root.Children = append(st.cur.Root.Children, sp)
+	case engine.TraceRedial:
+		st := o.session(ev.Session)
+		if st.cur == nil {
+			return
+		}
+		sp := &Span{
+			Kind:    SpanRedial,
+			Name:    fmt.Sprintf("redial color %d", ev.Color),
+			State:   ev.State,
+			Color:   ev.Color,
+			Attempt: ev.Attempt,
+			Start:   ev.Time,
+		}
+		if ev.Err != nil {
+			sp.Err = ev.Err.Error()
+		}
+		st.cur.Root.Children = append(st.cur.Root.Children, sp)
+	case engine.TraceFlowEnd:
+		st := o.session(ev.Session)
+		if st.cur == nil {
+			return
+		}
+		st.cur.End = ev.Time
+		st.cur.Root.Duration = ev.Elapsed
+		o.finishFlow(st.cur)
+		st.cur = nil
+	case engine.TraceError:
+		st := o.session(ev.Session)
+		ft := st.cur
+		if ft == nil {
+			// The flow failed before its first request completed
+			// assembly; synthesize a bare trace so the failure is still
+			// visible in the recorder.
+			ft = &FlowTrace{
+				Session: ev.Session,
+				Flow:    ev.Flow,
+				Start:   ev.Time,
+				Root:    &Span{Kind: SpanFlow, Name: "flow", Start: ev.Time},
+			}
+		}
+		if ev.Err != nil {
+			ft.Err = ev.Err.Error()
+			ft.Root.Err = ft.Err
+		}
+		ft.End = ev.Time
+		ft.Root.Duration = ft.End.Sub(ft.Start)
+		ft.Wire = hexdump(ev.Wire)
+		o.finishFlow(ft)
+		st.cur = nil
+	case engine.TraceSessionEnd:
+		o.sessions.Delete(ev.Session)
+	}
+}
+
+// session returns (creating on first use) a session's assembly state.
+func (o *Observer) session(id uint64) *sessionTrace {
+	if st, ok := o.sessions.Load(id); ok {
+		return st.(*sessionTrace)
+	}
+	st, _ := o.sessions.LoadOrStore(id, &sessionTrace{})
+	return st.(*sessionTrace)
+}
+
+// finishFlow routes a completed flow: failed/slow flows to the flight
+// recorder unconditionally, and a sampled subset to the flow ring.
+func (o *Observer) finishFlow(ft *FlowTrace) {
+	o.flowsAssembled.Add(1)
+	o.recorder.offer(ft)
+	if o.opts.SampleRate > 1 && o.sampleN.Add(1)%uint64(o.opts.SampleRate) != 0 {
+		o.flowsDropped.Add(1)
+		return
+	}
+	o.flowsSampled.Add(1)
+	o.flows.add(ft)
+}
+
+// Flows snapshots the sampled completed-flow ring, oldest first.
+func (o *Observer) Flows() []*FlowTrace { return o.flows.snapshot() }
+
+// TransitionHits snapshots the per-transition hit counters ("from->to"
+// keyed). Nil when the observer was built without a merged automaton.
+func (o *Observer) TransitionHits() map[string]uint64 {
+	if o.transitions == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(o.transitions))
+	for name, ts := range o.transitions {
+		out[name] = ts.hits.Load()
+	}
+	return out
+}
+
+// ObserverStats are the tracer's own counters.
+type ObserverStats struct {
+	// Events is the number of TraceEvents consumed while enabled.
+	Events uint64
+	// FlowsAssembled counts completed span trees (clean or failed).
+	FlowsAssembled uint64
+	// FlowsSampled and FlowsDropped split FlowsAssembled by the
+	// sampling decision for the flow ring.
+	FlowsSampled, FlowsDropped uint64
+}
+
+// Stats snapshots the tracer's counters.
+func (o *Observer) Stats() ObserverStats {
+	return ObserverStats{
+		Events:         o.events.Load(),
+		FlowsAssembled: o.flowsAssembled.Load(),
+		FlowsSampled:   o.flowsSampled.Load(),
+		FlowsDropped:   o.flowsDropped.Load(),
+	}
+}
+
+// DOT renders the merged automaton in Graphviz format with live
+// per-transition hit counts on the edge labels — the Fig. 3 diagram
+// annotated with where traffic actually went. It returns "" when the
+// observer has no automaton.
+func (o *Observer) DOT() string {
+	m := o.opts.Merged
+	if m == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=circle, style=filled];\n", m.Name)
+	palette := map[int]string{m.Color1: "lightblue", m.Color2: "lightsalmon"}
+	for _, s := range m.States {
+		fill := "white"
+		switch {
+		case s.Bicolored():
+			fill = "lightblue;0.5:lightsalmon"
+		case len(s.Colors) == 1:
+			fill = palette[s.Colors[0]]
+		}
+		shape := "circle"
+		if m.IsFinal(s.Name) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, fillcolor=%q];\n", s.Name, shape, fill)
+	}
+	fmt.Fprintf(&b, "  _start [shape=point];\n  _start -> %q;\n", m.Start)
+	for _, t := range m.Transitions {
+		var hits uint64
+		if ts := o.transitions[t.From+"->"+t.To]; ts != nil {
+			hits = ts.hits.Load()
+		}
+		if t.Kind == automata.KindGamma {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"γ (%d)\", style=dashed];\n", t.From, t.To, hits)
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", t.From, t.To,
+			fmt.Sprintf("%s%s (%d)", t.Action, t.Message, hits))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

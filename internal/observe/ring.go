@@ -1,0 +1,56 @@
+package observe
+
+import "sync/atomic"
+
+// ring is a bounded lock-free ring buffer of pointers: writers claim a
+// slot with one atomic increment and store their entry with one atomic
+// pointer store, overwriting the oldest entry once the ring is full.
+// Readers snapshot the slots without blocking writers; a snapshot taken
+// concurrently with writes may miss an in-flight entry or include one
+// slightly out of order, which is acceptable for diagnostics.
+type ring[T any] struct {
+	slots []atomic.Pointer[T]
+	next  atomic.Uint64
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ring[T]{slots: make([]atomic.Pointer[T], capacity)}
+}
+
+// add stores v, evicting the oldest entry when full.
+func (r *ring[T]) add(v *T) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(v)
+}
+
+// len reports how many entries the ring currently holds.
+func (r *ring[T]) len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// total reports how many entries were ever added (including evicted).
+func (r *ring[T]) total() uint64 { return r.next.Load() }
+
+// snapshot returns the current entries, oldest first.
+func (r *ring[T]) snapshot() []*T {
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]*T, 0, n-start)
+	for i := start; i < n; i++ {
+		if v := r.slots[i%size].Load(); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}

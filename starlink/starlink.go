@@ -42,6 +42,7 @@ import (
 	"starlink/internal/mdl"
 	"starlink/internal/message"
 	"starlink/internal/mtl"
+	"starlink/internal/observe"
 )
 
 // Model and runtime types. These are aliases so the whole framework
@@ -105,6 +106,33 @@ type (
 	TraceEvent = engine.TraceEvent
 	// TraceKind classifies TraceEvents.
 	TraceKind = engine.TraceKind
+	// TraceSink is the structured observer interface for
+	// EngineConfig.Observer; the observe subsystem implements it.
+	TraceSink = engine.Observer
+	// Observer is the flow tracer: it assembles TraceEvents into span
+	// trees, counts per-transition hits and feeds the flight recorder.
+	Observer = observe.Observer
+	// ObserveOptions configure an Observer (ring bounds, sampling, slow
+	// threshold).
+	ObserveOptions = observe.Options
+	// FlowTrace is one assembled flow: header, span tree, and for failed
+	// flows a truncated wire-level hexdump.
+	FlowTrace = observe.FlowTrace
+	// Span is one node of a FlowTrace's span tree.
+	Span = observe.Span
+	// Recorder is the flight recorder of the last N failed/slow flows.
+	Recorder = observe.Recorder
+	// Registry is a pull-model metrics registry rendered in Prometheus
+	// text exposition format.
+	Registry = observe.Registry
+	// Admin is a running admin endpoint serving /metrics, /healthz,
+	// /flows and /automaton.dot.
+	Admin = observe.Admin
+	// AdminConfig wires an Admin endpoint to its data sources.
+	AdminConfig = observe.AdminConfig
+	// Deployment is a running mediator with its optional observability
+	// attachments; see Models.Deploy.
+	Deployment = core.Deployment
 )
 
 // Trace event kinds (see engine.TraceKind).
@@ -117,6 +145,12 @@ const (
 	TraceRedial = engine.TraceRedial
 	// TraceError fires when a session ends with an error.
 	TraceError = engine.TraceError
+	// TraceFlowStart fires when a flow's first client request arrives.
+	TraceFlowStart = engine.TraceFlowStart
+	// TraceFlowEnd fires when a flow completes its automaton traversal.
+	TraceFlowEnd = engine.TraceFlowEnd
+	// TraceSessionEnd fires when a client session tears down.
+	TraceSessionEnd = engine.TraceSessionEnd
 )
 
 // Fault-recovery and pooling defaults applied when EngineConfig leaves
@@ -229,3 +263,43 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 // Shutdown(ctx) stops accepting, drains in-flight sessions until ctx
 // expires, and closes the shared service pool; Close is the abrupt path.
 func NewMediator(cfg EngineConfig) (*Mediator, error) { return engine.New(cfg) }
+
+// Observability
+//
+// The observe subsystem makes a running mediator inspectable: a flow
+// tracer assembling TraceEvents into span trees, a Prometheus-text
+// metrics registry, a flight recorder of failed/slow flows, and an
+// admin HTTP endpoint. Typical programmatic wiring:
+//
+//	cfg := starlink.EngineConfig{ ... }
+//	obs := starlink.Instrument(&cfg, starlink.ObserveOptions{})
+//	med, err := starlink.NewMediator(cfg)
+//	...
+//	admin, err := starlink.ServeAdmin("127.0.0.1:9090", starlink.AdminConfig{
+//		Registry: starlink.MediatorRegistry(med, obs),
+//		Observer: obs,
+//		Mediator: med,
+//	})
+//
+// Declaratively, the same comes from a mediator spec's "admin <addr>"
+// directive via Models.Deploy (or `starlink run -admin addr`).
+
+// NewObserver builds a flow tracer with the given options.
+func NewObserver(opts ObserveOptions) *Observer { return observe.New(opts) }
+
+// Instrument attaches a new Observer to an engine configuration; call
+// before NewMediator.
+func Instrument(cfg *EngineConfig, opts ObserveOptions) *Observer {
+	return observe.Instrument(cfg, opts)
+}
+
+// MediatorRegistry builds a metrics Registry pre-wired with a
+// mediator's counters and histograms, plus the observer's when non-nil.
+func MediatorRegistry(med *Mediator, obs *Observer) *Registry {
+	return observe.MediatorRegistry(med, obs)
+}
+
+// ServeAdmin binds addr and serves the admin routes in the background.
+func ServeAdmin(addr string, cfg AdminConfig) (*Admin, error) {
+	return observe.ServeAdmin(addr, cfg)
+}

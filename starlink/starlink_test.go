@@ -158,3 +158,76 @@ func TestPublicLifecycleAndMetrics(t *testing.T) {
 		t.Errorf("Shutdown = %v", err)
 	}
 }
+
+// TestPublicObservability smoke-tests the observability surface through
+// the facade: Instrument, metrics registry, flight recorder and admin
+// endpoint, with the declarative "admin" directive alongside.
+func TestPublicObservability(t *testing.T) {
+	merged, err := starlink.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), starlink.MergeOptions{
+		Name:  "Add+Plus",
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := starlink.EngineConfig{
+		Merged: merged,
+		Sides: map[int]*starlink.EngineSide{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: "127.0.0.1:1"},
+		},
+	}
+	var obs *starlink.Observer = starlink.Instrument(&cfg, starlink.ObserveOptions{})
+	var sink starlink.TraceSink = obs // Observer satisfies the engine sink
+	sink.ObserveTrace(starlink.TraceEvent{Session: 1, Kind: starlink.TraceFlowStart, Time: time.Now()})
+	sink.ObserveTrace(starlink.TraceEvent{Session: 1, Kind: starlink.TraceFlowEnd, Time: time.Now()})
+	var flows []*starlink.FlowTrace = obs.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	var root *starlink.Span = flows[0].Root
+	if root == nil || root.Kind != "flow" {
+		t.Errorf("root span = %+v", root)
+	}
+	var rec *starlink.Recorder = obs.Recorder()
+	if rec.Len() != 0 {
+		t.Errorf("recorder len = %d", rec.Len())
+	}
+
+	med, err := starlink.NewMediator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+	var reg *starlink.Registry = starlink.MediatorRegistry(med, obs)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "starlink_sessions_total 0") {
+		t.Errorf("registry output:\n%s", b.String())
+	}
+	admin, err := starlink.ServeAdmin("127.0.0.1:0", starlink.AdminConfig{
+		Registry: reg, Observer: obs, Mediator: med,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if admin.Addr() == "" {
+		t.Error("admin has no address")
+	}
+
+	spec, err := starlink.ParseMediatorSpec(
+		"merged x\nside 1 xmlrpc path=/x server\nadmin 127.0.0.1:9090\n")
+	if err != nil || spec.Admin != "127.0.0.1:9090" {
+		t.Errorf("admin directive: %v, %+v", err, spec)
+	}
+}
