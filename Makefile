@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench fault-soak experiments fmt
+.PHONY: all build test check race bench fault-soak experiments fuzz fmt
 
 all: check
 
@@ -13,10 +13,11 @@ test: build
 
 # Race-enabled pass over the subsystems with real concurrency: the
 # mediation engine (sessions, pooling, lifecycle, retry/redial), the
-# network layer (framers, fault injection, the shared connection pool)
-# and the observability subsystem (lock-free rings, tracer, admin).
+# network layer (framers, fault injection, the shared connection pool),
+# the observability subsystem (lock-free rings, tracer, admin) and the
+# mediation gateway (sniffing, admission, hot swap).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/harness/... ./internal/observe/...
+	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/harness/... ./internal/observe/... ./internal/gateway/...
 
 # The full gate: vet, tier-1, and the race pass.
 check: test
@@ -38,6 +39,14 @@ fault-soak:
 
 experiments:
 	$(GO) run ./cmd/benchharness
+
+# Short coverage-guided fuzz passes over the two parsers that face
+# untrusted bytes: the MTL language parser and the gateway's wire
+# sniffer. FUZZTIME can be raised for a longer local soak.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/mtl -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/gateway -run '^$$' -fuzz '^FuzzSniff$$' -fuzztime $(FUZZTIME)
 
 fmt:
 	gofmt -l -w .

@@ -1,10 +1,15 @@
 // Command benchharness runs the paper-reproduction experiment suite
-// (E1-E13, see DESIGN.md §4 and EXPERIMENTS.md) and prints one report line
+// (E1-E14, see DESIGN.md §4 and EXPERIMENTS.md) and prints one report line
 // per experiment. It exits non-zero if any experiment fails.
 //
 // With -observe <file>, it additionally measures the flow tracer's
 // per-flow overhead at 1, 8 and 64 concurrent sessions and writes the
 // points as JSON (the committed BENCH_observe.json baseline).
+//
+// With -gateway <file>, it measures the mediation gateway's per-flow
+// overhead versus a direct mediator listener at the same concurrency
+// levels, plus the shed-reject latency, and writes the result as JSON
+// (the committed BENCH_gateway.json baseline).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 func main() {
 	observeOut := flag.String("observe", "", "write tracer-overhead measurements (JSON) to this file")
+	gatewayOut := flag.String("gateway", "", "write gateway-overhead measurements (JSON) to this file")
 	flag.Parse()
 
 	fmt.Println("Starlink experiment harness — MIDDLEWARE 2011 reproduction")
@@ -56,5 +62,28 @@ func main() {
 			fmt.Printf("  %2d session(s): off %.0fns/flow, on %.0fns/flow (%+.1f%%)\n",
 				p.Sessions, p.OffNsPerFlow, p.OnNsPerFlow, p.OverheadPct)
 		}
+	}
+
+	if *gatewayOut != "" {
+		bench, err := harness.MeasureGatewayOverhead([]int{1, 8, 64}, 400)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness: gateway measurement:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*gatewayOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gateway-overhead measurements written to %s\n", *gatewayOut)
+		for _, p := range bench.Points {
+			fmt.Printf("  %2d session(s): direct %.0fns/flow, gateway %.0fns/flow (%+.1f%%)\n",
+				p.Sessions, p.DirectNsPerFlow, p.GatewayNsPerFlow, p.OverheadPct)
+		}
+		fmt.Printf("  shed reject: %.0fns mean\n", bench.ShedNsMean)
 	}
 }

@@ -4,18 +4,26 @@
 // Usage:
 //
 //	starlink run -models <dir> -mediator <name> [-listen addr] [-admin addr]
+//	starlink gateway -models <dir> -gateway <name> [-listen addr] [-admin addr]
 //	starlink export-models <dir>
 //	starlink list -models <dir>
+//
+// The gateway subcommand hosts every route's mediator behind one
+// sniffing front door; SIGHUP hot-reloads all of them from the models
+// directory with zero downtime.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
+	"time"
 
 	"starlink/internal/automata"
 	"starlink/internal/casestudy"
@@ -36,6 +44,8 @@ func run(args []string) error {
 	switch args[0] {
 	case "run":
 		return runMediator(args[1:])
+	case "gateway":
+		return runGateway(args[1:])
 	case "export-models":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: starlink export-models <dir>")
@@ -80,6 +90,58 @@ func runMediator(args []string) error {
 	return nil
 }
 
+func runGateway(args []string) error {
+	fs := flag.NewFlagSet("gateway", flag.ContinueOnError)
+	modelsDir := fs.String("models", "models", "models directory")
+	name := fs.String("gateway", "", "gateway spec name")
+	listen := fs.String("listen", "", "front-door address override")
+	admin := fs.String("admin", "", "metrics endpoint address (overrides the spec's admin directive)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-gateway is required")
+	}
+	models, err := core.LoadModels(*modelsDir)
+	if err != nil {
+		return err
+	}
+	dep, err := models.DeployGateway(*name, *listen, *admin)
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+	fmt.Printf("gateway %s listening on %s (routes: %s)\n",
+		*name, dep.Gateway.Addr(), strings.Join(dep.Gateway.Routes(), ", "))
+	if dep.Admin != nil {
+		fmt.Printf("metrics endpoint on http://%s/metrics\n", dep.Admin.Addr())
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s != syscall.SIGHUP {
+			break
+		}
+		fresh, err := core.LoadModels(*modelsDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starlink: reload aborted:", err)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = dep.Reload(ctx, fresh)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starlink: reload:", err)
+			continue
+		}
+		fmt.Println("gateway reloaded")
+	}
+	fmt.Println("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return dep.Shutdown(ctx)
+}
+
 func listModels(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ContinueOnError)
 	modelsDir := fs.String("models", "models", "models directory")
@@ -102,6 +164,7 @@ func listModels(args []string) error {
 	printSorted("routes", keys(models.Routes))
 	printSorted("equiv", keys(models.Equivalences))
 	printSorted("mediator", keys(models.Mediators))
+	printSorted("gateway", keys(models.Gateways))
 	return nil
 }
 
@@ -176,6 +239,7 @@ func ExportCaseStudyModels(dir string) error {
 		"http.mdl":               casestudy.HTTPMDLDoc,
 		"flickr-xmlrpc.mediator": casestudy.XMLRPCMediatorSpecDoc,
 		"flickr-soap.mediator":   casestudy.SOAPMediatorSpecDoc,
+		"flickr.gateway":         casestudy.GatewaySpecDoc,
 	}
 	for file, content := range files {
 		if err := os.WriteFile(filepath.Join(dir, file), []byte(content), 0o644); err != nil {

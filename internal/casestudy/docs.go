@@ -55,3 +55,15 @@ typemap upnp-to-slp
 side 1 ssdp server udp
 side 2 slp udp target=127.0.0.1:427
 `
+
+// GatewaySpecDoc deploys a mediation gateway fronting both HTTP
+// case-study mediators behind one listener: the wire sniffer
+// classifies each connection and the request path tells the XML-RPC
+// route from the SOAP route. Admission limits are illustrative.
+const GatewaySpecDoc = `
+# One front door for the Flickr mediators
+listen 127.0.0.1:9000
+route xmlrpc flickr-xmlrpc path=/services/xmlrpc maxflows=64
+route soap flickr-soap path=/services/soap maxflows=64
+default xmlrpc
+`

@@ -6,12 +6,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"starlink/internal/automata"
@@ -59,6 +61,8 @@ type Models struct {
 	TypeMaps map[string]map[string]string
 	// Mediators holds deployment specs by file base name.
 	Mediators map[string]*MediatorSpec
+	// Gateways holds gateway deployment specs by file base name.
+	Gateways map[string]*GatewaySpec
 	// Registry resolves MDL encodings; all built-in engines registered.
 	Registry *mdl.Registry
 }
@@ -77,6 +81,7 @@ func NewModels() *Models {
 		Equivalences: make(map[string]*automata.Equivalence),
 		TypeMaps:     make(map[string]map[string]string),
 		Mediators:    make(map[string]*MediatorSpec),
+		Gateways:     make(map[string]*GatewaySpec),
 		Registry:     reg,
 	}
 }
@@ -150,6 +155,12 @@ func (m *Models) LoadFile(path string) error {
 			return fmt.Errorf("%w: %s: %v", ErrModel, name, err)
 		}
 		m.Mediators[trimExt(name, ".mediator")] = spec
+	case strings.HasSuffix(name, ".gateway"):
+		spec, err := ParseGatewaySpec(string(data))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrModel, name, err)
+		}
+		m.Gateways[trimExt(name, ".gateway")] = spec
 	default:
 		// Unknown artifacts (e.g. README) are ignored.
 	}
@@ -275,15 +286,31 @@ func specErr(lineNo int, directive, format string, args ...any) error {
 	return fmt.Errorf("%w: line %d: directive %q: %s", ErrSpec, lineNo+1, directive, fmt.Sprintf(format, args...))
 }
 
+// singleValued lists the mediator-spec directives that may appear at
+// most once: silently keeping the last occurrence (the old behaviour)
+// hid typos, so a repeat is now rejected with both lines named.
+var singleValued = map[string]bool{
+	"merged": true, "listen": true, "typemap": true, "retries": true,
+	"backoff": true, "dialtimeout": true, "pool_size": true,
+	"pool_idle": true, "admin": true,
+}
+
 // ParseMediatorSpec reads a deployment spec document.
 func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 	spec := &MediatorSpec{HostMap: map[string]string{}}
+	seen := map[string]int{} // single-valued directive → first line (0-based)
 	for lineNo, line := range strings.Split(doc, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
+		if singleValued[fields[0]] {
+			if first, dup := seen[fields[0]]; dup {
+				return nil, specErr(lineNo, fields[0], "duplicate directive (first given on line %d)", first+1)
+			}
+			seen[fields[0]] = lineNo
+		}
 		switch fields[0] {
 		case "merged":
 			if len(fields) != 2 {
@@ -519,18 +546,41 @@ type Deployment struct {
 	Observer *observe.Observer
 	// Admin is the running admin endpoint; nil when not configured.
 	Admin *observe.Admin
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// Close stops the admin endpoint (if any) and the mediator.
+// Close stops the admin endpoint (if any) and the mediator. It is
+// idempotent and safe after Shutdown: the teardown runs once, repeat
+// calls return the first outcome instead of re-closing the listener
+// and surfacing a spurious "already closed" error.
 func (d *Deployment) Close() error {
-	var firstErr error
-	if d.Admin != nil {
-		firstErr = d.Admin.Close()
+	d.closeOnce.Do(func() {
+		if d.Admin != nil {
+			d.closeErr = d.Admin.Close()
+		}
+		if err := d.Mediator.Close(); err != nil && d.closeErr == nil {
+			d.closeErr = err
+		}
+	})
+	return d.closeErr
+}
+
+// Shutdown gracefully drains the deployment: in-flight flows finish
+// (bounded by ctx), then the admin endpoint closes. A later Close is a
+// no-op.
+func (d *Deployment) Shutdown(ctx context.Context) error {
+	err := d.Mediator.Shutdown(ctx)
+	d.closeOnce.Do(func() {
+		if d.Admin != nil {
+			d.closeErr = d.Admin.Close()
+		}
+	})
+	if err != nil {
+		return err
 	}
-	if err := d.Mediator.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	return firstErr
+	return d.closeErr
 }
 
 // Deploy builds and starts the named mediator spec like StartMediator,

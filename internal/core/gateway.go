@@ -1,0 +1,526 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"starlink/internal/engine"
+	"starlink/internal/gateway"
+	"starlink/internal/network"
+	"starlink/internal/observe"
+)
+
+// ErrGateway is wrapped by gateway spec failures.
+var ErrGateway = errors.New("core: invalid gateway spec")
+
+// GatewayRouteSpec declares one hosted mediator in a gateway spec.
+type GatewayRouteSpec struct {
+	// Name identifies the route (metrics label, default reference).
+	Name string
+	// Mediator names the *.mediator spec the route hosts.
+	Mediator string
+	// Match overrides the wire class ("giop", "http", "xml", "json");
+	// "" derives it from the mediator's server-side protocol.
+	Match string
+	// PathPrefix narrows an HTTP match to a path prefix; "" derives it
+	// from the server side's path (when the protocol has one).
+	PathPrefix string
+	// Payload narrows an HTTP match to a body kind ("xml" or "json") —
+	// how two POST routes on one path stay distinct.
+	Payload string
+	// Rate, Burst and MaxFlows configure admission control; zero values
+	// leave the corresponding limit off.
+	Rate     float64
+	Burst    int
+	MaxFlows int
+}
+
+// GatewaySpec is a parsed *.gateway deployment spec:
+//
+//	listen <addr>
+//	admin <addr>
+//	sniff_bytes <n>
+//	sniff_timeout <duration>
+//	route <name> <mediator-spec> [match=giop|http|xml|json] [path=<prefix>]
+//	      [payload=xml|json] [rate=<n>] [burst=<n>] [maxflows=<n>]
+//	default <route-name>
+type GatewaySpec struct {
+	// Listen is the front-door address.
+	Listen string
+	// Admin, when non-empty, is where the gateway's metrics endpoint
+	// binds.
+	Admin string
+	// Default names the route taking unmatched connections ("" drops
+	// them).
+	Default string
+	// SniffBytes and SniffTimeout bound the wire sniffer (zero values
+	// take the gateway defaults).
+	SniffBytes   int
+	SniffTimeout time.Duration
+	// Routes in declaration (match) order.
+	Routes []GatewayRouteSpec
+}
+
+// gwErr reports a gateway-spec problem, naming the line and directive.
+func gwErr(lineNo int, directive, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: directive %q: %s", ErrGateway, lineNo+1, directive, fmt.Sprintf(format, args...))
+}
+
+// gwSingleValued lists the gateway directives allowed at most once.
+var gwSingleValued = map[string]bool{
+	"listen": true, "admin": true, "default": true,
+	"sniff_bytes": true, "sniff_timeout": true,
+}
+
+// ParseGatewaySpec reads a gateway deployment spec document.
+func ParseGatewaySpec(doc string) (*GatewaySpec, error) {
+	spec := &GatewaySpec{}
+	seen := map[string]int{}
+	routes := map[string]int{}
+	for lineNo, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if gwSingleValued[fields[0]] {
+			if first, dup := seen[fields[0]]; dup {
+				return nil, gwErr(lineNo, fields[0], "duplicate directive (first given on line %d)", first+1)
+			}
+			seen[fields[0]] = lineNo
+		}
+		switch fields[0] {
+		case "listen":
+			if len(fields) != 2 {
+				return nil, gwErr(lineNo, "listen", "want: listen <addr>")
+			}
+			spec.Listen = fields[1]
+		case "admin":
+			if len(fields) != 2 {
+				return nil, gwErr(lineNo, "admin", "want: admin <addr>")
+			}
+			spec.Admin = fields[1]
+		case "default":
+			if len(fields) != 2 {
+				return nil, gwErr(lineNo, "default", "want: default <route-name>")
+			}
+			spec.Default = fields[1]
+		case "sniff_bytes":
+			if len(fields) != 2 {
+				return nil, gwErr(lineNo, "sniff_bytes", "want: sniff_bytes <n>")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, gwErr(lineNo, "sniff_bytes", "bad byte count %q", fields[1])
+			}
+			spec.SniffBytes = n
+		case "sniff_timeout":
+			if len(fields) != 2 {
+				return nil, gwErr(lineNo, "sniff_timeout", "want: sniff_timeout <duration>")
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				return nil, gwErr(lineNo, "sniff_timeout", "bad timeout %q", fields[1])
+			}
+			spec.SniffTimeout = d
+		case "route":
+			rs, err := parseGatewayRoute(lineNo, fields)
+			if err != nil {
+				return nil, err
+			}
+			if first, dup := routes[rs.Name]; dup {
+				return nil, gwErr(lineNo, "route", "duplicate route %q (first declared on line %d)", rs.Name, first+1)
+			}
+			routes[rs.Name] = lineNo
+			spec.Routes = append(spec.Routes, rs)
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrGateway, lineNo+1, fields[0])
+		}
+	}
+	if len(spec.Routes) == 0 {
+		return nil, fmt.Errorf("%w: no routes declared (directive \"route\" missing)", ErrGateway)
+	}
+	if spec.Default != "" {
+		if _, ok := routes[spec.Default]; !ok {
+			return nil, fmt.Errorf("%w: default route %q not declared", ErrGateway, spec.Default)
+		}
+	}
+	return spec, nil
+}
+
+func parseGatewayRoute(lineNo int, fields []string) (GatewayRouteSpec, error) {
+	if len(fields) < 3 {
+		return GatewayRouteSpec{}, gwErr(lineNo, "route", "want: route <name> <mediator-spec> [options]")
+	}
+	rs := GatewayRouteSpec{Name: fields[1], Mediator: fields[2]}
+	for _, kv := range fields[3:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return GatewayRouteSpec{}, gwErr(lineNo, "route", "bad option %q", kv)
+		}
+		switch k {
+		case "match":
+			if _, err := parseWireClass(v); err != nil {
+				return GatewayRouteSpec{}, gwErr(lineNo, "route", "bad match %q (want giop|http|xml|json)", v)
+			}
+			rs.Match = v
+		case "path":
+			rs.PathPrefix = v
+		case "payload":
+			if v != "xml" && v != "json" {
+				return GatewayRouteSpec{}, gwErr(lineNo, "route", "bad payload %q (want xml|json)", v)
+			}
+			rs.Payload = v
+		case "rate":
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil || r <= 0 {
+				return GatewayRouteSpec{}, gwErr(lineNo, "route", "bad rate %q", v)
+			}
+			rs.Rate = r
+		case "burst":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return GatewayRouteSpec{}, gwErr(lineNo, "route", "bad burst %q", v)
+			}
+			rs.Burst = n
+		case "maxflows":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return GatewayRouteSpec{}, gwErr(lineNo, "route", "bad maxflows %q", v)
+			}
+			rs.MaxFlows = n
+		default:
+			return GatewayRouteSpec{}, gwErr(lineNo, "route", "unknown option %q", k)
+		}
+	}
+	return rs, nil
+}
+
+func parseWireClass(s string) (gateway.WireClass, error) {
+	switch s {
+	case "giop":
+		return gateway.ClassGIOP, nil
+	case "http":
+		return gateway.ClassHTTP, nil
+	case "xml":
+		return gateway.ClassXML, nil
+	case "json":
+		return gateway.ClassJSON, nil
+	default:
+		return gateway.ClassUnknown, fmt.Errorf("unknown wire class %q", s)
+	}
+}
+
+// serverSide finds the client-facing side of a mediator spec: the side
+// marked "server", else the side whose color is 0 (the engine default).
+func serverSide(spec *MediatorSpec) (*SideSpec, error) {
+	for i := range spec.Sides {
+		if spec.Sides[i].Server {
+			return &spec.Sides[i], nil
+		}
+	}
+	for i := range spec.Sides {
+		if spec.Sides[i].Color == 0 {
+			return &spec.Sides[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no server side", ErrGateway)
+}
+
+// wireShape maps a server-side protocol to the framer the gateway must
+// put on admitted connections and the wire class its clients present.
+func wireShape(protocol string) (network.Framer, gateway.WireClass, error) {
+	switch protocol {
+	case "giop":
+		return network.GIOPFramer{}, gateway.ClassGIOP, nil
+	case "xmlrpc", "soap", "rest", "jsonrpc":
+		return network.HTTPFramer{}, gateway.ClassHTTP, nil
+	default:
+		// ssdp/slp ride UDP multicast — not front-door material.
+		return nil, gateway.ClassUnknown, fmt.Errorf("%w: protocol %q cannot be gateway-hosted", ErrGateway, protocol)
+	}
+}
+
+// buildRoute assembles one route: a detached mediator (pool started,
+// no listener — the gateway feeds it connections) plus the matcher,
+// framer and admission policy the gateway needs.
+func (m *Models) buildRoute(rs GatewayRouteSpec) (gateway.RouteConfig, *engine.Mediator, error) {
+	spec, ok := m.Mediators[rs.Mediator]
+	if !ok {
+		return gateway.RouteConfig{}, nil, fmt.Errorf("%w: route %q: mediator spec %q not loaded", ErrGateway, rs.Name, rs.Mediator)
+	}
+	side, err := serverSide(spec)
+	if err != nil {
+		return gateway.RouteConfig{}, nil, fmt.Errorf("route %q: mediator %q: %w", rs.Name, rs.Mediator, err)
+	}
+	framer, class, err := wireShape(side.Protocol)
+	if err != nil {
+		return gateway.RouteConfig{}, nil, fmt.Errorf("route %q: %w", rs.Name, err)
+	}
+	match := gateway.Matcher{Class: class}
+	if rs.Match != "" {
+		match.Class, _ = parseWireClass(rs.Match)
+	}
+	if match.Class == gateway.ClassHTTP {
+		match.PathPrefix = rs.PathPrefix
+		if match.PathPrefix == "" {
+			match.PathPrefix = side.Path
+		}
+		switch rs.Payload {
+		case "xml":
+			match.Payload = gateway.ClassXML
+		case "json":
+			match.Payload = gateway.ClassJSON
+		}
+	}
+	cfg, err := m.buildConfig(spec)
+	if err != nil {
+		return gateway.RouteConfig{}, nil, fmt.Errorf("route %q: %w", rs.Name, err)
+	}
+	med, err := engine.New(cfg)
+	if err != nil {
+		return gateway.RouteConfig{}, nil, fmt.Errorf("route %q: %w", rs.Name, err)
+	}
+	if err := med.StartDetached(); err != nil {
+		med.Close()
+		return gateway.RouteConfig{}, nil, fmt.Errorf("route %q: %w", rs.Name, err)
+	}
+	return gateway.RouteConfig{
+		Name:  rs.Name,
+		Match: match,
+		Admission: gateway.AdmissionPolicy{
+			Rate:     rs.Rate,
+			Burst:    rs.Burst,
+			MaxFlows: rs.MaxFlows,
+		},
+		Framer: framer,
+		Target: med,
+	}, med, nil
+}
+
+// GatewayDeployment is a running gateway together with the mediators
+// it hosts and its optional metrics endpoint.
+type GatewayDeployment struct {
+	// Gateway is the running front door.
+	Gateway *gateway.Gateway
+	// Registry exposes the gateway's metrics; nil without an admin
+	// address.
+	Registry *observe.Registry
+	// Admin is the metrics endpoint; nil when not configured.
+	Admin *observe.Admin
+
+	spec *GatewaySpec
+	// matchers pins each route's deploy-time wire shape so a reload
+	// cannot silently repoint a route at a mediator speaking a
+	// different framing.
+	matchers map[string]gateway.Matcher
+
+	mu        sync.Mutex
+	mediators map[string]*engine.Mediator
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// DeployGateway builds and starts the named gateway spec: every
+// route's mediator is built from the loaded models and started
+// detached, the front door binds the spec's listen address
+// (listenOverride wins when non-empty), and when an admin address is
+// configured (spec or adminOverride) a metrics endpoint serves the
+// gateway's per-route counters.
+func (m *Models) DeployGateway(name, listenOverride, adminOverride string) (*GatewayDeployment, error) {
+	spec, ok := m.Gateways[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: gateway spec %q not loaded", ErrGateway, name)
+	}
+	var (
+		routes    []gateway.RouteConfig
+		mediators = make(map[string]*engine.Mediator, len(spec.Routes))
+	)
+	fail := func(err error) (*GatewayDeployment, error) {
+		for _, med := range mediators {
+			med.Close()
+		}
+		return nil, err
+	}
+	for _, rs := range spec.Routes {
+		rc, med, err := m.buildRoute(rs)
+		if err != nil {
+			return fail(err)
+		}
+		routes = append(routes, rc)
+		mediators[rs.Name] = med
+	}
+	gw, err := gateway.New(gateway.Config{
+		Routes:       routes,
+		Default:      spec.Default,
+		SniffBytes:   spec.SniffBytes,
+		SniffTimeout: spec.SniffTimeout,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	listen := spec.Listen
+	if listenOverride != "" {
+		listen = listenOverride
+	}
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	if err := gw.Start(listen); err != nil {
+		return fail(err)
+	}
+	d := &GatewayDeployment{
+		Gateway:   gw,
+		spec:      spec,
+		matchers:  make(map[string]gateway.Matcher, len(routes)),
+		mediators: mediators,
+	}
+	for _, rc := range routes {
+		d.matchers[rc.Name] = rc.Match
+	}
+	adminAddr := spec.Admin
+	if adminOverride != "" {
+		adminAddr = adminOverride
+	}
+	if adminAddr != "" {
+		d.Registry = observe.GatewayRegistry(gw)
+		admin, err := observe.ServeAdmin(adminAddr, observe.AdminConfig{Registry: d.Registry})
+		if err != nil {
+			gw.Close()
+			return fail(fmt.Errorf("core: gateway admin endpoint: %w", err))
+		}
+		d.Admin = admin
+	}
+	return d, nil
+}
+
+// Reload hot-swaps every route onto mediators rebuilt from models
+// (typically a fresh LoadModels of the same directory). The swap is
+// all-or-nothing per reload: each new mediator is built and started
+// detached first, and any failure aborts before a single route is
+// repointed. Old mediators drain via Shutdown bounded by ctx — flows
+// in flight when the swap lands finish on the mediator that admitted
+// them, so a mid-soak reload loses nothing.
+func (d *GatewayDeployment) Reload(ctx context.Context, models *Models) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fresh := make(map[string]*engine.Mediator, len(d.spec.Routes))
+	fail := func(err error) error {
+		for _, med := range fresh {
+			med.Close()
+		}
+		return err
+	}
+	for _, rs := range d.spec.Routes {
+		rc, med, err := models.buildRoute(rs)
+		if err != nil {
+			return fail(fmt.Errorf("core: gateway reload: %w", err))
+		}
+		if rc.Match != d.matchers[rs.Name] {
+			med.Close()
+			return fail(fmt.Errorf("%w: reload: route %q changed wire shape; redeploy the gateway", ErrGateway, rs.Name))
+		}
+		fresh[rs.Name] = med
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		drainErr error
+	)
+	for name, med := range fresh {
+		old, err := d.Gateway.Swap(name, med)
+		if err != nil {
+			// Unreachable once deployed (routes are fixed), but do not
+			// leak the built mediator if it ever happens.
+			med.Close()
+			return fmt.Errorf("core: gateway reload: %w", err)
+		}
+		d.mediators[name] = med
+		if oldMed, ok := old.(*engine.Mediator); ok {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := oldMed.Shutdown(ctx); err != nil {
+					errMu.Lock()
+					if drainErr == nil {
+						drainErr = err
+					}
+					errMu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	return drainErr
+}
+
+// Shutdown gracefully stops the deployment: the front door stops
+// accepting, every hosted mediator drains its in-flight flows (bounded
+// by ctx), and the admin endpoint closes. A later Close is a no-op.
+func (d *GatewayDeployment) Shutdown(ctx context.Context) error {
+	var firstErr error
+	if err := d.Gateway.Shutdown(ctx); err != nil {
+		firstErr = err
+	}
+	d.mu.Lock()
+	meds := make([]*engine.Mediator, 0, len(d.mediators))
+	for _, med := range d.mediators {
+		meds = append(meds, med)
+	}
+	d.mu.Unlock()
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	for _, med := range meds {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := med.Shutdown(ctx); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	d.closeOnce.Do(func() {
+		if d.Admin != nil {
+			d.closeErr = d.Admin.Close()
+		}
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	return d.closeErr
+}
+
+// Close abruptly stops the gateway, every hosted mediator and the
+// admin endpoint. Idempotent, and a no-op after Shutdown.
+func (d *GatewayDeployment) Close() error {
+	d.closeOnce.Do(func() {
+		d.closeErr = d.Gateway.Close()
+		d.mu.Lock()
+		meds := make([]*engine.Mediator, 0, len(d.mediators))
+		for _, med := range d.mediators {
+			meds = append(meds, med)
+		}
+		d.mu.Unlock()
+		for _, med := range meds {
+			if err := med.Close(); err != nil && d.closeErr == nil {
+				d.closeErr = err
+			}
+		}
+		if d.Admin != nil {
+			if err := d.Admin.Close(); err != nil && d.closeErr == nil {
+				d.closeErr = err
+			}
+		}
+	})
+	return d.closeErr
+}

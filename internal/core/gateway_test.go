@@ -1,0 +1,341 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/casestudy"
+	"starlink/internal/core"
+	"starlink/internal/protocol/httpwire"
+	"starlink/internal/protocol/soap"
+	"starlink/internal/protocol/xmlrpc"
+	"starlink/internal/services/photostore"
+	"starlink/internal/services/picasa"
+)
+
+func TestParseGatewaySpec(t *testing.T) {
+	spec, err := core.ParseGatewaySpec(`
+# front door
+listen 127.0.0.1:9000
+admin 127.0.0.1:9090
+sniff_bytes 128
+sniff_timeout 250ms
+route xmlrpc flickr-xmlrpc path=/services/xmlrpc payload=xml rate=100 burst=10 maxflows=32
+route soap flickr-soap match=http path=/services/soap
+route iiop add-giop match=giop
+default soap
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Listen != "127.0.0.1:9000" || spec.Admin != "127.0.0.1:9090" || spec.Default != "soap" {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.SniffBytes != 128 || spec.SniffTimeout != 250*time.Millisecond {
+		t.Errorf("sniff knobs = %d %v", spec.SniffBytes, spec.SniffTimeout)
+	}
+	if len(spec.Routes) != 3 {
+		t.Fatalf("routes = %d", len(spec.Routes))
+	}
+	r := spec.Routes[0]
+	if r.Name != "xmlrpc" || r.Mediator != "flickr-xmlrpc" || r.PathPrefix != "/services/xmlrpc" ||
+		r.Payload != "xml" || r.Rate != 100 || r.Burst != 10 || r.MaxFlows != 32 {
+		t.Errorf("route[0] = %+v", r)
+	}
+	if spec.Routes[2].Match != "giop" {
+		t.Errorf("route[2] = %+v", spec.Routes[2])
+	}
+}
+
+func TestParseGatewaySpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"no routes":          "listen 127.0.0.1:9000\n",
+		"unknown directive":  "zap\n",
+		"bad listen arity":   "listen\nroute a b\n",
+		"dup listen":         "listen :1\nlisten :2\nroute a b\n",
+		"dup admin":          "admin :1\nadmin :2\nroute a b\n",
+		"dup default":        "route a b\ndefault a\ndefault a\n",
+		"dup sniff_bytes":    "sniff_bytes 8\nsniff_bytes 9\nroute a b\n",
+		"dup route name":     "route a b\nroute a c\n",
+		"route arity":        "route a\n",
+		"bad match":          "route a b match=ftp\n",
+		"bad payload":        "route a b payload=yaml\n",
+		"bad rate":           "route a b rate=-1\n",
+		"bad burst":          "route a b burst=zero\n",
+		"bad maxflows":       "route a b maxflows=0\n",
+		"bad route option":   "route a b color=7\n",
+		"bad sniff timeout":  "sniff_timeout soon\nroute a b\n",
+		"undeclared default": "route a b\ndefault c\n",
+	}
+	for name, doc := range cases {
+		if _, err := core.ParseGatewaySpec(doc); !errors.Is(err, core.ErrGateway) {
+			t.Errorf("%s: err = %v, want ErrGateway", name, err)
+		}
+	}
+	// Duplicate-directive errors must name both lines.
+	_, err := core.ParseGatewaySpec("listen :1\nroute a b\nlisten :2\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("duplicate listen err = %v, want both lines named", err)
+	}
+}
+
+// TestParseMediatorSpecDuplicateDirectives is the regression test for
+// the silent-last-wins bug: a spec repeating a single-valued directive
+// used to keep only the later value, hiding typos; it must now be
+// rejected with an error naming both lines.
+func TestParseMediatorSpecDuplicateDirectives(t *testing.T) {
+	base := "merged M\nside 1 soap path=/x server\n"
+	for _, dup := range []string{
+		"listen :1\nlisten :2\n",
+		"merged Again\n",
+		"typemap a\ntypemap b\n",
+		"retries 1\nretries 2\n",
+		"backoff 1ms\nbackoff 2ms\n",
+		"dialtimeout 1s\ndialtimeout 2s\n",
+		"pool_size 1\npool_size 2\n",
+		"pool_idle 1s\npool_idle off\n",
+		"admin :1\nadmin :2\n",
+	} {
+		doc := base + dup
+		_, err := core.ParseMediatorSpec(doc)
+		if !errors.Is(err, core.ErrSpec) {
+			t.Errorf("%q: err = %v, want ErrSpec", dup, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), "duplicate directive") {
+			t.Errorf("%q: err = %v, want a duplicate-directive message", dup, err)
+		}
+	}
+	// The error names the directive and both lines.
+	_, err := core.ParseMediatorSpec("merged M\nlisten :1\nside 1 soap server\nlisten :2\n")
+	for _, want := range []string{`"listen"`, "line 4", "line 2"} {
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("err = %v, want it to mention %s", err, want)
+		}
+	}
+	// Repeating multi-valued directives stays legal.
+	spec, err := core.ParseMediatorSpec("merged M\nside 1 soap path=/x server\nside 2 rest routes=r target=:1\nhostmap a = :1\nhostmap b = :2\n")
+	if err != nil {
+		t.Fatalf("multi-valued repeats rejected: %v", err)
+	}
+	if len(spec.Sides) != 2 || len(spec.HostMap) != 2 {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+// TestDeploymentCloseIdempotent is the regression test for Deployment
+// teardown: Close twice, and Close after Shutdown, used to re-close
+// the admin listener and surface a spurious "server closed" error.
+func TestDeploymentCloseIdempotent(t *testing.T) {
+	store := photostore.New()
+	pic, err := picasa.New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pic.Close()
+
+	dir := writeCaseStudyModels(t)
+	patchSpec(t, filepath.Join(dir, "flickr-xmlrpc.mediator"), "127.0.0.1:9002", pic.Addr())
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dep, err := m.Deploy("flickr-xmlrpc", "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Close(); err != nil {
+		t.Errorf("first Close: %v", err)
+	}
+	if err := dep.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+
+	dep2, err := m.Deploy("flickr-xmlrpc", "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := dep2.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if err := dep2.Close(); err != nil {
+		t.Errorf("Close after Shutdown: %v", err)
+	}
+}
+
+func patchSpec(t *testing.T, path, old, new string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(strings.ReplaceAll(string(data), old, new)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeGatewayModels materialises a two-route gateway model set (the
+// XML-RPC and SOAP case-study mediators behind one front door) with
+// service addresses patched to the live Picasa replica.
+func writeGatewayModels(t *testing.T, picasaAddr string) string {
+	t.Helper()
+	dir := writeCaseStudyModels(t)
+	write := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encM := func(m *automata.Merged) []byte {
+		t.Helper()
+		data, err := m.EncodeXML()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	write("flickr-soap-to-picasa-rest.merged.xml", encM(casestudy.SOAPMediator()))
+	write("flickr-soap.mediator", []byte(casestudy.SOAPMediatorSpecDoc))
+	write("flickr.gateway", []byte(casestudy.GatewaySpecDoc))
+	patchSpec(t, filepath.Join(dir, "flickr-xmlrpc.mediator"), "127.0.0.1:9002", picasaAddr)
+	patchSpec(t, filepath.Join(dir, "flickr-soap.mediator"), "127.0.0.1:9002", picasaAddr)
+	return dir
+}
+
+// TestDeployGatewayEndToEnd deploys the case-study gateway from disk
+// models: an XML-RPC and a SOAP client reach their own mediators
+// through ONE listener, distinguished by sniffing alone; the metrics
+// endpoint exposes per-route counters; a hot reload swaps both
+// mediators without breaking the next call.
+func TestDeployGatewayEndToEnd(t *testing.T) {
+	store := photostore.New()
+	pic, err := picasa.New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pic.Close()
+
+	dir := writeGatewayModels(t, pic.Addr())
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gateways["flickr"] == nil {
+		t.Fatal("gateway spec not loaded from *.gateway file")
+	}
+
+	dep, err := m.DeployGateway("flickr", "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	addr := dep.Gateway.Addr()
+
+	callXMLRPC := func() {
+		t.Helper()
+		c := xmlrpc.NewClient(addr, "/services/xmlrpc")
+		defer c.Close()
+		v, err := c.Call(casestudy.FlickrSearch, map[string]xmlrpc.Value{
+			"text": "tree", "per_page": int64(1),
+		})
+		if err != nil {
+			t.Fatalf("xmlrpc through gateway: %v", err)
+		}
+		if photos := v.(map[string]xmlrpc.Value)["photos"].([]xmlrpc.Value); len(photos) != 1 {
+			t.Errorf("xmlrpc photos = %d", len(photos))
+		}
+	}
+	callSOAP := func() {
+		t.Helper()
+		c := soap.NewClient(addr, "/services/soap")
+		defer c.Close()
+		results, err := c.Call(casestudy.FlickrSearch,
+			soap.Param{Name: "api_key", Value: "k"},
+			soap.Param{Name: "text", Value: "tree"},
+			soap.Param{Name: "per_page", Value: "1"},
+		)
+		if err != nil {
+			t.Fatalf("soap through gateway: %v", err)
+		}
+		if len(results) == 0 {
+			t.Error("soap call returned nothing")
+		}
+	}
+	callXMLRPC()
+	callSOAP()
+
+	hc := &httpwire.Client{Addr: dep.Admin.Addr()}
+	defer hc.Close()
+	resp, err := hc.Get("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`starlink_gateway_accepted_total{route="soap"} 1`,
+		`starlink_gateway_accepted_total{route="xmlrpc"} 1`,
+		`starlink_gateway_sniffed_total{class="http"} 2`,
+		`starlink_gateway_reloads_total{route="soap"} 0`,
+	} {
+		if !strings.Contains(string(resp.Body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, resp.Body)
+		}
+	}
+
+	// Hot reload from freshly loaded models: both routes swap, and the
+	// very next calls succeed on the new mediators.
+	fresh, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := dep.Reload(ctx, fresh); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	callXMLRPC()
+	callSOAP()
+	resp, err = hc.Get("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(resp.Body), `starlink_gateway_reloads_total{route="xmlrpc"} 1`) {
+		t.Errorf("reload counter missing:\n%s", resp.Body)
+	}
+
+	if err := dep.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := dep.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+
+	if _, err := m.DeployGateway("missing", "", ""); !errors.Is(err, core.ErrGateway) {
+		t.Errorf("missing gateway err = %v", err)
+	}
+}
+
+// TestDeployGatewayBuildFailure: a route naming an unknown mediator
+// must fail the whole deployment without leaking mediators.
+func TestDeployGatewayBuildFailure(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.gateway"),
+		[]byte("route a no-such-mediator\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DeployGateway("broken", "", ""); !errors.Is(err, core.ErrGateway) {
+		t.Errorf("err = %v, want ErrGateway", err)
+	}
+}

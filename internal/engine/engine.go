@@ -537,8 +537,60 @@ func (m *Mediator) Start(listenAddr string) error {
 	return nil
 }
 
-// Addr returns the client-facing address.
-func (m *Mediator) Addr() string { return m.listener.Addr().String() }
+// StartDetached opens the shared service pool without binding a
+// client-facing listener: connections are handed in one by one via
+// ServeConn. This is how a gateway hosts many mediators behind a single
+// front-door listener. Lifecycle is otherwise identical to Start —
+// Shutdown drains ServeConn sessions the same way it drains accepted
+// ones.
+func (m *Mediator) StartDetached() error {
+	p, err := pool.New(m.poolOptions())
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.pool = p
+	m.mu.Unlock()
+	return nil
+}
+
+// Addr returns the client-facing address, or "" for a detached
+// mediator (StartDetached binds no listener).
+func (m *Mediator) Addr() string {
+	m.mu.Lock()
+	l := m.listener
+	m.mu.Unlock()
+	if l == nil {
+		return ""
+	}
+	return l.Addr().String()
+}
+
+// ServeConn runs a mediation session on a pre-established client
+// connection (the gateway accept path). The session runs on its own
+// goroutine; ServeConn returns immediately. The mediator takes
+// ownership of conn — it is closed when the session ends. ErrDraining
+// is returned (and conn left open, for the caller to retarget or
+// close) when the mediator is draining, closed or not started.
+func (m *Mediator) ServeConn(conn network.Conn) error {
+	m.mu.Lock()
+	if m.closed || m.draining.Load() || m.pool == nil {
+		m.mu.Unlock()
+		return ErrDraining
+	}
+	m.conns[conn] = struct{}{}
+	// The wg.Add must happen under the lock: unlike the accept loop
+	// (which holds its own wg slot), nothing else keeps Close's wg.Wait
+	// from completing between the draining check and the Add.
+	m.wg.Add(1)
+	m.mu.Unlock()
+	m.startSession(conn)
+	return nil
+}
+
+// ErrDraining is returned by ServeConn when the mediator no longer
+// accepts new sessions (draining, closed, or never started).
+var ErrDraining = errors.New("engine: mediator draining")
 
 func (m *Mediator) acceptLoop() {
 	defer m.wg.Done()
@@ -554,23 +606,30 @@ func (m *Mediator) acceptLoop() {
 			return
 		}
 		m.conns[conn] = struct{}{}
-		m.mu.Unlock()
 		m.wg.Add(1)
-		id := m.stats.sessions.Add(1)
-		go func() {
-			defer m.wg.Done()
-			s := &session{
-				med:      m,
-				id:       id,
-				client:   conn,
-				services: make(map[int]*serviceLink),
-				lastWire: make(map[int][]byte),
-				sentAt:   make(map[int]time.Time),
-				dialed:   make(map[int]struct{}),
-			}
-			s.run()
-		}()
+		m.mu.Unlock()
+		m.startSession(conn)
 	}
+}
+
+// startSession spawns the session goroutine for a registered client
+// connection (shared by the accept loop and ServeConn); the caller has
+// already taken the session's wg slot.
+func (m *Mediator) startSession(conn network.Conn) {
+	id := m.stats.sessions.Add(1)
+	go func() {
+		defer m.wg.Done()
+		s := &session{
+			med:      m,
+			id:       id,
+			client:   conn,
+			services: make(map[int]*serviceLink),
+			lastWire: make(map[int][]byte),
+			sentAt:   make(map[int]time.Time),
+			dialed:   make(map[int]struct{}),
+		}
+		s.run()
+	}()
 }
 
 // Close abruptly stops the mediator: in-flight sessions are cut off,

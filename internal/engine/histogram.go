@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -110,7 +111,9 @@ func (l LatencyHistogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	rank := uint64(q * float64(l.Count))
+	// Nearest-rank: the ceil keeps e.g. Quantile(0.99) over 3 samples
+	// pointing at the 3rd observation, not the 2nd.
+	rank := uint64(math.Ceil(q * float64(l.Count)))
 	if rank == 0 {
 		rank = 1
 	}

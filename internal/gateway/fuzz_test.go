@@ -1,0 +1,60 @@
+package gateway
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSniff throws arbitrary wire prefixes at the sniffer. SniffBytes
+// is the gateway's only contact with unauthenticated bytes before
+// admission control, so it must be total: classify anything, panic on
+// nothing, and keep its own invariants.
+func FuzzSniff(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("GIOP\x01\x00\x00\x00\x00\x00\x00\x10"),
+		[]byte("GIO"),
+		[]byte("GET /photos?tag=x HTTP/1.1\r\nHost: example\r\n\r\n"),
+		[]byte("POST /services/xmlrpc HTTP/1.1\r\nContent-Length: 13\r\n\r\n<methodCall/>"),
+		[]byte("POST /rpc HTTP/1.1\r\n\r\n{\"jsonrpc\":\"2.0\",\"method\":\"add\"}"),
+		[]byte("PUT /a HT"),
+		[]byte("<?xml version=\"1.0\"?><doc/>"),
+		[]byte("{\"a\": [1, 2]}"),
+		[]byte("  [null]"),
+		[]byte("STEAL /x HTTP/1.1\r\n"),
+		[]byte("\x00\x01\x02\xff\xfe"),
+		[]byte(""),
+		[]byte(" \t\r\n"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := SniffBytes(data)
+		switch s.Class {
+		case ClassGIOP:
+			if !bytes.HasPrefix(data, []byte("GIOP")) {
+				t.Fatalf("classified giop without magic: %q", data)
+			}
+		case ClassHTTP:
+			if s.Method == "" {
+				t.Fatalf("http sniff with empty method: %+v from %q", s, data)
+			}
+			if bytes.ContainsAny([]byte(s.Path), "?") {
+				t.Fatalf("query survived in path %q", s.Path)
+			}
+		case ClassXML, ClassJSON, ClassUnknown:
+			if s.Method != "" || s.Path != "" {
+				t.Fatalf("non-http sniff carries request line: %+v from %q", s, data)
+			}
+		default:
+			t.Fatalf("impossible class %d from %q", s.Class, data)
+		}
+		// A prefix classified GIOP or HTTP must classify the same with
+		// more of the same stream appended (framing is prefix-stable).
+		if s.Class == ClassGIOP {
+			if again := SniffBytes(append(data[:len(data):len(data)], "more"...)); again.Class != ClassGIOP {
+				t.Fatalf("giop classification not prefix-stable: %q", data)
+			}
+		}
+	})
+}

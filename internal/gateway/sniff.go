@@ -1,0 +1,218 @@
+// Package gateway is Starlink's mediation front door: one listener that
+// hosts many deployed mediators at once. Each accepted connection is
+// classified by sniffing its first bytes (GIOP magic, HTTP request
+// line, XML/JSON payload heuristics), routed to the mediator its route
+// names, and admission-controlled on the way in — a token-bucket rate
+// limit and a max-concurrent-flows cap per route, with over-limit
+// clients answered by a cheap protocol-correct reject (HTTP 503, GIOP
+// system exception) instead of being accepted and stalled. Routes can
+// be hot-swapped at runtime: a reload builds the new mediator, points
+// the route at it atomically, and drains the old one without dropping
+// in-flight flows.
+//
+// The paper (§2, §6) deploys mediators "in the network" between
+// arbitrary client/service pairs; this package is the runtime layer
+// that makes a fleet of them operable as one service. Deployment and
+// flow policy live here, not in the protocol engines — the engine keeps
+// interpreting automata, the gateway decides who gets to reach one.
+package gateway
+
+import (
+	"bytes"
+	"strings"
+	"time"
+
+	"starlink/internal/network"
+)
+
+// WireClass is the protocol family a sniffed connection appears to
+// speak, judged from its first bytes.
+type WireClass int
+
+// Wire classes, in sniffing order.
+const (
+	// ClassUnknown: nothing recognisable arrived (garbage, a stalled
+	// client, or an empty connection). Routing falls back to the route
+	// table's default.
+	ClassUnknown WireClass = iota
+	// ClassGIOP: the 4-byte "GIOP" magic of an IIOP stream.
+	ClassGIOP
+	// ClassHTTP: an HTTP/1.x request line (covers XML-RPC, SOAP, REST
+	// and JSON-RPC bindings, which all ride HTTP framing).
+	ClassHTTP
+	// ClassXML: a bare XML document with no HTTP envelope — a raw
+	// XML-RPC/SOAP payload heuristic.
+	ClassXML
+	// ClassJSON: a bare JSON value with no HTTP envelope — a raw
+	// JSON-RPC payload heuristic.
+	ClassJSON
+)
+
+// String names the class for logs and metrics labels.
+func (c WireClass) String() string {
+	switch c {
+	case ClassGIOP:
+		return "giop"
+	case ClassHTTP:
+		return "http"
+	case ClassXML:
+		return "xml"
+	case ClassJSON:
+		return "json"
+	default:
+		return "unknown"
+	}
+}
+
+// Sniff is the result of classifying a connection's first bytes.
+type Sniff struct {
+	// Class is the protocol family detected.
+	Class WireClass
+	// Method and Path are filled for ClassHTTP from the request line
+	// (Path keeps the query string off).
+	Method, Path string
+	// Body hints at the HTTP payload kind when the sniff window reached
+	// it: ClassXML or ClassJSON for XML resp. JSON bodies, ClassUnknown
+	// otherwise. Routes matching on payload use it to tell an XML-RPC
+	// POST from a JSON-RPC POST on the same path.
+	Body WireClass
+}
+
+// SniffBytes classifies a wire prefix. It is pure and total: any input,
+// including truncated or hostile bytes, yields a classification (at
+// worst ClassUnknown) without blocking or panicking.
+func SniffBytes(b []byte) Sniff {
+	if len(b) >= 4 && string(b[:4]) == "GIOP" {
+		return Sniff{Class: ClassGIOP}
+	}
+	if s, ok := sniffHTTP(b); ok {
+		return s
+	}
+	switch payloadClass(b) {
+	case ClassXML:
+		return Sniff{Class: ClassXML}
+	case ClassJSON:
+		return Sniff{Class: ClassJSON}
+	}
+	return Sniff{Class: ClassUnknown}
+}
+
+// httpMethods are the request-line verbs the sniffer recognises; they
+// cover every binding the framework deploys over HTTP.
+var httpMethods = []string{"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH"}
+
+// sniffHTTP recognises an HTTP/1.x request line prefix: METHOD SP
+// target SP "HTTP/". The full line need not have arrived — a prefix
+// that can still only be HTTP counts once the method and target are
+// complete.
+func sniffHTTP(b []byte) (Sniff, bool) {
+	method, rest, ok := cutToken(b)
+	if !ok || !isHTTPMethod(method) {
+		return Sniff{}, false
+	}
+	target, rest, ok := cutToken(rest)
+	if !ok || len(target) == 0 {
+		return Sniff{}, false
+	}
+	if !bytes.HasPrefix(rest, []byte("HTTP/")) && !bytes.HasPrefix([]byte("HTTP/"), rest) {
+		return Sniff{}, false
+	}
+	path := string(target)
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	return Sniff{
+		Class:  ClassHTTP,
+		Method: string(method),
+		Path:   path,
+		Body:   payloadClass(httpBody(b)),
+	}, true
+}
+
+// cutToken splits off the next space-delimited token; ok is false while
+// the token is still incomplete (no delimiter seen yet).
+func cutToken(b []byte) (token, rest []byte, ok bool) {
+	i := bytes.IndexByte(b, ' ')
+	if i < 0 {
+		return nil, nil, false
+	}
+	return b[:i], b[i+1:], true
+}
+
+func isHTTPMethod(tok []byte) bool {
+	for _, m := range httpMethods {
+		if string(tok) == m {
+			return true
+		}
+	}
+	return false
+}
+
+// httpBody returns the sniffed bytes past the header block, or nil if
+// the blank line is outside the window.
+func httpBody(b []byte) []byte {
+	if i := bytes.Index(b, []byte("\r\n\r\n")); i >= 0 {
+		return b[i+4:]
+	}
+	if i := bytes.Index(b, []byte("\n\n")); i >= 0 {
+		return b[i+2:]
+	}
+	return nil
+}
+
+// payloadClass applies the XML/JSON payload heuristics to a (possibly
+// empty) byte prefix.
+func payloadClass(b []byte) WireClass {
+	b = bytes.TrimLeft(b, " \t\r\n")
+	if len(b) == 0 {
+		return ClassUnknown
+	}
+	switch b[0] {
+	case '<':
+		return ClassXML
+	case '{', '[':
+		return ClassJSON
+	}
+	return ClassUnknown
+}
+
+// DefaultSniffBytes and DefaultSniffTimeout bound the sniff window:
+// how many bytes are peeked and how long the gateway waits for them. A
+// slow-trickle or silent client costs at most the timeout before the
+// connection falls back to the default route.
+const (
+	DefaultSniffBytes   = 256
+	DefaultSniffTimeout = 500 * time.Millisecond
+)
+
+// sniffConn classifies a live connection. It peeks in growing windows
+// (so a 4-byte GIOP magic classifies without waiting for bytes that
+// will never come) up to maxBytes, never waiting past timeout; a
+// client that trickles, stalls or sends garbage costs at most the
+// timeout before falling back to ClassUnknown. The peeked bytes stay
+// buffered for the chosen mediator's framer to replay.
+func sniffConn(pc *network.PeekConn, maxBytes int, timeout time.Duration) Sniff {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSniffBytes
+	}
+	if timeout <= 0 {
+		timeout = DefaultSniffTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	for n := 8; ; {
+		buf, err := pc.Peek(n, deadline)
+		// One network read usually buffers a whole client segment;
+		// classify everything that arrived, not just the n asked for.
+		if b := pc.Buffered(); b > len(buf) {
+			buf, _ = pc.Peek(b, deadline)
+		}
+		s := SniffBytes(buf)
+		if s.Class != ClassUnknown || err != nil || len(buf) >= maxBytes || n >= maxBytes {
+			return s
+		}
+		n *= 2
+		if n > maxBytes {
+			n = maxBytes
+		}
+	}
+}

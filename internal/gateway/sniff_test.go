@@ -1,0 +1,154 @@
+package gateway
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"starlink/internal/network"
+)
+
+func TestSniffBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want Sniff
+	}{
+		{"giop magic", "GIOP\x01\x00\x00\x00\x00\x00\x00\x10body", Sniff{Class: ClassGIOP}},
+		{"giop magic alone", "GIOP", Sniff{Class: ClassGIOP}},
+		{"giop truncated", "GIO", Sniff{Class: ClassUnknown}},
+		{"http get", "GET /photos HTTP/1.1\r\nHost: x\r\n\r\n",
+			Sniff{Class: ClassHTTP, Method: "GET", Path: "/photos"}},
+		{"http query stripped", "DELETE /a?q=1 HTTP/1.0\r\n\r\n",
+			Sniff{Class: ClassHTTP, Method: "DELETE", Path: "/a"}},
+		{"http partial version", "POST /services/soap HT",
+			Sniff{Class: ClassHTTP, Method: "POST", Path: "/services/soap"}},
+		{"http xml body", "POST /rpc HTTP/1.1\r\nContent-Length: 20\r\n\r\n<methodCall/>",
+			Sniff{Class: ClassHTTP, Method: "POST", Path: "/rpc", Body: ClassXML}},
+		{"http json body", "POST /rpc HTTP/1.1\r\n\r\n{\"method\":\"add\"}",
+			Sniff{Class: ClassHTTP, Method: "POST", Path: "/rpc", Body: ClassJSON}},
+		{"http incomplete method", "GET", Sniff{Class: ClassUnknown}},
+		{"http incomplete target", "GET ", Sniff{Class: ClassUnknown}},
+		{"http bogus verb", "STEAL /x HTTP/1.1\r\n", Sniff{Class: ClassUnknown}},
+		{"http wrong version prefix", "GET /x XTTP/1.1\r\n", Sniff{Class: ClassUnknown}},
+		{"raw xml", "<?xml version=\"1.0\"?><methodCall/>", Sniff{Class: ClassXML}},
+		{"raw xml leading space", "  \r\n<doc/>", Sniff{Class: ClassXML}},
+		{"raw json object", "{\"jsonrpc\":\"2.0\"}", Sniff{Class: ClassJSON}},
+		{"raw json array", " [1,2,3]", Sniff{Class: ClassJSON}},
+		{"empty", "", Sniff{Class: ClassUnknown}},
+		{"whitespace only", " \t\r\n", Sniff{Class: ClassUnknown}},
+		{"binary garbage", "\x00\x01\x02\xff\xfe", Sniff{Class: ClassUnknown}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SniffBytes([]byte(tc.in)); got != tc.want {
+				t.Errorf("SniffBytes(%q) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// sniffPipe runs sniffConn against one end of a pipe while feed writes
+// to the other, and reports the classification and how long it took.
+func sniffPipe(t *testing.T, timeout time.Duration, feed func(net.Conn)) (Sniff, time.Duration) {
+	t.Helper()
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go feed(client)
+	start := time.Now()
+	s := sniffConn(network.NewPeekConn(server), 0, timeout)
+	return s, time.Since(start)
+}
+
+func TestSniffConn(t *testing.T) {
+	const timeout = 400 * time.Millisecond
+	// The assertion bound is generous (scheduler noise), but well below
+	// a blocked read: the sniffer must never wait past its deadline.
+	const slack = 2 * time.Second
+
+	t.Run("whole message at once", func(t *testing.T) {
+		s, took := sniffPipe(t, timeout, func(c net.Conn) {
+			c.Write([]byte("GIOP\x01\x00\x00\x00\x00\x00\x00\x00"))
+		})
+		if s.Class != ClassGIOP {
+			t.Errorf("class = %v, want giop", s.Class)
+		}
+		if took > timeout {
+			t.Errorf("classification of an immediate write took %v (> %v)", took, timeout)
+		}
+	})
+
+	t.Run("slow trickle", func(t *testing.T) {
+		s, took := sniffPipe(t, timeout, func(c net.Conn) {
+			for _, chunk := range []string{"PO", "ST /serv", "ices/xmlrpc HTT"} {
+				c.Write([]byte(chunk))
+				time.Sleep(30 * time.Millisecond)
+			}
+		})
+		if s.Class != ClassHTTP || s.Path != "/services/xmlrpc" {
+			t.Errorf("sniff = %+v, want http /services/xmlrpc", s)
+		}
+		if took > timeout+slack {
+			t.Errorf("trickle sniff took %v, deadline not honoured", took)
+		}
+	})
+
+	t.Run("silent client", func(t *testing.T) {
+		s, took := sniffPipe(t, timeout, func(net.Conn) {})
+		if s.Class != ClassUnknown {
+			t.Errorf("class = %v, want unknown", s.Class)
+		}
+		if took > timeout+slack {
+			t.Errorf("silent client held the sniffer %v (timeout %v)", took, timeout)
+		}
+	})
+
+	t.Run("garbage then stall", func(t *testing.T) {
+		s, took := sniffPipe(t, timeout, func(c net.Conn) {
+			c.Write([]byte{0x00, 0xde, 0xad})
+		})
+		if s.Class != ClassUnknown {
+			t.Errorf("class = %v, want unknown", s.Class)
+		}
+		if took > timeout+slack {
+			t.Errorf("garbage sniff took %v, deadline not honoured", took)
+		}
+	})
+
+	t.Run("disconnect mid-sniff", func(t *testing.T) {
+		s, took := sniffPipe(t, timeout, func(c net.Conn) {
+			c.Write([]byte("GE"))
+			c.Close()
+		})
+		if s.Class != ClassUnknown {
+			t.Errorf("class = %v, want unknown", s.Class)
+		}
+		if took > timeout+slack {
+			t.Errorf("disconnect sniff took %v", took)
+		}
+	})
+}
+
+// TestSniffConnReplay checks that the bytes consumed by sniffing are
+// replayed losslessly once the connection is framed for a mediator.
+func TestSniffConnReplay(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	full := "POST /rpc HTTP/1.1\r\nContent-Length: 7\r\n\r\n<a>b</a"
+	go client.Write([]byte(full))
+	pc := network.NewPeekConn(server)
+	s := sniffConn(pc, 0, time.Second)
+	if s.Class != ClassHTTP {
+		t.Fatalf("class = %v, want http", s.Class)
+	}
+	conn := pc.Framed(network.HTTPFramer{})
+	defer conn.Close()
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatalf("Recv after sniff: %v", err)
+	}
+	if string(msg) != full {
+		t.Errorf("framed message = %q, want the sniffed prefix replayed (%q)", msg, full)
+	}
+}

@@ -7,12 +7,12 @@ import (
 	"starlink/internal/harness"
 )
 
-// TestAllExperimentsPass runs the full E1-E13 reproduction suite — the
+// TestAllExperimentsPass runs the full E1-E14 reproduction suite — the
 // same entry point as cmd/benchharness.
 func TestAllExperimentsPass(t *testing.T) {
 	results := harness.RunAll()
-	if len(results) != 13 {
-		t.Fatalf("experiments = %d, want 13", len(results))
+	if len(results) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(results))
 	}
 	for _, r := range results {
 		if !r.OK() {

@@ -2,6 +2,7 @@ package observe
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -50,8 +51,15 @@ func ServeAdmin(addr string, cfg AdminConfig) (*Admin, error) {
 // Addr returns the bound address ("host:port").
 func (a *Admin) Addr() string { return a.srv.Addr() }
 
-// Close stops the endpoint and waits for in-flight requests.
-func (a *Admin) Close() error { return a.srv.Close() }
+// Close stops the endpoint and waits for in-flight requests. It is
+// idempotent: closing an already-closed endpoint is a no-op, not an
+// error, so deployment teardown paths can call it unconditionally.
+func (a *Admin) Close() error {
+	if err := a.srv.Close(); err != nil && !errors.Is(err, httpwire.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
 
 func (a *Admin) handle(req *httpwire.Request) *httpwire.Response {
 	if req.Method != "GET" {

@@ -64,6 +64,12 @@ func (r *Registry) CounterVec(name, labelKey, help string, f func() map[string]u
 	r.register(&metric{name: name, help: help, typ: "counter", labelKey: labelKey, vec: f})
 }
 
+// GaugeVec registers a gauge family keyed by one label; f returns the
+// current label→value samples.
+func (r *Registry) GaugeVec(name, labelKey, help string, f func() map[string]uint64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", labelKey: labelKey, vec: f})
+}
+
 // Histogram registers a latency distribution exposed with cumulative
 // le buckets in seconds.
 func (r *Registry) Histogram(name, help string, f func() engine.LatencyHistogram) {

@@ -39,6 +39,7 @@ import (
 	"starlink/internal/bind"
 	"starlink/internal/core"
 	"starlink/internal/engine"
+	"starlink/internal/gateway"
 	"starlink/internal/mdl"
 	"starlink/internal/message"
 	"starlink/internal/mtl"
@@ -133,6 +134,46 @@ type (
 	// Deployment is a running mediator with its optional observability
 	// attachments; see Models.Deploy.
 	Deployment = core.Deployment
+	// Gateway is the mediation front door: one listener that sniffs,
+	// routes, admission-controls and hot-reloads many mediators.
+	Gateway = gateway.Gateway
+	// GatewayConfig assembles a Gateway programmatically.
+	GatewayConfig = gateway.Config
+	// GatewayRoute declares one hosted mediator behind the front door.
+	GatewayRoute = gateway.RouteConfig
+	// GatewayMatcher is a route's sniff-based claim on connections.
+	GatewayMatcher = gateway.Matcher
+	// AdmissionPolicy is a route's rate-limit / flow-cap configuration.
+	AdmissionPolicy = gateway.AdmissionPolicy
+	// WireClass is the protocol family a sniffed connection presents.
+	WireClass = gateway.WireClass
+	// SniffResult is the wire sniffer's classification of first bytes.
+	SniffResult = gateway.Sniff
+	// GatewayStats is a gateway's counter snapshot.
+	GatewayStats = gateway.Stats
+	// GatewayRouteStats is one route's counter snapshot.
+	GatewayRouteStats = gateway.RouteStats
+	// GatewaySpec is a *.gateway deployment description.
+	GatewaySpec = core.GatewaySpec
+	// GatewayRouteSpec is one route line of a GatewaySpec.
+	GatewayRouteSpec = core.GatewayRouteSpec
+	// GatewayDeployment is a running gateway with its hosted mediators
+	// and optional metrics endpoint; see Models.DeployGateway.
+	GatewayDeployment = core.GatewayDeployment
+)
+
+// Wire classes the gateway sniffer distinguishes.
+const (
+	// ClassUnknown: unrecognised or absent first bytes.
+	ClassUnknown = gateway.ClassUnknown
+	// ClassGIOP: the IIOP "GIOP" magic.
+	ClassGIOP = gateway.ClassGIOP
+	// ClassHTTP: an HTTP/1.x request line.
+	ClassHTTP = gateway.ClassHTTP
+	// ClassXML: a bare XML payload with no HTTP envelope.
+	ClassXML = gateway.ClassXML
+	// ClassJSON: a bare JSON payload with no HTTP envelope.
+	ClassJSON = gateway.ClassJSON
 )
 
 // Trace event kinds (see engine.TraceKind).
@@ -256,6 +297,24 @@ func ParseTypeMap(doc string) (map[string]string, error) {
 func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 	return core.ParseMediatorSpec(doc)
 }
+
+// ParseGatewaySpec reads a gateway deployment spec document (see
+// GatewaySpec for the directive grammar; on disk: *.gateway).
+func ParseGatewaySpec(doc string) (*GatewaySpec, error) {
+	return core.ParseGatewaySpec(doc)
+}
+
+// NewGateway assembles a mediation gateway programmatically; see
+// Models.DeployGateway for the declarative path.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// SniffWire classifies a wire prefix the way the gateway's sniffer
+// does — exported for tests and tooling.
+func SniffWire(b []byte) SniffResult { return gateway.SniffBytes(b) }
+
+// GatewayRegistry builds a metrics Registry pre-wired with a gateway's
+// per-route counters.
+func GatewayRegistry(gw *Gateway) *Registry { return observe.GatewayRegistry(gw) }
 
 // NewMediator assembles a mediator from a programmatic configuration.
 //
