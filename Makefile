@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench fault-soak experiments fuzz fmt
+.PHONY: all build test check race race-alloc bench bench-translate fault-soak experiments fuzz fmt
 
 all: check
 
@@ -19,10 +19,19 @@ test: build
 race:
 	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/harness/... ./internal/observe/... ./internal/gateway/...
 
-# The full gate: vet, tier-1, and the race pass.
+# The allocation-budget tests under the race detector: AllocsPerRun is
+# meaningless with -race instrumentation, so the numeric budgets skip
+# themselves (internal/testutil.RaceEnabled), but the pooled buffers,
+# recycled environments and in-place path walks they drive still run
+# with full race checking — that is the point of this pass.
+race-alloc:
+	$(GO) test -race -run 'AllocBudget' ./internal/message ./internal/mtl ./internal/protocol/...
+
+# The full gate: vet, tier-1, and the race passes.
 check: test
 	$(GO) vet ./...
 	$(MAKE) race
+	$(MAKE) race-alloc
 
 # Full benchmark suite with allocation stats; the raw tool output is
 # kept in BENCH_pool.json for comparison across changes, and the
@@ -32,6 +41,13 @@ bench:
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_pool.json | cut -c11- | sed 's/\\t/\t/g; s/\\n//' || true
 	$(GO) run ./cmd/benchharness -observe BENCH_observe.json
 
+# γ-translation microbenchmark: interpreted tree-walk vs compiled fast
+# path for the flickr and shopping case-study programs at 1/8/64
+# sessions -> BENCH_translate.json (committed baseline; the compiled
+# path must show >=30% fewer allocs/op, see EXPERIMENTS.md E15).
+bench-translate:
+	$(GO) run ./cmd/benchharness -translate BENCH_translate.json
+
 # The fault-path soak on its own: mediated flows while the service is
 # periodically killed and restarted (see BenchmarkE11FaultRecoverySoak).
 fault-soak:
@@ -40,12 +56,16 @@ fault-soak:
 experiments:
 	$(GO) run ./cmd/benchharness
 
-# Short coverage-guided fuzz passes over the two parsers that face
-# untrusted bytes: the MTL language parser and the gateway's wire
-# sniffer. FUZZTIME can be raised for a longer local soak.
+# Short coverage-guided fuzz passes: the two parsers that face
+# untrusted bytes (the MTL language parser and the gateway's wire
+# sniffer) plus the differential compile fuzzer, which asserts that the
+# compiled MTL fast path and the tree-walking interpreter produce
+# identical message trees, cache state and errors for every program the
+# fuzzer can parse. FUZZTIME can be raised for a longer local soak.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/mtl -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mtl -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/gateway -run '^$$' -fuzz '^FuzzSniff$$' -fuzztime $(FUZZTIME)
 
 fmt:

@@ -10,6 +10,12 @@
 // overhead versus a direct mediator listener at the same concurrency
 // levels, plus the shed-reject latency, and writes the result as JSON
 // (the committed BENCH_gateway.json baseline).
+//
+// With -translate <file>, it measures γ translation directly —
+// interpreted tree-walk vs the compiled fast path with a pooled
+// environment — for the flickr and shopping case-study programs at the
+// same concurrency levels, and writes the result as JSON (the committed
+// BENCH_translate.json baseline).
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 func main() {
 	observeOut := flag.String("observe", "", "write tracer-overhead measurements (JSON) to this file")
 	gatewayOut := flag.String("gateway", "", "write gateway-overhead measurements (JSON) to this file")
+	translateOut := flag.String("translate", "", "write γ-translation interpreted-vs-compiled measurements (JSON) to this file")
 	flag.Parse()
 
 	fmt.Println("Starlink experiment harness — MIDDLEWARE 2011 reproduction")
@@ -85,5 +92,30 @@ func main() {
 				p.Sessions, p.DirectNsPerFlow, p.GatewayNsPerFlow, p.OverheadPct)
 		}
 		fmt.Printf("  shed reject: %.0fns mean\n", bench.ShedNsMean)
+	}
+
+	if *translateOut != "" {
+		report, err := harness.MeasureTranslateOverhead([]int{1, 8, 64}, 2000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness: translate measurement:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*translateOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("translation measurements written to %s\n", *translateOut)
+		for _, p := range report.Points {
+			fmt.Printf("  %-8s %-11s %2d session(s): %.0fns/op, %.1f allocs/op\n",
+				p.CaseStudy, p.Mode, p.Sessions, p.NsPerOp, p.AllocsPerOp)
+		}
+		for cs, r := range report.AllocsReduction {
+			fmt.Printf("  %s: compiled path allocs/op reduced %.0f%%\n", cs, r*100)
+		}
 	}
 }

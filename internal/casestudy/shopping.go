@@ -1,0 +1,107 @@
+package casestudy
+
+import "starlink/internal/automata"
+
+// The shopping case study: a legacy XML-RPC storefront client mediated
+// onto a JSON-RPC catalog/order service. It plays the same role for the
+// RPC-family protocols that the Flickr/Picasa pair plays for the
+// REST/feed family — a second, structurally different set of γ
+// translation programs (flat order lines, nested order documents, a
+// price cache) used by the interoperability tests and as the second
+// workload of the translation benchmark (EXPERIMENTS.md E15).
+
+// Shop-side (color 1) message names.
+const (
+	ShopSearch          = "shop.products.search"
+	ShopSearchReply     = "shop.products.search.reply"
+	ShopGetProduct      = "shop.products.getProduct"
+	ShopGetProductReply = "shop.products.getProduct.reply"
+	ShopCheckout        = "shop.cart.checkout"
+	ShopCheckoutReply   = "shop.cart.checkout.reply"
+)
+
+// Catalog/order-side (color 2) message names.
+const (
+	CatalogSearch      = "catalog.search"
+	CatalogSearchReply = "catalog.search.reply"
+	OrderCreate        = "orders.create"
+	OrderCreateReply   = "orders.create.reply"
+)
+
+// OrderHost is the logical host the checkout translation retargets to;
+// deployments resolve it through the engine's HostMap.
+const OrderHost = "https://orders.example.com"
+
+// ShoppingMediator returns the concrete merged automaton for the
+// "XML-RPC shop client -> JSON-RPC catalog service" case. Color 1 is
+// the shop client, color 2 the catalog/order service. Its three flows
+// mirror the Flickr mediator's shapes: a searched-and-cached catalog
+// scan, a cache-answered product lookup, and a checkout that rebuilds
+// flat order lines into a nested order document.
+func ShoppingMediator() *automata.Merged {
+	b := newMediator("Shop-XMLRPC-to-Catalog-JSONRPC", 1, 2)
+
+	// -- product search: translate the query, cache every hit --
+	req := b.msg(1, automata.Send, ShopSearch)
+	b.bicolor(1, 2)
+	catReq := b.next()
+	b.gamma(`
+`+catReq+`.Msg.query = `+req+`.Msg.keywords
+try `+catReq+`.Msg.limit = `+req+`.Msg.max
+`, 2)
+	b.msg(2, automata.Send, CatalogSearch)
+	catRep := b.msg(2, automata.Receive, CatalogSearchReply)
+	b.bicolor(1, 2)
+	rep := b.next()
+	b.gamma(`
+`+rep+`.Msg.products = newarray("products")
+foreach p in `+catRep+`.Msg.result.item {
+  cache(p.sku, p)
+  it = newstruct("item")
+  it.sku = p.sku
+  it.name = p.name
+  it.price = p.price
+  `+rep+`.Msg.products.item[] = it
+}
+`+rep+`.Msg.count = count(`+catRep+`.Msg.result)
+`, 1)
+	b.msg(1, automata.Receive, ShopSearchReply)
+
+	// -- product detail: answered from the session cache, no service call --
+	g := b.msg(1, automata.Send, ShopGetProduct)
+	gRep := b.next()
+	b.gamma(`
+p = getcache(`+g+`.Msg.sku)
+`+gRep+`.Msg.sku = `+g+`.Msg.sku
+`+gRep+`.Msg.name = p.name
+`+gRep+`.Msg.price = p.price
+try `+gRep+`.Msg.stock = p.stock
+`, 1)
+	b.msg(1, automata.Receive, ShopGetProductReply)
+
+	// -- checkout: flat cart lines become a nested order document --
+	co := b.msg(1, automata.Send, ShopCheckout)
+	b.bicolor(1, 2)
+	ord := b.next()
+	b.gamma(`
+sethost("`+OrderHost+`")
+`+ord+`.Msg.order = newstruct("order")
+`+ord+`.Msg.order.customer = `+co+`.Msg.customer
+foreach l in `+co+`.Msg.lines.line {
+  e = newstruct("item")
+  e.sku = l.sku
+  e.qty = l.qty
+  `+ord+`.Msg.order.items.item[] = e
+}
+`, 2)
+	b.msg(2, automata.Send, OrderCreate)
+	oRep := b.msg(2, automata.Receive, OrderCreateReply)
+	b.bicolor(1, 2)
+	fin := b.next()
+	b.gamma(fin+`.Msg.order_id = `+oRep+`.Msg.id
+`+fin+`.Msg.total = `+oRep+`.Msg.total
+`, 1)
+	b.msg(1, automata.Receive, ShopCheckoutReply)
+
+	return b.finish(automata.StronglyMerged)
+}

@@ -305,6 +305,11 @@ type Stats struct {
 	Flows uint64
 	// Translations is the number of γ transitions executed.
 	Translations uint64
+	// TranslationsCompiled counts γ executions served by the compiled
+	// fast path; TranslationsInterpreted counts the tree-walking
+	// fallback (a program that failed to compile at deploy time).
+	// Compiled + Interpreted == Translations.
+	TranslationsCompiled, TranslationsInterpreted uint64
 	// MessagesIn and MessagesOut count messages received from and sent to
 	// either side.
 	MessagesIn, MessagesOut uint64
@@ -341,6 +346,8 @@ type Stats struct {
 // statCounters is the internal atomic form of Stats.
 type statCounters struct {
 	sessions, flows, translations   atomic.Uint64
+	translationsCompiled            atomic.Uint64
+	translationsInterpreted         atomic.Uint64
 	messagesIn, messagesOut         atomic.Uint64
 	failures                        atomic.Uint64
 	redials, retriesExhausted       atomic.Uint64
@@ -355,15 +362,17 @@ type statCounters struct {
 type Mediator struct {
 	cfg      Config
 	retry    RetryPolicy
-	programs map[int]*mtl.Program // transition index -> compiled MTL
-	outs     map[string]outgoing  // state -> outgoing transitions, precomputed
+	programs map[int]*mtl.Program         // transition index -> parsed MTL
+	compiled map[int]*mtl.CompiledProgram // transition index -> compiled fast path
+	outs     map[string]outgoing          // state -> outgoing transitions, precomputed
 	stats    statCounters
 
-	// transitions and exchanges are the latency histograms behind
-	// Snapshot: per-transition execution and per-service-exchange
-	// round-trip, lock-free log-scale bins.
+	// transitions, exchanges and translate are the latency histograms
+	// behind Snapshot: per-transition execution, per-service-exchange
+	// round-trip and per-γ-translation, lock-free log-scale bins.
 	transitions histogram
 	exchanges   histogram
+	translate   histogram
 
 	// draining refuses new flows (set by Shutdown); stopping aborts
 	// in-flight service retries (set by Close and the Shutdown deadline).
@@ -383,17 +392,19 @@ type Mediator struct {
 // Stats returns a snapshot of the mediator's counters.
 func (m *Mediator) Stats() Stats {
 	st := Stats{
-		Sessions:         m.stats.sessions.Load(),
-		Flows:            m.stats.flows.Load(),
-		Translations:     m.stats.translations.Load(),
-		MessagesIn:       m.stats.messagesIn.Load(),
-		MessagesOut:      m.stats.messagesOut.Load(),
-		Failures:         m.stats.failures.Load(),
-		Redials:          m.stats.redials.Load(),
-		RetriesExhausted: m.stats.retriesExhausted.Load(),
-		ClientFailures:   m.stats.clientFailures.Load(),
-		ServiceFailures:  m.stats.serviceFailures.Load(),
-		HookPanics:       m.stats.hookPanics.Load(),
+		Sessions:                m.stats.sessions.Load(),
+		Flows:                   m.stats.flows.Load(),
+		Translations:            m.stats.translations.Load(),
+		TranslationsCompiled:    m.stats.translationsCompiled.Load(),
+		TranslationsInterpreted: m.stats.translationsInterpreted.Load(),
+		MessagesIn:              m.stats.messagesIn.Load(),
+		MessagesOut:             m.stats.messagesOut.Load(),
+		Failures:                m.stats.failures.Load(),
+		Redials:                 m.stats.redials.Load(),
+		RetriesExhausted:        m.stats.retriesExhausted.Load(),
+		ClientFailures:          m.stats.clientFailures.Load(),
+		ServiceFailures:         m.stats.serviceFailures.Load(),
+		HookPanics:              m.stats.hookPanics.Load(),
 	}
 	m.mu.Lock()
 	p := m.pool
@@ -445,10 +456,15 @@ func New(cfg Config) (*Mediator, error) {
 		cfg:      cfg,
 		retry:    retry,
 		programs: make(map[int]*mtl.Program),
+		compiled: make(map[int]*mtl.CompiledProgram),
 		outs:     make(map[string]outgoing),
 		conns:    make(map[network.Conn]struct{}),
 		svcConns: make(map[network.Conn]struct{}),
 		idle:     make(map[network.Conn]struct{}),
+	}
+	handles := make([]string, len(cfg.Merged.States))
+	for i, st := range cfg.Merged.States {
+		handles[i] = st.Name
 	}
 	for i, t := range cfg.Merged.Transitions {
 		o := m.outs[t.From]
@@ -463,6 +479,13 @@ func New(cfg Config) (*Mediator, error) {
 			return nil, fmt.Errorf("%w: γ %s->%s: %v", ErrConfig, t.From, t.To, err)
 		}
 		m.programs[i] = prog
+		// Lower to the compiled fast path. A lowering failure is not a
+		// deployment error — the tree-walking interpreter remains a full
+		// fallback — but in practice Compile accepts every parseable
+		// program.
+		if cp, err := mtl.Compile(prog, mtl.CompileOptions{Handles: handles, Funcs: cfg.Funcs}); err == nil {
+			m.compiled[i] = cp
+		}
 	}
 	return m, nil
 }
@@ -790,6 +813,15 @@ type session struct {
 	client   network.Conn
 	services map[int]*serviceLink
 	cache    mtl.Cache
+	// env is the session's pooled MTL environment: one Env reused across
+	// every automaton traversal (Reset clears it between flows), so a
+	// steady-state flow allocates no fresh Messages/Vars maps. bound
+	// holds the per-state target messages, index-aligned with
+	// Merged.States and likewise recycled between flows; parsed inbound
+	// messages replace these bindings for the rest of a flow, which is
+	// why the slice (not the Env) is the owner.
+	env   *mtl.Env
+	bound []*message.Message
 	// lastWire keeps the last request sent to each service color so a
 	// reply lost to a transport fault can be replayed on a fresh
 	// connection.
@@ -974,10 +1006,28 @@ func (s *session) sendErrorReply(cause error) {
 // runAutomaton executes one start-to-final traversal.
 func (s *session) runAutomaton() error {
 	merged := s.med.cfg.Merged
-	env := mtl.NewEnv(&s.cache)
-	env.Funcs = s.med.cfg.Funcs
-	for _, st := range merged.States {
-		env.Bind(st.Name, message.New(""))
+	env := s.env
+	if env == nil {
+		env = mtl.NewEnv(&s.cache)
+		env.Funcs = s.med.cfg.Funcs
+		s.env = env
+		s.bound = make([]*message.Message, len(merged.States))
+	} else {
+		env.Reset()
+	}
+	for i, st := range merged.States {
+		// Recycle the per-state target messages: a flow's parsed inbound
+		// messages are bound over these, so by the next traversal the
+		// recycled tree is unreferenced and safe to truncate in place.
+		msg := s.bound[i]
+		if msg == nil {
+			msg = message.New("")
+			s.bound[i] = msg
+		} else {
+			msg.Name = ""
+			msg.Fields = msg.Fields[:0]
+		}
+		env.Bind(st.Name, msg)
 	}
 	state := merged.Start
 	lastClientAction := ""
@@ -1014,17 +1064,26 @@ func (s *session) runAutomaton() error {
 		switch t.Kind {
 		case automata.KindGamma:
 			env.Host = ""
-			prog, ok := s.med.programs[idx]
-			if !ok {
-				// Defensive: every γ transition gets a compiled program in
-				// New; a miss means the automaton changed under us, and
-				// skipping the translation would corrupt the flow.
-				return fmt.Errorf("%w: no compiled γ program for %s->%s", ErrStuck, t.From, t.To)
-			}
-			if err := prog.Exec(env); err != nil {
-				return fmt.Errorf("γ %s->%s: %w", t.From, t.To, err)
+			if cp, ok := s.med.compiled[idx]; ok {
+				if err := cp.Exec(env); err != nil {
+					return fmt.Errorf("γ %s->%s: %w", t.From, t.To, err)
+				}
+				s.med.stats.translationsCompiled.Add(1)
+			} else {
+				prog, ok := s.med.programs[idx]
+				if !ok {
+					// Defensive: every γ transition gets a program in New; a
+					// miss means the automaton changed under us, and skipping
+					// the translation would corrupt the flow.
+					return fmt.Errorf("%w: no γ program for %s->%s", ErrStuck, t.From, t.To)
+				}
+				if err := prog.Exec(env); err != nil {
+					return fmt.Errorf("γ %s->%s: %w", t.From, t.To, err)
+				}
+				s.med.stats.translationsInterpreted.Add(1)
 			}
 			s.med.stats.translations.Add(1)
+			s.med.translate.observe(time.Since(start))
 			if env.Host != "" {
 				s.hostOverride = env.Host
 			}

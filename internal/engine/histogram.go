@@ -143,6 +143,10 @@ type Snapshot struct {
 	// receipt; fault-recovery replays are included, so recovery shows
 	// up as tail latency rather than disappearing.
 	Exchanges LatencyHistogram
+	// Translate is the latency distribution of γ translations alone —
+	// the subset of Transitions spent executing MTL programs, compiled
+	// or interpreted, isolating translation cost from network time.
+	Translate LatencyHistogram
 }
 
 // Snapshot captures the mediator's counters and latency histograms.
@@ -151,5 +155,6 @@ func (m *Mediator) Snapshot() Snapshot {
 		Stats:       m.Stats(),
 		Transitions: m.transitions.snapshot(),
 		Exchanges:   m.exchanges.snapshot(),
+		Translate:   m.translate.snapshot(),
 	}
 }

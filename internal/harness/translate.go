@@ -1,0 +1,316 @@
+package harness
+
+// Translation-overhead measurement (EXPERIMENTS.md E15): the γ MTL
+// programs of the two case-study mediators are executed directly —
+// interpreted tree-walk vs compiled fast path with a pooled Env — at
+// several session concurrencies, and the per-execution wall time and
+// heap allocation count are recorded. Network and codec time are
+// deliberately excluded; this isolates exactly the translation cost the
+// compiled pipeline targets.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/casestudy"
+	"starlink/internal/message"
+	"starlink/internal/mtl"
+)
+
+// TranslatePoint is one measured configuration: a case study's γ
+// programs run in one mode at one concurrency.
+type TranslatePoint struct {
+	// CaseStudy is "flickr" or "shopping".
+	CaseStudy string `json:"case_study"`
+	// Mode is "interpreted" or "compiled".
+	Mode string `json:"mode"`
+	// Sessions is the number of concurrent sessions driven.
+	Sessions int `json:"sessions"`
+	// Iterations is the per-session traversal count.
+	Iterations int `json:"iterations_per_session"`
+	// Programs is the number of γ programs per traversal.
+	Programs int `json:"gamma_programs"`
+	// NsPerOp is wall-clock nanoseconds per γ execution (aggregate
+	// wall time over all concurrent sessions divided by executions, so
+	// at higher concurrency it reflects throughput, not single-op
+	// latency).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per γ execution (global Mallocs
+	// delta over executions; includes per-traversal environment setup,
+	// which is part of what the pooled path eliminates).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// TranslateReport is the full measurement written to
+// BENCH_translate.json.
+type TranslateReport struct {
+	// Methodology records how the numbers were produced.
+	Methodology string `json:"methodology"`
+	// Points are the measurements, one per (case study, mode,
+	// concurrency).
+	Points []TranslatePoint `json:"points"`
+	// AllocsReduction maps each case study to the fractional allocs/op
+	// reduction of the compiled path at 1 session (0.42 = 42% fewer
+	// allocations than the interpreter).
+	AllocsReduction map[string]float64 `json:"allocs_reduction"`
+}
+
+// translateCase is one benchmark workload: a mediator's γ programs plus
+// representative input messages for its source handles.
+type translateCase struct {
+	name   string
+	merged *automata.Merged
+	inputs func() map[string]*message.Message
+}
+
+func translateCases() []translateCase {
+	return []translateCase{
+		{name: "flickr", merged: casestudy.XMLRPCMediator(), inputs: flickrInputs},
+		{name: "shopping", merged: casestudy.ShoppingMediator(), inputs: shoppingInputs},
+	}
+}
+
+func prim(label, v string) *message.Field {
+	return message.NewPrimitive(label, message.TypeString, v)
+}
+
+// flickrInputs seeds the XMLRPCMediator's source handles (state names
+// follow the builder's m0..mN discipline): the search request and feed,
+// the cache-answered getInfo request, the comments flow and the
+// addComment exchange.
+func flickrInputs() map[string]*message.Message {
+	entry := func(id, title string) *message.Field {
+		return message.NewStruct("entry",
+			prim("id", id), prim("title", title),
+			prim("author", "ayumi"), prim("src", "https://p.example/"+id),
+		)
+	}
+	return map[string]*message.Message{
+		"m1":  message.New("", prim("text", "shibuya"), prim("per_page", "8")),
+		"m4":  message.New("", entry("p1", "crossing"), entry("p2", "tower"), entry("p3", "alley")),
+		"m7":  message.New("", prim("photo_id", "p1")),
+		"m10": message.New("", prim("photo_id", "p1")),
+		"m13": message.New("",
+			message.NewStruct("entry", prim("id", "c1"), prim("summary", "nice shot"), prim("author", "ken")),
+			message.NewStruct("entry", prim("id", "c2"), prim("summary", "great light"), prim("author", "mio")),
+		),
+		"m16": message.New("", prim("photo_id", "p1"), prim("comment_text", "love it")),
+		"m19": message.New("", message.NewStruct("entry", prim("id", "c9"))),
+	}
+}
+
+// shoppingInputs seeds the ShoppingMediator's source handles: the
+// catalog search request and result, the cache-answered product lookup
+// and the checkout cart.
+func shoppingInputs() map[string]*message.Message {
+	item := func(sku, name, price string) *message.Field {
+		return message.NewStruct("item",
+			prim("sku", sku), prim("name", name),
+			prim("price", price), prim("stock", "12"),
+		)
+	}
+	return map[string]*message.Message{
+		"m1": message.New("", prim("keywords", "espresso machine"), prim("max", "8")),
+		"m4": message.New("", message.NewStruct("result",
+			item("sku-1", "lever machine", "649.00"),
+			item("sku-2", "burr grinder", "129.00"),
+			item("sku-3", "tamper", "24.50"),
+		)),
+		"m7": message.New("", prim("sku", "sku-1")),
+		"m10": message.New("", prim("customer", "c-42"),
+			message.NewStruct("lines",
+				message.NewStruct("line", prim("sku", "sku-1"), prim("qty", "1")),
+				message.NewStruct("line", prim("sku", "sku-3"), prim("qty", "2")),
+			)),
+		"m13": message.New("", prim("id", "ord-7"), prim("total", "698.00")),
+	}
+}
+
+// stripMTLComments mirrors the engine's pre-parse comment stripping.
+func stripMTLComments(src string) string {
+	lines := strings.Split(src, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "#") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// gammaPrograms parses and compiles every γ program of a merged
+// automaton, in transition order.
+func gammaPrograms(m *automata.Merged) ([]*mtl.Program, []*mtl.CompiledProgram, error) {
+	handles := make([]string, len(m.States))
+	for i, st := range m.States {
+		handles[i] = st.Name
+	}
+	var progs []*mtl.Program
+	var cprogs []*mtl.CompiledProgram
+	for _, t := range m.Transitions {
+		if t.Kind != automata.KindGamma {
+			continue
+		}
+		p, err := mtl.Parse(stripMTLComments(t.MTL))
+		if err != nil {
+			return nil, nil, fmt.Errorf("γ %s->%s: %w", t.From, t.To, err)
+		}
+		cp, err := mtl.Compile(p, mtl.CompileOptions{Handles: handles})
+		if err != nil {
+			return nil, nil, fmt.Errorf("compile γ %s->%s: %w", t.From, t.To, err)
+		}
+		progs = append(progs, p)
+		cprogs = append(cprogs, cp)
+	}
+	return progs, cprogs, nil
+}
+
+// runTranslate drives one (case, mode, concurrency) configuration and
+// returns ns/op and allocs/op per γ execution.
+func runTranslate(cs translateCase, sessions, iterations int, compiled bool) (float64, float64, error) {
+	progs, cprogs, err := gammaPrograms(cs.merged)
+	if err != nil {
+		return 0, 0, err
+	}
+	states := cs.merged.States
+	session := func() error {
+		cache := &mtl.Cache{Limit: 128}
+		ins := cs.inputs()
+		if compiled {
+			// Pooled path: one Env for the whole session, target
+			// messages recycled across traversals — the engine's
+			// steady-state behaviour.
+			env := mtl.NewEnv(cache)
+			bound := make([]*message.Message, len(states))
+			for it := 0; it < iterations; it++ {
+				env.Reset()
+				for i, st := range states {
+					if in, ok := ins[st.Name]; ok {
+						env.Bind(st.Name, in)
+						continue
+					}
+					msg := bound[i]
+					if msg == nil {
+						msg = message.New("")
+						bound[i] = msg
+					} else {
+						msg.Name = ""
+						msg.Fields = msg.Fields[:0]
+					}
+					env.Bind(st.Name, msg)
+				}
+				for _, cp := range cprogs {
+					env.Host = ""
+					if err := cp.Exec(env); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		// Interpreted baseline: a fresh Env and fresh target messages
+		// per traversal — the engine's behaviour before the compiled
+		// pipeline.
+		for it := 0; it < iterations; it++ {
+			env := mtl.NewEnv(cache)
+			for _, st := range states {
+				if in, ok := ins[st.Name]; ok {
+					env.Bind(st.Name, in)
+					continue
+				}
+				env.Bind(st.Name, message.New(""))
+			}
+			for _, p := range progs {
+				env.Host = ""
+				if err := p.Exec(env); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := session(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	close(errs)
+	for err := range errs {
+		return 0, 0, err
+	}
+	ops := float64(sessions * iterations * len(progs))
+	return float64(elapsed.Nanoseconds()) / ops, float64(ms1.Mallocs-ms0.Mallocs) / ops, nil
+}
+
+// MeasureTranslateOverhead measures interpreted vs compiled γ execution
+// for both case studies at the given session concurrencies. iterations
+// is the per-session traversal count (each traversal executes every γ
+// program of the mediator once).
+func MeasureTranslateOverhead(sessionCounts []int, iterations int) (*TranslateReport, error) {
+	report := &TranslateReport{
+		Methodology: "Direct γ-program execution, no network or codec time: each session " +
+			"binds representative input messages, then runs every γ program of the mediator " +
+			"per traversal. Interpreted mode allocates a fresh Env and fresh target messages " +
+			"per traversal (the pre-compilation engine behaviour); compiled mode reuses one " +
+			"pooled Env and recycled target messages (the current engine behaviour). " +
+			"ns_per_op is aggregate wall time over executions; allocs_per_op is the global " +
+			"heap-allocation (Mallocs) delta over executions. allocs_reduction compares " +
+			"allocs/op at 1 session.",
+		AllocsReduction: map[string]float64{},
+	}
+	base := map[string]float64{}
+	for _, cs := range translateCases() {
+		progs, _, err := gammaPrograms(cs.merged)
+		if err != nil {
+			return nil, err
+		}
+		for _, compiled := range []bool{false, true} {
+			mode := "interpreted"
+			if compiled {
+				mode = "compiled"
+			}
+			for _, sessions := range sessionCounts {
+				// Warm-up run absorbs one-time costs (lazy globals,
+				// first-touch growth) outside the measured window.
+				if _, _, err := runTranslate(cs, sessions, iterations/4+1, compiled); err != nil {
+					return nil, err
+				}
+				ns, allocs, err := runTranslate(cs, sessions, iterations, compiled)
+				if err != nil {
+					return nil, err
+				}
+				report.Points = append(report.Points, TranslatePoint{
+					CaseStudy: cs.name, Mode: mode, Sessions: sessions,
+					Iterations: iterations, Programs: len(progs),
+					NsPerOp: ns, AllocsPerOp: allocs,
+				})
+				if sessions == 1 {
+					if !compiled {
+						base[cs.name] = allocs
+					} else if b := base[cs.name]; b > 0 {
+						report.AllocsReduction[cs.name] = (b - allocs) / b
+					}
+				}
+			}
+		}
+	}
+	return report, nil
+}

@@ -41,6 +41,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 
 	"starlink/internal/mdl"
 	"starlink/internal/message"
@@ -376,12 +377,21 @@ func (c *Codec) Compose(msg *message.Message) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", mdl.ErrUnknownMessage, msg.Name)
 	}
-	w := &bitWriter{}
+	w := writerPool.Get().(*bitWriter)
+	defer writerPool.Put(w)
+	w.reset()
 	if err := composeItems(w, cm, cm.items, msg.Fields); err != nil {
 		return nil, err
 	}
-	return w.bytes(), nil
+	// Copy out: the caller (and the engine's fault-recovery replay)
+	// retains the wire bytes, while w's scratch goes back to the pool.
+	return append([]byte(nil), w.bytes()...), nil
 }
+
+// writerPool recycles bitWriter scratch buffers across Compose calls;
+// reset keeps the grown capacity, so steady-state composition costs one
+// right-sized copy instead of regrowing the buffer per message.
+var writerPool = sync.Pool{New: func() any { return &bitWriter{} }}
 
 // composeItems encodes an item list reading values from scope (the
 // message's top-level fields, or one repeated item's children).
@@ -681,6 +691,18 @@ type bitWriter struct {
 }
 
 func (w *bitWriter) bytes() []byte { return w.buf }
+
+// reset rewinds the writer for reuse, keeping the grown capacity.
+// Truncating (not zeroing) is safe because ensure appends explicit zero
+// bytes before any bit is OR-ed in.
+func (w *bitWriter) reset() {
+	const maxRetain = 64 << 10
+	if cap(w.buf) > maxRetain {
+		w.buf = nil
+	}
+	w.buf = w.buf[:0]
+	w.bitPos = 0
+}
 
 func (w *bitWriter) ensure(bits int) {
 	need := (w.bitPos + bits + 7) / 8

@@ -36,6 +36,7 @@ import (
 
 	"starlink/internal/mdl"
 	"starlink/internal/message"
+	"starlink/internal/protocol/bufpool"
 )
 
 // Errors reported by the XML engine.
@@ -198,13 +199,14 @@ func (c *Codec) Compose(msg *message.Message) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", mdl.ErrUnknownMessage, msg.Name)
 	}
-	var b bytes.Buffer
+	b := bufpool.Get()
+	defer bufpool.Put(b)
 	b.WriteString(xml.Header)
 	root := message.NewStruct(cm.root, msg.Fields...)
-	if err := encodeField(&b, root, cm.attrs); err != nil {
+	if err := encodeField(b, root, cm.attrs); err != nil {
 		return nil, err
 	}
-	return b.Bytes(), nil
+	return bufpool.Bytes(b), nil
 }
 
 func encodeField(b *bytes.Buffer, f *message.Field, extraAttrs []xml.Attr) error {
@@ -269,9 +271,36 @@ func DecodeTree(data []byte) (*message.Field, error) { return decodeTree(data) }
 
 // EncodeField exposes the generic field -> XML mapping for protocol codecs.
 func EncodeField(f *message.Field) (string, error) {
-	var b bytes.Buffer
-	if err := encodeField(&b, f, nil); err != nil {
+	b := bufpool.Get()
+	defer bufpool.Put(b)
+	if err := encodeField(b, f, nil); err != nil {
 		return "", err
 	}
 	return b.String(), nil
+}
+
+// EncodeInto renders f into b with the same mapping as EncodeField,
+// letting callers that assemble larger documents reuse one buffer.
+func EncodeInto(b *bytes.Buffer, f *message.Field) error {
+	return encodeField(b, f, nil)
+}
+
+// docHeader is the XML declaration the RPC protocol layers emit (they
+// predate encoding declarations; xml.Header is the MDL codec's form).
+const docHeader = `<?xml version="1.0"?>` + "\n"
+
+// EncodeDoc renders f as a standalone document — XML declaration plus
+// the encoded element — through the shared encode-buffer pool, returning
+// a right-sized copy. It is the one-call replacement for the
+// EncodeField-then-concatenate pattern in the XML protocol layers
+// (XML-RPC, SOAP, Atom), which allocated the string, the concatenation
+// and the []byte conversion separately.
+func EncodeDoc(f *message.Field) ([]byte, error) {
+	b := bufpool.Get()
+	defer bufpool.Put(b)
+	b.WriteString(docHeader)
+	if err := encodeField(b, f, nil); err != nil {
+		return nil, err
+	}
+	return bufpool.Bytes(b), nil
 }

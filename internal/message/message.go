@@ -122,37 +122,55 @@ func normalize(t Type, v any) any {
 	if v == nil {
 		return nil
 	}
+	// Already-canonical values are returned as the original interface —
+	// `return x` would re-box the concrete value into a fresh `any`,
+	// costing an allocation on every Set that overwrites a field.
 	switch t {
 	case TypeString:
 		switch x := v.(type) {
 		case string:
-			return x
+			return v
 		case []byte:
 			return string(x)
 		default:
 			return fmt.Sprint(x)
 		}
 	case TypeInt32, TypeInt64:
+		if _, ok := v.(int64); ok {
+			return v
+		}
 		return toInt64(v)
 	case TypeUint32, TypeUint64:
+		if _, ok := v.(uint64); ok {
+			return v
+		}
 		return toUint64(v)
 	case TypeBool:
-		if b, ok := v.(bool); ok {
-			return b
+		if _, ok := v.(bool); ok {
+			return v
 		}
 		s := fmt.Sprint(v)
 		return s == "true" || s == "1"
 	case TypeFloat64:
+		if _, ok := v.(float64); ok {
+			return v
+		}
 		return toFloat64(v)
 	case TypeBytes:
 		switch x := v.(type) {
 		case []byte:
-			return x
+			return v
 		case string:
 			return []byte(x)
+		default:
+			return []byte(fmt.Sprint(x))
 		}
 	}
-	return v
+	// Unknown or structured type: render to a string rather than admit an
+	// arbitrary (possibly mutable, alias-prone) Go value as a field Value.
+	// The Value invariant — string, int64, uint64, bool, float64 or []byte —
+	// is what lets Clone guarantee deep copies.
+	return fmt.Sprint(v)
 }
 
 func toInt64(v any) int64 {
@@ -248,12 +266,20 @@ func (f *Field) Clone() *Field {
 		LengthBits: f.LengthBits,
 		Mandatory:  f.Mandatory,
 	}
-	if b, ok := f.Value.([]byte); ok {
-		nb := make([]byte, len(b))
-		copy(nb, b)
-		cp.Value = nb
-	} else {
+	switch v := f.Value.(type) {
+	case nil, string, int64, uint64, bool, float64,
+		int, int8, int16, int32, uint, uint8, uint16, uint32, float32:
+		// Immutable scalars are safe to share.
 		cp.Value = f.Value
+	case []byte:
+		nb := make([]byte, len(v))
+		copy(nb, v)
+		cp.Value = nb
+	default:
+		// A directly-constructed Field can smuggle in a slice/map-typed
+		// Value that normalize never saw; canonicalise it so the clone
+		// never aliases mutable state with the original.
+		cp.Value = normalize(f.Type, v)
 	}
 	if f.Children != nil {
 		cp.Children = make([]*Field, len(f.Children))
@@ -356,61 +382,54 @@ func (m *Message) Add(fields ...*Field) *Message {
 	return m
 }
 
-// pathStep is one parsed component of a field path: a label plus an
-// optional [index].
-type pathStep struct {
-	label string
-	index int // -1 when absent
-}
-
-func parsePath(path string) ([]pathStep, error) {
-	if path == "" {
-		return nil, fmt.Errorf("empty field path: %w", ErrNoSuchField)
+// splitIndex separates one path component into its label and optional
+// [n] index (-1 when absent), without allocating.
+func splitIndex(p string) (string, int, error) {
+	i := strings.IndexByte(p, '[')
+	if i < 0 {
+		return p, -1, nil
 	}
-	parts := strings.Split(path, ".")
-	steps := make([]pathStep, 0, len(parts))
-	for _, p := range parts {
-		step := pathStep{label: p, index: -1}
-		if i := strings.IndexByte(p, '['); i >= 0 {
-			if !strings.HasSuffix(p, "]") {
-				return nil, fmt.Errorf("malformed index in path element %q", p)
-			}
-			n, err := strconv.Atoi(p[i+1 : len(p)-1])
-			if err != nil {
-				return nil, fmt.Errorf("malformed index in path element %q: %v", p, err)
-			}
-			step.label = p[:i]
-			step.index = n
-		}
-		steps = append(steps, step)
+	if !strings.HasSuffix(p, "]") {
+		return "", 0, fmt.Errorf("malformed index in path element %q", p)
 	}
-	return steps, nil
+	n, err := strconv.Atoi(p[i+1 : len(p)-1])
+	if err != nil {
+		return "", 0, fmt.Errorf("malformed index in path element %q: %v", p, err)
+	}
+	return p[:i], n, nil
 }
 
 // Lookup resolves a dotted path like "Body.entry[2].id" to a field.
 // Each component names a child; an optional [n] suffix selects the n-th
 // child with that label (0-based). An empty label with an index ("[2]")
-// selects the n-th child regardless of label.
+// selects the n-th child regardless of label. A successful Lookup does
+// not allocate: path components are scanned in place rather than split
+// into a step slice.
 func (m *Message) Lookup(path string) (*Field, error) {
-	steps, err := parsePath(path)
-	if err != nil {
-		return nil, err
+	if path == "" {
+		return nil, fmt.Errorf("empty field path: %w", ErrNoSuchField)
 	}
 	var cur *Field
 	children := m.Fields
-	for si, step := range steps {
+	rest := path
+	for si := 0; ; si++ {
+		part, tail, more := strings.Cut(rest, ".")
+		label, index, err := splitIndex(part)
+		if err != nil {
+			return nil, err
+		}
 		cur = nil
-		if step.label == "" && step.index >= 0 {
-			if step.index < len(children) {
-				cur = children[step.index]
+		if label == "" && index >= 0 {
+			if index < len(children) {
+				cur = children[index]
 			}
 		} else {
 			seen := 0
 			for _, c := range children {
-				if c.Label != step.label {
+				if c.Label != label {
 					continue
 				}
-				if step.index < 0 || seen == step.index {
+				if index < 0 || seen == index {
 					cur = c
 					break
 				}
@@ -418,11 +437,14 @@ func (m *Message) Lookup(path string) (*Field, error) {
 			}
 		}
 		if cur == nil {
-			return nil, fmt.Errorf("%w: %q (element %d of %q)", ErrNoSuchField, step.label, si, path)
+			return nil, fmt.Errorf("%w: %q (element %d of %q)", ErrNoSuchField, label, si, path)
+		}
+		if !more {
+			return cur, nil
 		}
 		children = cur.Children
+		rest = tail
 	}
-	return cur, nil
 }
 
 // Get returns the value of the primitive field at path.
@@ -490,41 +512,45 @@ func (f *Field) ValueString() string {
 
 // Set assigns a value to the primitive field at path, creating the path
 // (as structured fields) if it does not exist. The final component becomes
-// a primitive field of type t.
+// a primitive field of type t. Like Lookup, Set scans path components in
+// place: overwriting an existing field does not allocate.
 func (m *Message) Set(path string, t Type, value any) error {
-	steps, err := parsePath(path)
-	if err != nil {
-		return err
+	if path == "" {
+		return fmt.Errorf("empty field path: %w", ErrNoSuchField)
 	}
 	children := &m.Fields
-	var cur *Field
-	for si, step := range steps {
-		last := si == len(steps)-1
-		cur = nil
+	rest := path
+	for {
+		part, tail, more := strings.Cut(rest, ".")
+		label, index, err := splitIndex(part)
+		if err != nil {
+			return err
+		}
+		var cur *Field
 		seen := 0
 		for _, c := range *children {
-			if c.Label != step.label {
+			if c.Label != label {
 				continue
 			}
-			if step.index < 0 || seen == step.index {
+			if index < 0 || seen == index {
 				cur = c
 				break
 			}
 			seen++
 		}
 		if cur == nil {
-			if step.index > seen {
+			if index > seen {
 				return fmt.Errorf("%w: cannot create %q at index %d (only %d present)",
-					ErrNoSuchField, step.label, step.index, seen)
+					ErrNoSuchField, label, index, seen)
 			}
-			if last {
-				cur = NewPrimitive(step.label, t, value)
+			if !more {
+				cur = NewPrimitive(label, t, value)
 			} else {
-				cur = NewStruct(step.label)
+				cur = NewStruct(label)
 			}
 			*children = append(*children, cur)
 		}
-		if last {
+		if !more {
 			if !cur.Type.Primitive() {
 				return fmt.Errorf("%q: %w", path, ErrNotPrimitive)
 			}
@@ -533,11 +559,11 @@ func (m *Message) Set(path string, t Type, value any) error {
 			return nil
 		}
 		if cur.Type.Primitive() {
-			return fmt.Errorf("%q: %w", strings.Join([]string{step.label}, "."), ErrNotStructured)
+			return fmt.Errorf("%q: %w", label, ErrNotStructured)
 		}
 		children = &cur.Children
+		rest = tail
 	}
-	return nil
 }
 
 // SetField replaces (or appends) the top-level field with f's label.

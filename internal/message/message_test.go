@@ -147,6 +147,32 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+// TestCloneDirectValueNotShared is the regression test for clones
+// aliasing mutable state: a directly-constructed Field (no NewPrimitive,
+// so normalize never ran) can carry a slice- or map-typed Value. Clone
+// must canonicalise such a value, never share the reference.
+func TestCloneDirectValueNotShared(t *testing.T) {
+	tags := []string{"a", "b"}
+	f := &Field{Label: "tags", Type: TypeString, Value: tags}
+	cp := f.Clone()
+	tags[0] = "mutated"
+	if s, ok := cp.Value.(string); !ok || strings.Contains(s, "mutated") {
+		t.Errorf("clone shares slice-typed Value with original: %#v", cp.Value)
+	}
+
+	meta := map[string]string{"k": "v"}
+	f = &Field{Label: "meta", Type: TypeBytes, Value: meta}
+	cp = f.Clone()
+	b, ok := cp.Value.([]byte)
+	if !ok {
+		t.Fatalf("clone did not canonicalise map-typed Value to []byte: %#v", cp.Value)
+	}
+	meta["k"] = "mutated"
+	if strings.Contains(string(b), "mutated") {
+		t.Error("clone shares map-typed Value with original")
+	}
+}
+
 func TestCloneBytesIndependence(t *testing.T) {
 	m := New("M", NewPrimitive("raw", TypeBytes, []byte{1, 2, 3}))
 	cp := m.Clone()

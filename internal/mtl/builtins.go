@@ -72,7 +72,9 @@ func builtinCache(env *Env, args []any) (any, error) {
 		return nil, errors.New("no session cache configured")
 	}
 	key := ValueString(args[0])
-	env.Cache.Put(key, valueToField("cached", args[1]))
+	// valueToField already deep-copies tree arguments, so transfer the
+	// fresh tree to the cache instead of cloning a second time.
+	env.Cache.putOwned(key, valueToField("cached", args[1]))
 	return nil, nil
 }
 

@@ -1,0 +1,896 @@
+package mtl
+
+// Compiled translation fast path (DESIGN.md §12).
+//
+// Parse produces an AST the tree-walking interpreter in mtl.go executes
+// directly; every Exec then re-resolves message handles through the
+// Messages map, re-resolves function names through two map lookups, and
+// defensively deep-clones every field tree it grafts. Compile lowers a
+// parsed Program into a resolved form executed by CompiledProgram.Exec:
+//
+//   - message handles and local variables are interned into integer
+//     slots, so a statement touches a map at most once per distinct
+//     handle per Exec (when the slot table is seeded) instead of once
+//     per path step;
+//   - builtin and configured functions are bound to direct references
+//     at compile time (unknown names still fail at execution time, like
+//     the interpreter, so `try unknown()` keeps its semantics);
+//   - calls of pure builtins over literal arguments are constant-folded;
+//   - a tree freshly produced by a direct newstruct/newarray call and
+//     consumed immediately by a graft is transferred instead of cloned
+//     (it provably has no other reference); trees read back out of
+//     variables always clone on graft, exactly like the interpreter —
+//     eliding those clones can be observed through aliases and can even
+//     build cyclic trees (`p.s = p`);
+//   - in programs that never mutate variables and call only builtins,
+//     getcache reads through the session cache (Cache.Peek) instead of
+//     cloning the stored tree; the result is marked copy-on-write as a
+//     second line of defence;
+//   - scalar overwrites of existing fields update the field in place
+//     instead of building a replacement node;
+//   - per-execution scratch (argument arena, foreach item snapshots,
+//     variable slots) lives in the Env and is reused across Execs, so a
+//     pooled Env executes a compiled program with a small constant
+//     number of allocations beyond the field nodes it creates.
+//
+// Semantics are identical to the interpreter; FuzzCompile asserts that
+// compiled and interpreted execution produce the same message trees,
+// variables, host retarget and success/failure outcome on arbitrary
+// parsed programs. The one deliberate caveat is a compile-time decision:
+// functions are resolved against CompileOptions.Funcs rather than the
+// Env's map at each call, so the executing Env should carry the same
+// function table the program was compiled with.
+
+import (
+	"fmt"
+
+	"starlink/internal/message"
+)
+
+// CompileOptions configures Compile.
+type CompileOptions struct {
+	// Handles is the set of message-handle names (for the engine: the
+	// merged automaton's state names). A path root in this set addresses
+	// a message in the Env; any other root is a local variable. The
+	// interpreter makes the same decision dynamically against
+	// Env.Messages, so an Env executing the compiled program should bind
+	// exactly these handles.
+	Handles []string
+	// Funcs are the extra functions available to the program, shadowing
+	// builtins by name — the same map the executing Env will carry.
+	// Compiled programs bind functions at compile time.
+	Funcs map[string]Func
+}
+
+// CompiledProgram is the executable form produced by Compile.
+// It is immutable after Compile and safe for concurrent Exec from many
+// goroutines (each against its own Env).
+type CompiledProgram struct {
+	src      string
+	prog     *Program
+	stmts    []cStmt
+	handles  []string // slot -> handle name
+	varNames []string // slot -> variable name
+}
+
+// Source returns the original program text.
+func (p *CompiledProgram) Source() string { return p.src }
+
+// Program returns the parsed program the compiled form was lowered
+// from (the interpreter fallback).
+func (p *CompiledProgram) Program() *Program { return p.prog }
+
+// Handles returns the message-handle names the program references.
+func (p *CompiledProgram) Handles() []string { return append([]string(nil), p.handles...) }
+
+// cval is one variable slot.
+//
+// cow (copy-on-write) marks a tree shared with the session cache (a
+// Cache.Peek result): mutating it through the variable clones it first.
+// A slot without cow aliases whatever tree it was bound to; reads and
+// mutations write through — the interpreter's semantics for
+// `v = m1.Msg.sub` — and grafting it into a message clones, exactly like
+// the interpreter.
+type cval struct {
+	v   any
+	set bool
+	cow bool
+}
+
+// cres is one evaluated expression result.
+//
+// owned is set ONLY for a tree freshly produced by the expression itself
+// (a direct newstruct/newarray call): such a tree provably has no other
+// reference, so a graft consuming it directly may transfer it without
+// the interpreter's defensive clone. Values read out of variable slots
+// are never owned — a variable's tree can be aliased by other variables,
+// by the program text later on, or (if transferred) observed through
+// message mutations, all of which would diverge from the interpreter's
+// clone-on-graft semantics (and a self-graft like `p.s = p` would even
+// build a cyclic tree).
+type cres struct {
+	v     any
+	owned bool
+	cow   bool
+}
+
+// cframe is the per-execution scratch state, reused across Execs of the
+// same Env.
+type cframe struct {
+	env   *Env
+	msgs  []*message.Message // handle slot -> bound message
+	vars  []cval             // variable slot -> value
+	args  []any              // argument arena (stack discipline)
+	iters []*message.Field   // foreach item snapshots (stack discipline)
+	busy  bool
+}
+
+type cStmt interface{ exec(fr *cframe) error }
+type cExpr interface {
+	eval(fr *cframe) (cres, error)
+}
+
+// Exec runs the compiled program against env. Variable slots are seeded
+// from env.Vars and written back when Exec returns, so local variables
+// still flow between programs sharing one Env, as they do under the
+// interpreter.
+func (p *CompiledProgram) Exec(env *Env) error {
+	if env.Vars == nil {
+		env.Vars = make(map[string]any)
+	}
+	if env.Messages == nil {
+		env.Messages = make(map[string]*message.Message)
+	}
+	fr := env.frame
+	if fr == nil {
+		fr = &cframe{}
+		env.frame = fr
+	} else if fr.busy {
+		// Re-entrant Exec (a Func running a program against its own
+		// env): give the nested run its own frame.
+		fr = &cframe{}
+	}
+	fr.busy = true
+	fr.env = env
+	fr.args = fr.args[:0]
+	fr.iters = fr.iters[:0]
+	if cap(fr.msgs) < len(p.handles) {
+		fr.msgs = make([]*message.Message, len(p.handles))
+	} else {
+		fr.msgs = fr.msgs[:len(p.handles)]
+	}
+	for i, h := range p.handles {
+		fr.msgs[i] = env.Messages[h]
+	}
+	if cap(fr.vars) < len(p.varNames) {
+		fr.vars = make([]cval, len(p.varNames))
+	} else {
+		fr.vars = fr.vars[:len(p.varNames)]
+		for i := range fr.vars {
+			fr.vars[i] = cval{}
+		}
+	}
+	for i, name := range p.varNames {
+		if v, ok := env.Vars[name]; ok {
+			fr.vars[i] = cval{v: v, set: true}
+		}
+	}
+	defer func() {
+		for i, name := range p.varNames {
+			if fr.vars[i].set {
+				env.Vars[name] = fr.vars[i].v
+			}
+		}
+		fr.busy = false
+	}()
+	for _, s := range p.stmts {
+		if err := s.exec(fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- compiled statements ----
+
+type cAssignVar struct {
+	slot int
+	rhs  cExpr
+}
+
+func (s *cAssignVar) exec(fr *cframe) error {
+	res, err := s.rhs.eval(fr)
+	if err != nil {
+		return err
+	}
+	fr.vars[s.slot] = cval{v: res.v, set: true, cow: res.cow}
+	return nil
+}
+
+type cAssignVarPath struct {
+	slot  int
+	root  string
+	steps []pathStep // steps after the root; empty means malformed lvalue
+	rhs   cExpr
+	text  string
+}
+
+func (s *cAssignVarPath) exec(fr *cframe) error {
+	res, err := s.rhs.eval(fr)
+	if err != nil {
+		return err
+	}
+	sv := &fr.vars[s.slot]
+	if !sv.set {
+		if v, ok := fr.env.Vars[s.root]; ok {
+			*sv = cval{v: v, set: true}
+		}
+	}
+	f, isField := sv.v.(*message.Field)
+	if !sv.set || !isField || len(s.steps) == 0 {
+		return fmt.Errorf("%w: assign %s: unknown message %q", ErrExec, s.text, s.root)
+	}
+	if sv.cow {
+		// The tree is shared with the session cache; mutate a private
+		// copy (the interpreter's getcache cloned eagerly).
+		f = f.Clone()
+		sv.v, sv.cow = f, false
+	}
+	return csetSteps(&f.Children, s.steps, res, s.text)
+}
+
+type cAssignMsg struct {
+	slot  int
+	root  string
+	steps []pathStep // the full lvalue path including the root step
+	rhs   cExpr
+	text  string
+}
+
+func (s *cAssignMsg) exec(fr *cframe) error {
+	res, err := s.rhs.eval(fr)
+	if err != nil {
+		return err
+	}
+	msg := fr.msgs[s.slot]
+	if msg == nil {
+		return fmt.Errorf("%w: assign %s: unknown message %q", ErrExec, s.text, s.root)
+	}
+	if len(s.steps) < 2 {
+		return fmt.Errorf("%w: assign %s: need a message name component", ErrExec, s.text)
+	}
+	if name := s.steps[1].label; !isMsgWildcard(name) {
+		if msg.Name == "" {
+			msg.Name = name
+		} else if msg.Name != name {
+			return fmt.Errorf("%w: assign %s: message at %q is %q, not %q",
+				ErrExec, s.text, s.root, msg.Name, name)
+		}
+	}
+	if len(s.steps) == 2 {
+		f, ok := res.v.(*message.Field)
+		if !ok {
+			return fmt.Errorf("%w: assign %s: whole-message assignment needs a field tree", ErrExec, s.text)
+		}
+		if res.owned {
+			msg.Fields = f.Children
+		} else {
+			msg.Fields = f.Clone().Children
+		}
+		return nil
+	}
+	return csetSteps(&msg.Fields, s.steps[2:], res, s.text)
+}
+
+type cCallStmt struct{ call cExpr }
+
+func (s *cCallStmt) exec(fr *cframe) error {
+	_, err := s.call.eval(fr)
+	return err
+}
+
+// cNop replaces a statement-level call that was constant-folded (the
+// fold only happens when the call is pure and already succeeded).
+type cNop struct{}
+
+func (cNop) exec(*cframe) error { return nil }
+
+type cTry struct{ inner cStmt }
+
+func (s *cTry) exec(fr *cframe) error {
+	_ = s.inner.exec(fr)
+	return nil
+}
+
+// cErr is a statement whose malformedness is only detectable with the
+// whole-path context; it mirrors the interpreter's runtime error so a
+// `try` still swallows it.
+type cErr struct{ err error }
+
+func (s *cErr) exec(*cframe) error { return s.err }
+
+type cForeach struct {
+	// Source: a message handle (srcIsMsg) or a variable slot.
+	srcIsMsg bool
+	srcSlot  int
+	srcRoot  string
+	msgName  string     // message-name component for handle sources
+	mid      []pathStep // navigation between root and the final label
+	last     pathStep
+	varSlot  int
+	body     []cStmt
+	text     string
+}
+
+func (s *cForeach) exec(fr *cframe) error {
+	var children []*message.Field
+	cowSrc := false
+	if s.srcIsMsg {
+		msg := fr.msgs[s.srcSlot]
+		if msg == nil {
+			return fmt.Errorf("%w: foreach source %q: unknown root %q", ErrExec, s.text, s.srcRoot)
+		}
+		if !nameMatches(msg.Name, s.msgName) {
+			return fmt.Errorf("%w: foreach source %q: message at %q is %q, not %q",
+				ErrExec, s.text, s.srcRoot, msg.Name, s.msgName)
+		}
+		children = msg.Fields
+	} else {
+		sv := &fr.vars[s.srcSlot]
+		if !sv.set {
+			if v, ok := fr.env.Vars[s.srcRoot]; ok {
+				*sv = cval{v: v, set: true}
+			} else {
+				return fmt.Errorf("%w: foreach source %q: unknown root %q", ErrExec, s.text, s.srcRoot)
+			}
+		}
+		f, ok := sv.v.(*message.Field)
+		if !ok {
+			return fmt.Errorf("%w: foreach source %q: not a field tree", ErrExec, s.text)
+		}
+		children = f.Children
+		cowSrc = sv.cow
+	}
+	if len(s.mid) > 0 {
+		parent, err := clookupSteps(children, s.mid)
+		if err != nil {
+			return fmt.Errorf("%w: foreach source %q: %v", ErrExec, s.text, err)
+		}
+		children = parent.Children
+	}
+	// Snapshot the matched set before the body runs: a body that appends
+	// matching siblings must not extend the iteration (mtl.go's
+	// resolveAll gives foreach the same semantics).
+	base := len(fr.iters)
+	seen := 0
+	for _, c := range children {
+		if c.Label != s.last.label {
+			continue
+		}
+		if s.last.index >= 0 {
+			if seen == s.last.index {
+				fr.iters = append(fr.iters, c)
+				break
+			}
+			seen++
+			continue
+		}
+		fr.iters = append(fr.iters, c)
+	}
+	n := len(fr.iters) - base
+	saved := fr.vars[s.varSlot]
+	defer func() {
+		fr.vars[s.varSlot] = saved
+		fr.iters = fr.iters[:base]
+	}()
+	for i := 0; i < n; i++ {
+		fr.vars[s.varSlot] = cval{v: fr.iters[base+i], set: true, cow: cowSrc}
+		for _, st := range s.body {
+			if err := st.exec(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---- compiled expressions ----
+
+type cLit struct{ val any }
+
+func (e *cLit) eval(*cframe) (cres, error) { return cres{v: e.val, owned: true}, nil }
+
+type cPath struct {
+	isMsg   bool
+	slot    int
+	root    string
+	msgName string     // message-name component for handle roots ("" when the path stops at the root)
+	hasName bool       // a second component exists
+	rest    []pathStep // navigation after root (and message name, for handles)
+	text    string
+}
+
+func (e *cPath) eval(fr *cframe) (cres, error) {
+	if e.isMsg {
+		msg := fr.msgs[e.slot]
+		if msg == nil {
+			return cres{}, fmt.Errorf("%w: %s: unknown message or variable %q", ErrExec, e.text, e.root)
+		}
+		if !e.hasName {
+			return cres{v: message.NewStruct(msg.Name, msg.Fields...)}, nil
+		}
+		if !nameMatches(msg.Name, e.msgName) {
+			return cres{}, fmt.Errorf("%w: %s: message at %q is %q, not %q",
+				ErrExec, e.text, e.root, msg.Name, e.msgName)
+		}
+		if len(e.rest) == 0 {
+			return cres{v: message.NewStruct(msg.Name, msg.Fields...)}, nil
+		}
+		f, err := clookupSteps(msg.Fields, e.rest)
+		if err != nil {
+			return cres{}, fmt.Errorf("%w: %s: %v", ErrExec, e.text, err)
+		}
+		return cres{v: fieldValue(f)}, nil
+	}
+	sv := &fr.vars[e.slot]
+	if !sv.set {
+		if v, ok := fr.env.Vars[e.root]; ok {
+			*sv = cval{v: v, set: true}
+		} else {
+			return cres{}, fmt.Errorf("%w: %s: unknown message or variable %q", ErrExec, e.text, e.root)
+		}
+	}
+	if len(e.rest) == 0 {
+		return cres{v: sv.v, cow: sv.cow}, nil
+	}
+	f, ok := sv.v.(*message.Field)
+	if !ok {
+		return cres{}, fmt.Errorf("%w: %s: variable %q is not a field tree", ErrExec, e.text, e.root)
+	}
+	sub, err := clookupSteps(f.Children, e.rest)
+	if err != nil {
+		return cres{}, fmt.Errorf("%w: %s: %v", ErrExec, e.text, err)
+	}
+	return cres{v: fieldValue(sub), cow: sv.cow}, nil
+}
+
+type cCall struct {
+	name  string
+	fn    Func // nil: unknown at compile time, fails at exec like the interpreter
+	fresh bool // newstruct/newarray: result tree is owned by the execution
+	args  []cExpr
+}
+
+func (e *cCall) eval(fr *cframe) (cres, error) {
+	if e.fn == nil {
+		return cres{}, fmt.Errorf("%w: unknown function %q", ErrExec, e.name)
+	}
+	base := len(fr.args)
+	for _, a := range e.args {
+		r, err := a.eval(fr)
+		if err != nil {
+			fr.args = fr.args[:base]
+			return cres{}, err
+		}
+		fr.args = append(fr.args, r.v)
+	}
+	v, err := e.fn(fr.env, fr.args[base:])
+	fr.args = fr.args[:base]
+	if err != nil {
+		return cres{}, fmt.Errorf("%w: %s(): %w", ErrExec, e.name, err)
+	}
+	return cres{v: v, owned: e.fresh}, nil
+}
+
+// cGetCachePeek is getcache compiled to read through the session cache
+// without cloning the stored tree. Only chosen when the program provably
+// never mutates variables or calls non-builtin functions; the returned
+// tree is marked copy-on-write anyway.
+type cGetCachePeek struct {
+	key cExpr
+}
+
+func (e *cGetCachePeek) eval(fr *cframe) (cres, error) {
+	r, err := e.key.eval(fr)
+	if err != nil {
+		return cres{}, err
+	}
+	if fr.env.Cache == nil {
+		return cres{}, fmt.Errorf("%w: getcache(): no session cache configured", ErrExec)
+	}
+	f, err := fr.env.Cache.Peek(ValueString(r.v))
+	if err != nil {
+		return cres{}, fmt.Errorf("%w: getcache(): %w", ErrExec, err)
+	}
+	return cres{v: f, cow: true}, nil
+}
+
+// ---- compiled navigation and mutation ----
+
+func clookupSteps(children []*message.Field, steps []pathStep) (*message.Field, error) {
+	var cur *message.Field
+	for i := range steps {
+		st := &steps[i]
+		cur = nil
+		seen := 0
+		for _, c := range children {
+			if c.Label != st.label {
+				continue
+			}
+			if st.index < 0 || seen == st.index {
+				cur = c
+				break
+			}
+			seen++
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("no field %q", st.label)
+		}
+		children = cur.Children
+	}
+	return cur, nil
+}
+
+// scalarField maps an evaluated scalar onto its field type and canonical
+// value (the table of valueToField, without building a field).
+func scalarField(val any) (message.Type, any, bool) {
+	switch v := val.(type) {
+	case string:
+		return message.TypeString, v, true
+	case int64:
+		return message.TypeInt64, v, true
+	case uint64:
+		return message.TypeUint64, v, true
+	case float64:
+		return message.TypeFloat64, v, true
+	case bool:
+		return message.TypeBool, v, true
+	case []byte:
+		return message.TypeBytes, v, true
+	case nil:
+		return message.TypeString, "", true
+	}
+	return 0, nil, false
+}
+
+// cvalueToField converts an evaluated value into a graftable field,
+// transferring owned trees instead of cloning them.
+func cvalueToField(label string, res cres) *message.Field {
+	if f, ok := res.v.(*message.Field); ok {
+		if res.owned {
+			f.Label = label
+			return f
+		}
+		cp := f.Clone()
+		cp.Label = label
+		return cp
+	}
+	return valueToField(label, res.v)
+}
+
+// csetSteps is setSteps with ownership-aware grafting and an in-place
+// overwrite fast path for existing scalar targets.
+func csetSteps(children *[]*message.Field, steps []pathStep, res cres, text string) error {
+	for i := range steps {
+		st := &steps[i]
+		last := i == len(steps)-1
+		var cur *message.Field
+		if !st.append {
+			seen := 0
+			for _, c := range *children {
+				if c.Label != st.label {
+					continue
+				}
+				if st.index < 0 || seen == st.index {
+					cur = c
+					break
+				}
+				seen++
+			}
+		}
+		if cur == nil {
+			if last {
+				*children = append(*children, cvalueToField(st.label, res))
+				return nil
+			}
+			cur = message.NewStruct(st.label)
+			*children = append(*children, cur)
+		}
+		if last {
+			if t, v, ok := scalarField(res.v); ok {
+				// Overwrite in place: the interpreter's `*cur = *nf`
+				// resets length, mandatory flag and children too.
+				cur.Type = t
+				cur.Value = v
+				cur.LengthBits = 0
+				cur.Mandatory = false
+				cur.Children = nil
+				return nil
+			}
+			nf := cvalueToField(st.label, res)
+			*cur = *nf
+			return nil
+		}
+		if cur.Type.Primitive() {
+			return fmt.Errorf("%w: assign %s: %q is primitive", ErrExec, text, st.label)
+		}
+		children = &cur.Children
+	}
+	return nil
+}
+
+// ---- compiler ----
+
+// pureBuiltins are side-effect-free builtins whose calls over literal
+// arguments can be folded at compile time.
+var pureBuiltins = map[string]bool{
+	"concat": true, "toint": true, "tostring": true,
+	"urlencode": true, "urldecode": true, "default": true,
+	"add": true, "sub": true, "mul": true, "replace": true,
+	"trim": true, "lower": true, "upper": true, "substr": true,
+}
+
+type compiler struct {
+	handles   map[string]int
+	handleIDs []string
+	vars      map[string]int
+	varIDs    []string
+	funcs     map[string]Func
+
+	// peekSafe: the program has no non-builtin calls (a custom function
+	// could mutate an argument tree) and no variable-path assignments
+	// (no tree reachable from a variable is ever mutated), so getcache
+	// may return the cache's own tree instead of a clone — nothing can
+	// write through it, and grafts always copy.
+	peekSafe bool
+}
+
+// Compile lowers a parsed program into its compiled form. It never
+// fails on a program produced by Parse; the error return guards against
+// future unsupported constructs.
+func Compile(p *Program, opts CompileOptions) (*CompiledProgram, error) {
+	c := &compiler{
+		handles: make(map[string]int),
+		vars:    make(map[string]int),
+		funcs:   opts.Funcs,
+	}
+	handleSet := make(map[string]bool, len(opts.Handles))
+	for _, h := range opts.Handles {
+		handleSet[h] = true
+	}
+	c.peekSafe = c.analyze(p.stmts, handleSet)
+	stmts := make([]cStmt, 0, len(p.stmts))
+	for _, s := range p.stmts {
+		cs, err := c.stmt(s, handleSet)
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, cs)
+	}
+	return &CompiledProgram{
+		src:      p.src,
+		prog:     p,
+		stmts:    stmts,
+		handles:  c.handleIDs,
+		varNames: c.varIDs,
+	}, nil
+}
+
+// analyze scans the program for the properties that gate the getcache
+// Peek fast path.
+func (c *compiler) analyze(stmts []Stmt, handleSet map[string]bool) (peekSafe bool) {
+	peekSafe = true
+	noCustomCalls := true
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		call, ok := e.(*callExpr)
+		if !ok {
+			return
+		}
+		if _, shadowed := c.funcs[call.name]; shadowed {
+			noCustomCalls = false
+		} else if _, isBuiltin := builtins[call.name]; !isBuiltin {
+			noCustomCalls = false
+		}
+		for _, a := range call.args {
+			walkExpr(a)
+		}
+	}
+	var walkStmt func(s Stmt)
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *assignStmt:
+			root := st.lhs.steps[0]
+			if !handleSet[root.label] && (len(st.lhs.steps) > 1 || root.append) {
+				peekSafe = false
+			}
+			walkExpr(st.rhs)
+		case *callStmt:
+			walkExpr(st.call)
+		case *foreachStmt:
+			for _, b := range st.body {
+				walkStmt(b)
+			}
+		case *tryStmt:
+			walkStmt(st.inner)
+		}
+	}
+	for _, s := range stmts {
+		walkStmt(s)
+	}
+	return peekSafe && noCustomCalls
+}
+
+func (c *compiler) handleSlot(name string) int {
+	if i, ok := c.handles[name]; ok {
+		return i
+	}
+	i := len(c.handleIDs)
+	c.handles[name] = i
+	c.handleIDs = append(c.handleIDs, name)
+	return i
+}
+
+func (c *compiler) varSlot(name string) int {
+	if i, ok := c.vars[name]; ok {
+		return i
+	}
+	i := len(c.varIDs)
+	c.vars[name] = i
+	c.varIDs = append(c.varIDs, name)
+	return i
+}
+
+func (c *compiler) stmt(s Stmt, handleSet map[string]bool) (cStmt, error) {
+	switch st := s.(type) {
+	case *tryStmt:
+		inner, err := c.stmt(st.inner, handleSet)
+		if err != nil {
+			return nil, err
+		}
+		return &cTry{inner: inner}, nil
+	case *callStmt:
+		call, err := c.call(st.call, handleSet)
+		if err != nil {
+			return nil, err
+		}
+		if _, folded := call.(*cLit); folded {
+			return cNop{}, nil
+		}
+		return &cCallStmt{call: call}, nil
+	case *assignStmt:
+		rhs, err := c.expr(st.rhs, handleSet)
+		if err != nil {
+			return nil, err
+		}
+		root := st.lhs.steps[0]
+		if handleSet[root.label] {
+			return &cAssignMsg{
+				slot:  c.handleSlot(root.label),
+				root:  root.label,
+				steps: st.lhs.steps,
+				rhs:   rhs,
+				text:  st.lhs.text,
+			}, nil
+		}
+		if len(st.lhs.steps) == 1 && !root.append {
+			return &cAssignVar{slot: c.varSlot(root.label), rhs: rhs}, nil
+		}
+		steps := st.lhs.steps[1:]
+		return &cAssignVarPath{
+			slot:  c.varSlot(root.label),
+			root:  root.label,
+			steps: steps,
+			rhs:   rhs,
+			text:  st.lhs.text,
+		}, nil
+	case *foreachStmt:
+		return c.foreach(st, handleSet)
+	default:
+		return nil, fmt.Errorf("%w: unsupported statement %T", ErrParse, s)
+	}
+}
+
+func (c *compiler) foreach(st *foreachStmt, handleSet map[string]bool) (cStmt, error) {
+	steps := st.src.steps
+	if len(steps) < 2 {
+		return &cErr{err: fmt.Errorf("%w: foreach source %q too short", ErrExec, st.src.text)}, nil
+	}
+	root := steps[0]
+	f := &cForeach{
+		srcRoot: root.label,
+		varSlot: c.varSlot(st.varName),
+		text:    st.src.text,
+	}
+	if handleSet[root.label] {
+		if len(steps) < 3 {
+			return &cErr{err: fmt.Errorf("%w: foreach source %q too short", ErrExec, st.src.text)}, nil
+		}
+		f.srcIsMsg = true
+		f.srcSlot = c.handleSlot(root.label)
+		f.msgName = steps[1].label
+		f.mid = steps[2 : len(steps)-1]
+	} else {
+		f.srcSlot = c.varSlot(root.label)
+		f.mid = steps[1 : len(steps)-1]
+	}
+	f.last = steps[len(steps)-1]
+	for _, b := range st.body {
+		cs, err := c.stmt(b, handleSet)
+		if err != nil {
+			return nil, err
+		}
+		f.body = append(f.body, cs)
+	}
+	return f, nil
+}
+
+func (c *compiler) expr(e Expr, handleSet map[string]bool) (cExpr, error) {
+	switch ex := e.(type) {
+	case *literalExpr:
+		return &cLit{val: ex.val}, nil
+	case *callExpr:
+		return c.call(ex, handleSet)
+	case *pathExpr:
+		root := ex.steps[0]
+		if handleSet[root.label] {
+			p := &cPath{
+				isMsg: true,
+				slot:  c.handleSlot(root.label),
+				root:  root.label,
+				text:  ex.text,
+			}
+			if len(ex.steps) >= 2 {
+				p.hasName = true
+				p.msgName = ex.steps[1].label
+				p.rest = ex.steps[2:]
+			}
+			return p, nil
+		}
+		return &cPath{
+			slot: c.varSlot(root.label),
+			root: root.label,
+			rest: ex.steps[1:],
+			text: ex.text,
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unsupported expression %T", ErrParse, e)
+	}
+}
+
+func (c *compiler) call(e *callExpr, handleSet map[string]bool) (cExpr, error) {
+	args := make([]cExpr, len(e.args))
+	allLit := true
+	for i, a := range e.args {
+		ca, err := c.expr(a, handleSet)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ca
+		if _, ok := ca.(*cLit); !ok {
+			allLit = false
+		}
+	}
+	fn := c.funcs[e.name]
+	shadowed := fn != nil
+	if fn == nil {
+		fn = builtins[e.name]
+	}
+	// Constant-fold pure builtins over literal arguments. Folding is
+	// best-effort: a call that fails stays unfolded so its error (and
+	// any enclosing `try`) keeps runtime semantics.
+	if !shadowed && fn != nil && allLit && pureBuiltins[e.name] {
+		vals := make([]any, len(args))
+		for i, a := range args {
+			vals[i] = a.(*cLit).val
+		}
+		if v, err := fn(nil, vals); err == nil {
+			return &cLit{val: v}, nil
+		}
+	}
+	if !shadowed && e.name == "getcache" && c.peekSafe && len(args) == 1 {
+		return &cGetCachePeek{key: args[0]}, nil
+	}
+	fresh := !shadowed && (e.name == "newstruct" || e.name == "newarray")
+	return &cCall{name: e.name, fn: fn, fresh: fresh, args: args}, nil
+}

@@ -61,9 +61,13 @@ const DefaultCacheLimit = 1024
 
 // Cache is the session-scoped store behind the cache/getcache keywords
 // (used for the Fig. 10 extra-message mismatch). It is safe for concurrent
-// use and the zero value is ready to use. When it exceeds its limit
-// (DefaultCacheLimit unless Limit is set), the oldest entries are evicted
-// in insertion order.
+// use and the zero value is ready to use.
+//
+// Eviction policy: when the cache exceeds its limit (DefaultCacheLimit
+// unless Limit is set), entries are evicted oldest-write-first. Re-putting
+// an existing key refreshes its position — a repeatedly-rewritten hot key
+// counts as fresh, and the stalest write is evicted first. (Reads do not
+// refresh; this is write-recency, not LRU.)
 type Cache struct {
 	// Limit overrides DefaultCacheLimit when positive.
 	Limit int
@@ -74,16 +78,29 @@ type Cache struct {
 }
 
 // Put stores a deep copy of f under key.
-func (c *Cache) Put(key string, f *message.Field) {
+func (c *Cache) Put(key string, f *message.Field) { c.putOwned(key, f.Clone()) }
+
+// putOwned stores f under key without copying; the caller transfers
+// ownership of the tree to the cache.
+func (c *Cache) putOwned(key string, f *message.Field) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.m == nil {
 		c.m = make(map[string]*message.Field)
 	}
-	if _, exists := c.m[key]; !exists {
-		c.order = append(c.order, key)
+	if _, exists := c.m[key]; exists {
+		// Refresh the key's eviction slot: without this, a hot key
+		// rewritten many times keeps its original (oldest) position and
+		// is evicted while stale keys survive.
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
 	}
-	c.m[key] = f.Clone()
+	c.order = append(c.order, key)
+	c.m[key] = f
 	limit := c.Limit
 	if limit <= 0 {
 		limit = DefaultCacheLimit
@@ -104,6 +121,20 @@ func (c *Cache) Get(key string) (*message.Field, error) {
 		return nil, fmt.Errorf("%w: %q", ErrCacheMiss, key)
 	}
 	return f.Clone(), nil
+}
+
+// Peek returns the field stored under key without copying. The returned
+// tree is shared with the cache: callers must treat it as read-only (the
+// compiled fast path marks it copy-on-write and clones before any
+// mutation or graft).
+func (c *Cache) Peek(key string) (*message.Field, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.m[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrCacheMiss, key)
+	}
+	return f, nil
 }
 
 // Len reports the number of cached entries.
@@ -134,6 +165,10 @@ type Env struct {
 	// Funcs are extra functions; built-ins are always available and can be
 	// shadowed here.
 	Funcs map[string]Func
+
+	// frame is the compiled fast path's reusable per-execution scratch
+	// (slot tables, argument arena, foreach snapshots); see compile.go.
+	frame *cframe
 }
 
 // NewEnv returns an environment with empty bindings and the given cache.
@@ -147,6 +182,19 @@ func NewEnv(cache *Cache) *Env {
 
 // Bind associates a message with a state handle.
 func (e *Env) Bind(handle string, msg *message.Message) { e.Messages[handle] = msg }
+
+// Reset clears the environment's bindings and host retarget while keeping
+// its cache, extra functions, map capacity and compiled-execution scratch,
+// so one Env can be pooled across translations of a session.
+func (e *Env) Reset() {
+	if e.Messages != nil {
+		clear(e.Messages)
+	}
+	if e.Vars != nil {
+		clear(e.Vars)
+	}
+	e.Host = ""
+}
 
 // Message returns the message bound to handle, or nil.
 func (e *Env) Message(handle string) *message.Message { return e.Messages[handle] }
@@ -252,6 +300,13 @@ func (s *callStmt) exec(env *Env) error {
 	return err
 }
 
+// exec iterates with snapshot semantics: the set of matching fields is
+// captured once, before the body first runs. A body that appends matching
+// siblings to the iterated parent (e.g. `m.Msg.feed.entry[] = e`) does not
+// extend the iteration, and a body that overwrites an upcoming item's
+// slot mutates the field the snapshot already points at — the loop still
+// visits exactly the fields that matched at entry. The compiled fast path
+// (compile.go) enforces the same rule.
 func (s *foreachStmt) exec(env *Env) error {
 	items, err := resolveAll(env, s.src)
 	if err != nil {

@@ -158,6 +158,9 @@ func TestAdminEndToEnd(t *testing.T) {
 			"starlink_tracer_enabled 1",
 			"starlink_transition_seconds_bucket",
 			"starlink_transition_seconds_count",
+			"starlink_translate_compiled_total",
+			"starlink_translate_interpreted_total",
+			"starlink_translate_seconds_count",
 			"starlink_transition_hits_total{transition=",
 		} {
 			if !strings.Contains(out, want) {

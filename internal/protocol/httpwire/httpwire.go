@@ -11,6 +11,7 @@
 package httpwire
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"starlink/internal/network"
+	"starlink/internal/protocol/bufpool"
 )
 
 // Errors reported by the HTTP substrate.
@@ -110,21 +112,32 @@ type Response struct {
 }
 
 // Marshal renders the request on the wire, deriving Content-Length.
+// Rendering goes through the shared encode-buffer pool; the returned
+// slice is a right-sized copy the caller owns.
 func (r *Request) Marshal() []byte {
-	var b strings.Builder
+	b := bufpool.Get()
+	defer bufpool.Put(b)
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Target, proto)
-	writeHeaders(&b, r.Headers, len(r.Body))
+	b.WriteString(r.Method)
+	b.WriteByte(' ')
+	b.WriteString(r.Target)
+	b.WriteByte(' ')
+	b.WriteString(proto)
+	b.WriteString("\r\n")
+	writeHeaders(b, r.Headers, len(r.Body))
 	b.Write(r.Body)
-	return []byte(b.String())
+	return bufpool.Bytes(b)
 }
 
 // Marshal renders the response on the wire, deriving Content-Length.
+// Like Request.Marshal it renders into a pooled buffer and returns a
+// right-sized copy.
 func (r *Response) Marshal() []byte {
-	var b strings.Builder
+	b := bufpool.Get()
+	defer bufpool.Put(b)
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
@@ -133,13 +146,18 @@ func (r *Response) Marshal() []byte {
 	if reason == "" {
 		reason = defaultReason(r.Status)
 	}
-	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.Status, reason)
-	writeHeaders(&b, r.Headers, len(r.Body))
+	b.WriteString(proto)
+	b.WriteByte(' ')
+	b.Write(strconv.AppendInt(b.AvailableBuffer(), int64(r.Status), 10))
+	b.WriteByte(' ')
+	b.WriteString(reason)
+	b.WriteString("\r\n")
+	writeHeaders(b, r.Headers, len(r.Body))
 	b.Write(r.Body)
-	return []byte(b.String())
+	return bufpool.Bytes(b)
 }
 
-func writeHeaders(b *strings.Builder, headers map[string]string, bodyLen int) {
+func writeHeaders(b *bytes.Buffer, headers map[string]string, bodyLen int) {
 	keys := make([]string, 0, len(headers))
 	for k := range headers {
 		if strings.EqualFold(k, "Content-Length") {
@@ -149,9 +167,14 @@ func writeHeaders(b *strings.Builder, headers map[string]string, bodyLen int) {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(b, "%s: %s\r\n", k, headers[k])
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(headers[k])
+		b.WriteString("\r\n")
 	}
-	fmt.Fprintf(b, "Content-Length: %d\r\n\r\n", bodyLen)
+	b.WriteString("Content-Length: ")
+	b.Write(strconv.AppendInt(b.AvailableBuffer(), int64(bodyLen), 10))
+	b.WriteString("\r\n\r\n")
 }
 
 func defaultReason(status int) string {

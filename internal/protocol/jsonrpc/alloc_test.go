@@ -1,0 +1,27 @@
+package jsonrpc
+
+import (
+	"testing"
+
+	"starlink/internal/testutil"
+)
+
+// TestRoundTripAllocBudget guards the pooled JSON encoder: one call
+// marshal+parse round-trip must stay within a fixed allocation budget.
+func TestRoundTripAllocBudget(t *testing.T) {
+	allocs := testing.AllocsPerRun(200, func() {
+		wire, err := MarshalCall(7, "add", 2.0, 3.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ParseCall(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if testutil.RaceEnabled {
+		t.Skipf("race detector enabled; measured %.1f allocs/op unasserted", allocs)
+	}
+	if allocs > 20 {
+		t.Errorf("marshal+parse round-trip allocated %.1f times per op, budget 20", allocs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"starlink/internal/protocol/bufpool"
 	"starlink/internal/protocol/httpwire"
 )
 
@@ -48,12 +49,28 @@ type wireResponse struct {
 	ID     uint64  `json:"id"`
 }
 
+// marshalWire encodes v through the shared encode-buffer pool and
+// returns a right-sized copy, dropping json.Encoder's trailing newline
+// so the output matches json.Marshal byte for byte.
+func marshalWire(v any) ([]byte, error) {
+	b := bufpool.Get()
+	defer bufpool.Put(b)
+	if err := json.NewEncoder(b).Encode(v); err != nil {
+		return nil, err
+	}
+	out := b.Bytes()
+	if n := len(out); n > 0 && out[n-1] == '\n' {
+		out = out[:n-1]
+	}
+	return append([]byte(nil), out...), nil
+}
+
 // MarshalCall renders a request body.
 func MarshalCall(id uint64, method string, params ...Value) ([]byte, error) {
 	if params == nil {
 		params = []Value{}
 	}
-	return json.Marshal(wireRequest{Method: method, Params: params, ID: id})
+	return marshalWire(wireRequest{Method: method, Params: params, ID: id})
 }
 
 // ParseCall decodes a request body.
@@ -70,12 +87,12 @@ func ParseCall(data []byte) (id uint64, method string, params []Value, err error
 
 // MarshalResult renders a success response body.
 func MarshalResult(id uint64, result Value) ([]byte, error) {
-	return json.Marshal(wireResponse{Result: result, ID: id})
+	return marshalWire(wireResponse{Result: result, ID: id})
 }
 
 // MarshalError renders an error response body.
 func MarshalError(id uint64, msg string) ([]byte, error) {
-	return json.Marshal(wireResponse{Error: &msg, ID: id})
+	return marshalWire(wireResponse{Error: &msg, ID: id})
 }
 
 // ParseResponse decodes a response body, returning *RemoteError for

@@ -82,21 +82,13 @@ func MarshalFeed(f Feed) ([]byte, error) {
 	for _, e := range f.Entries {
 		root.Add(entryField(e))
 	}
-	s, err := xmlenc.EncodeField(root)
-	if err != nil {
-		return nil, err
-	}
-	return []byte(`<?xml version="1.0"?>` + "\n" + s), nil
+	return xmlenc.EncodeDoc(root)
 }
 
 // MarshalEntry renders one standalone entry document (the POST body for
 // addComment).
 func MarshalEntry(e Entry) ([]byte, error) {
-	s, err := xmlenc.EncodeField(entryField(e))
-	if err != nil {
-		return nil, err
-	}
-	return []byte(`<?xml version="1.0"?>` + "\n" + s), nil
+	return xmlenc.EncodeDoc(entryField(e))
 }
 
 func entryFromField(f *message.Field) Entry {

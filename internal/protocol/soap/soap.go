@@ -49,11 +49,7 @@ func envelope(bodyChild *message.Field) ([]byte, error) {
 		message.NewPrimitive("@xmlns", message.TypeString, EnvelopeNS),
 		message.NewStruct("Body", bodyChild),
 	)
-	s, err := xmlenc.EncodeField(root)
-	if err != nil {
-		return nil, err
-	}
-	return []byte(`<?xml version="1.0"?>` + "\n" + s), nil
+	return xmlenc.EncodeDoc(root)
 }
 
 // MarshalRequest renders an RPC request envelope: the method element with

@@ -54,11 +54,7 @@ func MarshalCall(method string, params ...Value) ([]byte, error) {
 		ps.Add(message.NewStruct("param", vf))
 	}
 	root.Add(ps)
-	s, err := xmlenc.EncodeField(root)
-	if err != nil {
-		return nil, err
-	}
-	return []byte(`<?xml version="1.0"?>` + "\n" + s), nil
+	return xmlenc.EncodeDoc(root)
 }
 
 // MarshalResponse renders a methodResponse document with one result.
@@ -70,11 +66,7 @@ func MarshalResponse(result Value) ([]byte, error) {
 	root := message.NewStruct("methodResponse",
 		message.NewStruct("params", message.NewStruct("param", vf)),
 	)
-	s, err := xmlenc.EncodeField(root)
-	if err != nil {
-		return nil, err
-	}
-	return []byte(`<?xml version="1.0"?>` + "\n" + s), nil
+	return xmlenc.EncodeDoc(root)
 }
 
 // MarshalFault renders a fault methodResponse.
@@ -87,11 +79,7 @@ func MarshalFault(f *Fault) ([]byte, error) {
 		return nil, err
 	}
 	root := message.NewStruct("methodResponse", message.NewStruct("fault", fv))
-	s, err := xmlenc.EncodeField(root)
-	if err != nil {
-		return nil, err
-	}
-	return []byte(`<?xml version="1.0"?>` + "\n" + s), nil
+	return xmlenc.EncodeDoc(root)
 }
 
 func encodeValue(v Value) (*message.Field, error) {

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by the repo's tests.
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-budget tests still execute their hot paths under -race (so
+// the race CI job exercises them) but skip the strict allocs-per-op
+// assertions, which the detector's instrumentation would violate.
+const RaceEnabled = false

@@ -68,8 +68,15 @@ type (
 	Field = message.Field
 	// MDLSpec is a parsed Message Description Language document.
 	MDLSpec = mdl.Spec
-	// MTLProgram is a compiled Message Translation Logic program.
+	// MTLProgram is a parsed Message Translation Logic program.
 	MTLProgram = mtl.Program
+	// MTLCompiledProgram is an MTL program lowered to the compiled fast
+	// path: handles and variables interned to slots, paths pre-split,
+	// builtins bound, constants folded. Produced by CompileMTL.
+	MTLCompiledProgram = mtl.CompiledProgram
+	// MTLCompileOptions parameterise CompileMTL (the handle universe and
+	// the custom-function table the program will run against).
+	MTLCompileOptions = mtl.CompileOptions
 	// Binder maps between concrete packets and abstract actions.
 	Binder = bind.Binder
 	// Route is one REST binding rule.
@@ -274,8 +281,17 @@ func ParseMerged(doc string) (*Merged, error) {
 // ParseMDL reads a Message Description Language document.
 func ParseMDL(doc string) (*MDLSpec, error) { return mdl.ParseString(doc) }
 
-// ParseMTL compiles a Message Translation Logic program.
+// ParseMTL parses a Message Translation Logic program.
 func ParseMTL(src string) (*MTLProgram, error) { return mtl.Parse(src) }
+
+// CompileMTL lowers a parsed MTL program for the compiled fast path.
+// Mediators built by NewMediator do this automatically for every γ
+// program at deploy time; the explicit call exists for tooling and for
+// executing translation programs outside an engine. Execution semantics
+// are identical to MTLProgram.Exec — the fuzz corpus asserts it.
+func CompileMTL(p *MTLProgram, opts MTLCompileOptions) (*MTLCompiledProgram, error) {
+	return mtl.Compile(p, opts)
+}
 
 // ParseRoutes reads a REST binding route table.
 func ParseRoutes(doc string) ([]Route, error) { return bind.ParseRoutes(doc) }
