@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race race-alloc bench bench-translate fault-soak experiments fuzz fmt
+.PHONY: all build test check race race-alloc bench bench-translate bench-cache fault-soak experiments fuzz fmt
 
 all: check
 
@@ -17,7 +17,7 @@ test: build
 # the observability subsystem (lock-free rings, tracer, admin) and the
 # mediation gateway (sniffing, admission, hot swap).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/harness/... ./internal/observe/... ./internal/gateway/...
+	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/harness/... ./internal/observe/... ./internal/gateway/... ./internal/rcache/...
 
 # The allocation-budget tests under the race detector: AllocsPerRun is
 # meaningless with -race instrumentation, so the numeric budgets skip
@@ -25,7 +25,7 @@ race:
 # recycled environments and in-place path walks they drive still run
 # with full race checking — that is the point of this pass.
 race-alloc:
-	$(GO) test -race -run 'AllocBudget' ./internal/message ./internal/mtl ./internal/protocol/...
+	$(GO) test -race -run 'AllocBudget' ./internal/message ./internal/mtl ./internal/protocol/... ./internal/rcache
 
 # The full gate: vet, tier-1, and the race passes.
 check: test
@@ -47,6 +47,13 @@ bench:
 # path must show >=30% fewer allocs/op, see EXPERIMENTS.md E15).
 bench-translate:
 	$(GO) run ./cmd/benchharness -translate BENCH_translate.json
+
+# Cross-flow response cache end to end: both case-study search
+# mediators deployed through starlink.Deploy, cache off vs on, repeated
+# and unique workloads at 1/8/64 sessions -> BENCH_cache.json
+# (committed baseline; see EXPERIMENTS.md E16 for acceptance bars).
+bench-cache:
+	$(GO) run ./cmd/benchharness -cache BENCH_cache.json
 
 # The fault-path soak on its own: mediated flows while the service is
 # periodically killed and restarted (see BenchmarkE11FaultRecoverySoak).

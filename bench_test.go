@@ -226,7 +226,7 @@ func BenchmarkE11FaultRecoverySoak(b *testing.B) {
 			1: {Binder: giopBinder},
 			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: addr},
 		},
-		RetryBackoff: time.Millisecond,
+		Retry: &engine.RetryPolicy{Attempts: engine.DefaultRetryAttempts, Backoff: time.Millisecond},
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -1,6 +1,6 @@
 // Command benchharness runs the paper-reproduction experiment suite
-// (E1-E14, see DESIGN.md §4 and EXPERIMENTS.md) and prints one report line
-// per experiment. It exits non-zero if any experiment fails.
+// (E1-E14 and E16, see DESIGN.md §4 and EXPERIMENTS.md) and prints one
+// report line per experiment. It exits non-zero if any experiment fails.
 //
 // With -observe <file>, it additionally measures the flow tracer's
 // per-flow overhead at 1, 8 and 64 concurrent sessions and writes the
@@ -16,6 +16,12 @@
 // environment — for the flickr and shopping case-study programs at the
 // same concurrency levels, and writes the result as JSON (the committed
 // BENCH_translate.json baseline).
+//
+// With -cache <file>, it measures the cross-flow response cache end to
+// end (EXPERIMENTS.md E16): both case-study search mediators deployed
+// through starlink.Deploy, cache off vs on, repeated-read and
+// unique-query workloads at the same concurrency levels, and writes the
+// result as JSON (the committed BENCH_cache.json baseline).
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 	observeOut := flag.String("observe", "", "write tracer-overhead measurements (JSON) to this file")
 	gatewayOut := flag.String("gateway", "", "write gateway-overhead measurements (JSON) to this file")
 	translateOut := flag.String("translate", "", "write γ-translation interpreted-vs-compiled measurements (JSON) to this file")
+	cacheOut := flag.String("cache", "", "write response-cache off-vs-on measurements (JSON) to this file")
 	flag.Parse()
 
 	fmt.Println("Starlink experiment harness — MIDDLEWARE 2011 reproduction")
@@ -116,6 +123,32 @@ func main() {
 		}
 		for cs, r := range report.AllocsReduction {
 			fmt.Printf("  %s: compiled path allocs/op reduced %.0f%%\n", cs, r*100)
+		}
+	}
+
+	if *cacheOut != "" {
+		report, err := harness.MeasureCacheOverhead([]int{1, 8, 64}, 100)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness: cache measurement:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*cacheOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("response-cache measurements written to %s\n", *cacheOut)
+		for _, p := range report.Points {
+			fmt.Printf("  %-8s %-6s %-6s %2d session(s): %5d exchanges, p50 %.0fµs\n",
+				p.CaseStudy, p.Workload, p.Mode, p.Sessions, p.ServiceExchanges, p.P50Ns/1e3)
+		}
+		for _, cs := range []string{"flickr", "shopping"} {
+			fmt.Printf("  %s: %.0fx fewer service exchanges, p50 -%.0f%%, miss overhead %+.2f%%\n",
+				cs, report.ExchangeReduction[cs], report.P50Reduction[cs]*100, report.MissOverheadPct[cs])
 		}
 	}
 }

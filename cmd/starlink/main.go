@@ -27,7 +27,7 @@ import (
 
 	"starlink/internal/automata"
 	"starlink/internal/casestudy"
-	"starlink/internal/core"
+	"starlink/starlink"
 )
 
 func main() {
@@ -70,18 +70,22 @@ func runMediator(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("-mediator is required")
 	}
-	models, err := core.LoadModels(*modelsDir)
+	models, err := starlink.LoadModels(*modelsDir)
 	if err != nil {
 		return err
 	}
-	dep, err := models.Deploy(*name, *listen, *admin)
+	dep, err := starlink.Deploy(*name, models, starlink.DeployOptions{Listen: *listen, Admin: *admin})
 	if err != nil {
 		return err
 	}
 	defer dep.Close()
-	fmt.Printf("mediator %s listening on %s\n", *name, dep.Mediator.Addr())
-	if dep.Admin != nil {
-		fmt.Printf("admin endpoint on http://%s (/metrics /healthz /flows /automaton.dot)\n", dep.Admin.Addr())
+	med, ok := dep.(*starlink.MediatorDeployment)
+	if !ok {
+		return fmt.Errorf("%q is not a mediator spec (use the gateway subcommand)", *name)
+	}
+	fmt.Printf("mediator %s listening on %s\n", *name, dep.Addr())
+	if med.Admin != nil {
+		fmt.Printf("admin endpoint on http://%s (/metrics /healthz /flows /automaton.dot)\n", med.Admin.Addr())
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -102,19 +106,23 @@ func runGateway(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("-gateway is required")
 	}
-	models, err := core.LoadModels(*modelsDir)
+	models, err := starlink.LoadModels(*modelsDir)
 	if err != nil {
 		return err
 	}
-	dep, err := models.DeployGateway(*name, *listen, *admin)
+	dep, err := starlink.Deploy(*name, models, starlink.DeployOptions{Listen: *listen, Admin: *admin})
 	if err != nil {
 		return err
 	}
 	defer dep.Close()
+	gw, ok := dep.(*starlink.GatewayDeployment)
+	if !ok {
+		return fmt.Errorf("%q is not a gateway spec (use the run subcommand)", *name)
+	}
 	fmt.Printf("gateway %s listening on %s (routes: %s)\n",
-		*name, dep.Gateway.Addr(), strings.Join(dep.Gateway.Routes(), ", "))
-	if dep.Admin != nil {
-		fmt.Printf("metrics endpoint on http://%s/metrics\n", dep.Admin.Addr())
+		*name, dep.Addr(), strings.Join(gw.Gateway.Routes(), ", "))
+	if gw.Admin != nil {
+		fmt.Printf("metrics endpoint on http://%s/metrics\n", gw.Admin.Addr())
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
@@ -122,13 +130,13 @@ func runGateway(args []string) error {
 		if s != syscall.SIGHUP {
 			break
 		}
-		fresh, err := core.LoadModels(*modelsDir)
+		fresh, err := starlink.LoadModels(*modelsDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "starlink: reload aborted:", err)
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		err = dep.Reload(ctx, fresh)
+		err = gw.Reload(ctx, fresh)
 		cancel()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "starlink: reload:", err)
@@ -148,7 +156,7 @@ func listModels(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	models, err := core.LoadModels(*modelsDir)
+	models, err := starlink.LoadModels(*modelsDir)
 	if err != nil {
 		return err
 	}

@@ -56,7 +56,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	med, err := models.StartMediator("flickr-soap", "127.0.0.1:0")
+	med, err := starlink.Deploy("flickr-soap", models, starlink.DeployOptions{Listen: "127.0.0.1:0"})
 	if err != nil {
 		return err
 	}

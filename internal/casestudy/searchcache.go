@@ -1,0 +1,79 @@
+package casestudy
+
+import "starlink/internal/automata"
+
+// Read-only search mediators for the cross-flow response-cache
+// experiment (EXPERIMENTS.md E16): the search segments of the two case
+// studies lifted into standalone merged automata, so one flow is
+// exactly one cacheable service exchange. The full mediators interleave
+// reads with writes (addComment, checkout) inside a single linear
+// traversal, which caps the service-exchange reduction a response cache
+// can show; these isolate the read-mostly workload the cache targets.
+
+// SearchMediator is the Flickr/Picasa search flow on its own: the
+// XML-RPC flickr.photos.search request is translated to a Picasa REST
+// query and the Atom-style feed shaped back into the Flickr photo list.
+func SearchMediator() *automata.Merged {
+	b := newMediator("Flickr-Search-to-Picasa-REST", 1, 2)
+
+	req := b.msg(1, automata.Send, FlickrSearch)
+	b.bicolor(1, 2)
+	picReq := b.next()
+	b.gamma(`
+sethost("`+PicasaHost+`")
+`+picReq+`.Msg.q = `+req+`.Msg.text
+try `+picReq+`.Msg.max-results = `+req+`.Msg.per_page
+`, 2)
+	b.msg(2, automata.Send, PicasaSearch)
+	feed := b.msg(2, automata.Receive, PicasaSearchReply)
+	b.bicolor(1, 2)
+	reply := b.next()
+	b.gamma(`
+`+reply+`.Msg.photos = newarray("photos")
+foreach e in `+feed+`.Msg.entry {
+  p = newstruct("item")
+  p.id = e.id
+  p.title = e.title
+  try p.owner = e.author
+  `+reply+`.Msg.photos.item[] = p
+}
+`+reply+`.Msg.total = count(`+feed+`.Msg)
+`, 1)
+	b.msg(1, automata.Receive, FlickrSearchReply)
+
+	return b.finish(automata.StronglyMerged)
+}
+
+// ShoppingSearchMediator is the shop/catalog search flow on its own:
+// the XML-RPC shop.products.search request becomes a JSON-RPC
+// catalog.search call and the nested result list is flattened back
+// into the shop's product rows.
+func ShoppingSearchMediator() *automata.Merged {
+	b := newMediator("Shop-Search-to-Catalog-JSONRPC", 1, 2)
+
+	req := b.msg(1, automata.Send, ShopSearch)
+	b.bicolor(1, 2)
+	catReq := b.next()
+	b.gamma(`
+`+catReq+`.Msg.query = `+req+`.Msg.keywords
+try `+catReq+`.Msg.limit = `+req+`.Msg.max
+`, 2)
+	b.msg(2, automata.Send, CatalogSearch)
+	catRep := b.msg(2, automata.Receive, CatalogSearchReply)
+	b.bicolor(1, 2)
+	rep := b.next()
+	b.gamma(`
+`+rep+`.Msg.products = newarray("products")
+foreach p in `+catRep+`.Msg.result.item {
+  it = newstruct("item")
+  it.sku = p.sku
+  it.name = p.name
+  it.price = p.price
+  `+rep+`.Msg.products.item[] = it
+}
+`+rep+`.Msg.count = count(`+catRep+`.Msg.result)
+`, 1)
+	b.msg(1, automata.Receive, ShopSearchReply)
+
+	return b.finish(automata.StronglyMerged)
+}

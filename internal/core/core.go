@@ -19,6 +19,7 @@ import (
 	"starlink/internal/automata"
 	"starlink/internal/bind"
 	"starlink/internal/engine"
+	"starlink/internal/gateway"
 	"starlink/internal/mdl"
 	"starlink/internal/mdl/binenc"
 	"starlink/internal/mdl/textenc"
@@ -249,6 +250,10 @@ type SideSpec struct {
 //	pool_size <n>
 //	pool_idle <duration>|off
 //	admin <addr>
+//	cacheable <operation> ttl=<duration> [vary=<path,...>]
+//	invalidates <operation> <cached-op,...>
+//	cache_size <n>
+//	cache_shards <n>
 type MediatorSpec struct {
 	// MergedName names the merged automaton to execute.
 	MergedName string
@@ -278,12 +283,25 @@ type MediatorSpec struct {
 	// Admin, when non-empty, is the address the deployment's admin
 	// endpoint (/metrics, /healthz, /flows, /automaton.dot) binds to.
 	Admin string
+	// Cacheable maps service operations declared `cacheable` to their
+	// TTL and key-varying field paths.
+	Cacheable map[string]engine.CacheRule
+	// Invalidates maps write operations to the cacheable operations
+	// whose entries they flush (`invalidates` directives).
+	Invalidates map[string][]string
+	// CacheSize bounds the response cache's stored replies when
+	// non-zero (`cache_size`).
+	CacheSize int
+	// CacheShards sets the response cache's shard count when non-zero
+	// (`cache_shards`).
+	CacheShards int
 }
 
-// specErr reports a mediator-spec problem, always naming the line and
-// the directive it occurred in so multi-directive specs stay debuggable.
+// specErr reports a mediator-spec problem as a typed *SpecError,
+// always naming the line and the directive it occurred in so
+// multi-directive specs stay debuggable.
 func specErr(lineNo int, directive, format string, args ...any) error {
-	return fmt.Errorf("%w: line %d: directive %q: %s", ErrSpec, lineNo+1, directive, fmt.Sprintf(format, args...))
+	return newSpecErr(lineNo, directive, format, args...)
 }
 
 // singleValued lists the mediator-spec directives that may appear at
@@ -292,7 +310,8 @@ func specErr(lineNo int, directive, format string, args ...any) error {
 var singleValued = map[string]bool{
 	"merged": true, "listen": true, "typemap": true, "retries": true,
 	"backoff": true, "dialtimeout": true, "pool_size": true,
-	"pool_idle": true, "admin": true,
+	"pool_idle": true, "admin": true, "cache_size": true,
+	"cache_shards": true,
 }
 
 // ParseMediatorSpec reads a deployment spec document.
@@ -426,15 +445,102 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 				return nil, specErr(lineNo, "hostmap", "want: hostmap <host> = <addr>")
 			}
 			spec.HostMap[strings.TrimSpace(host)] = strings.TrimSpace(addr)
+		case "cacheable":
+			if len(fields) < 3 {
+				return nil, specErr(lineNo, "cacheable", "want: cacheable <operation> ttl=<duration> [vary=<path,...>]")
+			}
+			op := fields[1]
+			if _, dup := spec.Cacheable[op]; dup {
+				return nil, specErr(lineNo, "cacheable", "operation %q already declared cacheable", op)
+			}
+			var rule engine.CacheRule
+			for _, kv := range fields[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, specErr(lineNo, "cacheable", "bad option %q", kv)
+				}
+				switch k {
+				case "ttl":
+					d, err := time.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, specErr(lineNo, "cacheable", "bad ttl %q", v)
+					}
+					rule.TTL = d
+				case "vary":
+					for _, p := range strings.Split(v, ",") {
+						p = strings.TrimSpace(p)
+						if p == "" {
+							return nil, specErr(lineNo, "cacheable", "empty path in vary %q", v)
+						}
+						rule.Vary = append(rule.Vary, p)
+					}
+				default:
+					return nil, specErr(lineNo, "cacheable", "unknown option %q", k)
+				}
+			}
+			if rule.TTL <= 0 {
+				return nil, specErr(lineNo, "cacheable", "operation %q needs ttl=<duration>", op)
+			}
+			if spec.Cacheable == nil {
+				spec.Cacheable = map[string]engine.CacheRule{}
+			}
+			spec.Cacheable[op] = rule
+		case "invalidates":
+			if len(fields) < 3 {
+				return nil, specErr(lineNo, "invalidates", "want: invalidates <operation> <cached-op,...>")
+			}
+			op := fields[1]
+			if spec.Invalidates == nil {
+				spec.Invalidates = map[string][]string{}
+			}
+			for _, arg := range fields[2:] {
+				for _, target := range strings.Split(arg, ",") {
+					target = strings.TrimSpace(target)
+					if target == "" {
+						return nil, specErr(lineNo, "invalidates", "empty cached-op in %q", arg)
+					}
+					spec.Invalidates[op] = append(spec.Invalidates[op], target)
+				}
+			}
+		case "cache_size":
+			if len(fields) != 2 {
+				return nil, specErr(lineNo, "cache_size", "want: cache_size <n>")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, specErr(lineNo, "cache_size", "bad cache size %q", fields[1])
+			}
+			spec.CacheSize = n
+		case "cache_shards":
+			if len(fields) != 2 {
+				return nil, specErr(lineNo, "cache_shards", "want: cache_shards <n>")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, specErr(lineNo, "cache_shards", "bad shard count %q", fields[1])
+			}
+			spec.CacheShards = n
 		default:
-			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrSpec, lineNo+1, fields[0])
+			return nil, &SpecError{Line: lineNo + 1, Directive: fields[0],
+				Msg: "unknown directive", sentinels: []error{ErrSpec}}
 		}
 	}
 	if spec.MergedName == "" {
-		return nil, fmt.Errorf("%w: no merged automaton named (directive \"merged\" missing)", ErrSpec)
+		return nil, &SpecError{Msg: "no merged automaton named (directive \"merged\" missing)",
+			sentinels: []error{ErrSpec}}
 	}
 	if len(spec.Sides) == 0 {
-		return nil, fmt.Errorf("%w: no sides configured (directive \"side\" missing)", ErrSpec)
+		return nil, &SpecError{Msg: "no sides configured (directive \"side\" missing)",
+			sentinels: []error{ErrSpec}}
+	}
+	for op, targets := range spec.Invalidates {
+		for _, target := range targets {
+			if _, ok := spec.Cacheable[target]; !ok {
+				return nil, &SpecError{Directive: "invalidates",
+					Msg:       fmt.Sprintf("operation %q invalidates %q, which is not declared cacheable", op, target),
+					sentinels: []error{ErrSpec}}
+			}
+		}
 	}
 	return spec, nil
 }
@@ -500,7 +606,7 @@ func (m *Models) buildConfig(spec *MediatorSpec) (engine.Config, error) {
 	}
 	// The spec's optional knobs translate into an explicit RetryPolicy;
 	// "retries 0" simply allows zero attempts — no sentinel needed.
-	retry := engine.RetryPolicy{Attempts: engine.DefaultDialRetries, Backoff: engine.DefaultRetryBackoff}
+	retry := engine.RetryPolicy{Attempts: engine.DefaultRetryAttempts, Backoff: engine.DefaultBackoff}
 	if spec.Retries != nil {
 		retry.Attempts = *spec.Retries
 	}
@@ -508,6 +614,15 @@ func (m *Models) buildConfig(spec *MediatorSpec) (engine.Config, error) {
 		retry.Backoff = spec.Backoff
 	}
 	cfg.Retry = &retry
+	if len(spec.Cacheable) > 0 || len(spec.Invalidates) > 0 ||
+		spec.CacheSize != 0 || spec.CacheShards != 0 {
+		cfg.Cache = &engine.CachePolicy{
+			Rules:       spec.Cacheable,
+			Invalidates: spec.Invalidates,
+			MaxEntries:  spec.CacheSize,
+			Shards:      spec.CacheShards,
+		}
+	}
 	if spec.TypeMap != "" {
 		tm, ok := m.TypeMaps[spec.TypeMap]
 		if !ok {
@@ -536,6 +651,45 @@ func (m *Models) buildConfig(spec *MediatorSpec) (engine.Config, error) {
 	return cfg, nil
 }
 
+// DeployOptions are the per-deployment overrides accepted by the
+// unified deployment entrypoint (DeployAny and the public
+// starlink.Deploy façade). Zero values defer to the spec.
+type DeployOptions struct {
+	// Listen overrides the spec's listen address when non-empty.
+	Listen string
+	// Admin overrides the spec's admin address when non-empty.
+	Admin string
+}
+
+// Deployed is the common interface of every running deployment —
+// single mediator or gateway alike: clients point at Addr, operators
+// inspect Snapshot, and lifecycle ends through Shutdown (graceful) or
+// Close (abrupt). *Deployment and *GatewayDeployment implement it.
+type Deployed interface {
+	// Addr is the client-facing listen address.
+	Addr() string
+	// Snapshot captures the deployment's counters and histograms.
+	Snapshot() DeploySnapshot
+	// Shutdown drains in-flight flows (bounded by ctx) before stopping.
+	Shutdown(ctx context.Context) error
+	// Close stops abruptly. Idempotent, and a no-op after Shutdown.
+	Close() error
+}
+
+// DeploySnapshot is the uniform observability capture of a Deployed:
+// per-mediator engine snapshots, plus the front-door counters when the
+// deployment is a gateway.
+type DeploySnapshot struct {
+	// Kind is "mediator" or "gateway".
+	Kind string
+	// Mediators holds one engine snapshot per running mediator, keyed
+	// by the spec name (mediator deployments) or route name (gateways).
+	Mediators map[string]engine.Snapshot
+	// Gateway holds the per-route front-door counters; nil for plain
+	// mediator deployments.
+	Gateway *gateway.Stats
+}
+
 // Deployment is a running mediator together with its optional
 // observability attachments.
 type Deployment struct {
@@ -547,8 +701,24 @@ type Deployment struct {
 	// Admin is the running admin endpoint; nil when not configured.
 	Admin *observe.Admin
 
+	name      string
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// Addr returns the mediator's client-facing address.
+func (d *Deployment) Addr() string { return d.Mediator.Addr() }
+
+// Snapshot captures the mediator's counters and latency histograms.
+func (d *Deployment) Snapshot() DeploySnapshot {
+	name := d.name
+	if name == "" {
+		name = "mediator"
+	}
+	return DeploySnapshot{
+		Kind:      "mediator",
+		Mediators: map[string]engine.Snapshot{name: d.Mediator.Snapshot()},
+	}
 }
 
 // Close stops the admin endpoint (if any) and the mediator. It is
@@ -603,7 +773,7 @@ func (m *Models) Deploy(name, listenOverride, adminOverride string) (*Deployment
 	if adminOverride != "" {
 		adminAddr = adminOverride
 	}
-	d := &Deployment{}
+	d := &Deployment{name: name}
 	if adminAddr != "" {
 		d.Observer = observe.Instrument(&cfg, observe.Options{})
 	}
@@ -637,28 +807,24 @@ func (m *Models) Deploy(name, listenOverride, adminOverride string) (*Deployment
 	return d, nil
 }
 
-// StartMediator builds and starts the named mediator spec, listening on
-// listenOverride when non-empty (else the spec's listen address).
-func (m *Models) StartMediator(name, listenOverride string) (*engine.Mediator, error) {
-	spec, ok := m.Mediators[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: mediator spec %q not loaded", ErrSpec, name)
+// DeployAny is the unified deployment entrypoint behind the public
+// starlink.Deploy façade: name selects a loaded *.mediator or
+// *.gateway spec, and the matching deployment path runs. A name
+// shadowed by both kinds is rejected as ambiguous rather than silently
+// picking one.
+func (m *Models) DeployAny(name string, opts DeployOptions) (Deployed, error) {
+	_, isMediator := m.Mediators[name]
+	_, isGateway := m.Gateways[name]
+	switch {
+	case isMediator && isGateway:
+		return nil, fmt.Errorf("%w: %q names both a mediator and a gateway spec; rename one", ErrSpec, name)
+	case isMediator:
+		return m.Deploy(name, opts.Listen, opts.Admin)
+	case isGateway:
+		return m.DeployGateway(name, opts.Listen, opts.Admin)
+	default:
+		return nil, fmt.Errorf("%w: no mediator or gateway spec %q loaded", ErrSpec, name)
 	}
-	med, err := m.BuildMediator(spec)
-	if err != nil {
-		return nil, err
-	}
-	listen := spec.Listen
-	if listenOverride != "" {
-		listen = listenOverride
-	}
-	if listen == "" {
-		listen = "127.0.0.1:0"
-	}
-	if err := med.Start(listen); err != nil {
-		return nil, err
-	}
-	return med, nil
 }
 
 // Merge builds a merged automaton from two loaded usage automata and an

@@ -267,7 +267,7 @@ func TestMediatorFromDiskModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	med, err := m.StartMediator("flickr-xmlrpc", "127.0.0.1:0")
+	med, err := m.DeployAny("flickr-xmlrpc", core.DeployOptions{Listen: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestMediatorFromDiskModels(t *testing.T) {
 	if len(photos) != 2 {
 		t.Errorf("photos = %d", len(photos))
 	}
-	if _, err := m.StartMediator("missing", ""); !errors.Is(err, core.ErrSpec) {
+	if _, err := m.DeployAny("missing", core.DeployOptions{}); !errors.Is(err, core.ErrSpec) {
 		t.Errorf("missing spec err = %v", err)
 	}
 }
@@ -322,7 +322,7 @@ func TestE9Evolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	med, err := m.StartMediator("flickr-xmlrpc", "127.0.0.1:0")
+	med, err := m.DeployAny("flickr-xmlrpc", core.DeployOptions{Listen: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +353,7 @@ func TestE9Evolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	medStale, err := m1.StartMediator("flickr-xmlrpc", "127.0.0.1:0")
+	medStale, err := m1.DeployAny("flickr-xmlrpc", core.DeployOptions{Listen: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +402,7 @@ func TestDiscoveryMediatorFromDiskModels(t *testing.T) {
 	if len(m.TypeMaps["upnp-to-slp"]) != 3 {
 		t.Errorf("typemap = %v", m.TypeMaps["upnp-to-slp"])
 	}
-	med, err := m.StartMediator("discovery", "127.0.0.1:0")
+	med, err := m.DeployAny("discovery", core.DeployOptions{Listen: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,9 +66,10 @@ type GatewaySpec struct {
 	Routes []GatewayRouteSpec
 }
 
-// gwErr reports a gateway-spec problem, naming the line and directive.
+// gwErr reports a gateway-spec problem as a typed *SpecError, naming
+// the line and directive.
 func gwErr(lineNo int, directive, format string, args ...any) error {
-	return fmt.Errorf("%w: line %d: directive %q: %s", ErrGateway, lineNo+1, directive, fmt.Sprintf(format, args...))
+	return newGatewayErr(lineNo, directive, format, args...)
 }
 
 // gwSingleValued lists the gateway directives allowed at most once.
@@ -139,15 +140,19 @@ func ParseGatewaySpec(doc string) (*GatewaySpec, error) {
 			routes[rs.Name] = lineNo
 			spec.Routes = append(spec.Routes, rs)
 		default:
-			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrGateway, lineNo+1, fields[0])
+			return nil, &SpecError{Line: lineNo + 1, Directive: fields[0],
+				Msg: "unknown directive", sentinels: []error{ErrGateway, ErrSpec}}
 		}
 	}
 	if len(spec.Routes) == 0 {
-		return nil, fmt.Errorf("%w: no routes declared (directive \"route\" missing)", ErrGateway)
+		return nil, &SpecError{Msg: "no routes declared (directive \"route\" missing)",
+			sentinels: []error{ErrGateway, ErrSpec}}
 	}
 	if spec.Default != "" {
 		if _, ok := routes[spec.Default]; !ok {
-			return nil, fmt.Errorf("%w: default route %q not declared", ErrGateway, spec.Default)
+			return nil, &SpecError{Directive: "default",
+				Msg:       fmt.Sprintf("default route %q not declared", spec.Default),
+				sentinels: []error{ErrGateway, ErrSpec}}
 		}
 	}
 	return spec, nil
@@ -324,6 +329,30 @@ type GatewayDeployment struct {
 	mediators map[string]*engine.Mediator
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// Addr returns the gateway's front-door address.
+func (d *GatewayDeployment) Addr() string { return d.Gateway.Addr() }
+
+// Snapshot captures the front-door counters plus one engine snapshot
+// per hosted mediator, keyed by route name.
+func (d *GatewayDeployment) Snapshot() DeploySnapshot {
+	gs := d.Gateway.Stats()
+	snap := DeploySnapshot{
+		Kind:      "gateway",
+		Mediators: make(map[string]engine.Snapshot),
+		Gateway:   &gs,
+	}
+	d.mu.Lock()
+	meds := make(map[string]*engine.Mediator, len(d.mediators))
+	for name, med := range d.mediators {
+		meds[name] = med
+	}
+	d.mu.Unlock()
+	for name, med := range meds {
+		snap.Mediators[name] = med.Snapshot()
+	}
+	return snap
 }
 
 // DeployGateway builds and starts the named gateway spec: every

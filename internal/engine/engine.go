@@ -43,6 +43,7 @@ import (
 	"starlink/internal/mtl"
 	"starlink/internal/network"
 	"starlink/internal/network/pool"
+	"starlink/internal/rcache"
 )
 
 // Errors reported by the engine.
@@ -75,9 +76,9 @@ type Side struct {
 }
 
 // RetryPolicy is the explicit fault-recovery policy for service-side
-// exchanges. It replaces the sentinel-valued Config.DialRetries and
-// Config.RetryBackoff knobs: every field means exactly what it says,
-// with no magic zero or negative values.
+// exchanges: every field means exactly what it says, with no magic
+// zero or negative values. A nil Config.Retry takes the defaults
+// (DefaultRetryAttempts, DefaultBackoff).
 type RetryPolicy struct {
 	// Attempts is how many times a failed service exchange is retried on
 	// a fresh connection before the session fails (0 = the first failure
@@ -115,25 +116,17 @@ type Config struct {
 	Funcs map[string]mtl.Func
 	// ExchangeTimeout bounds each network exchange (default 10s).
 	ExchangeTimeout time.Duration
-	// Retry, when non-nil, is the fault-recovery policy and takes
-	// precedence over the deprecated DialRetries/RetryBackoff knobs.
+	// Retry, when non-nil, is the service-side fault-recovery policy;
+	// nil means the defaults (DefaultRetryAttempts retries with
+	// DefaultBackoff initial backoff).
 	Retry *RetryPolicy
-	// DialRetries is how many times a failed service-side exchange is
-	// retried on a fresh connection before the session fails: 0 means the
-	// default (2), a negative value disables retries.
-	//
-	// Deprecated: set Retry instead; its fields carry no sentinel
-	// values. DialRetries keeps its old semantics for compatibility and
-	// is ignored when Retry is non-nil.
-	DialRetries int
-	// RetryBackoff is slept before the first retry and doubles with each
-	// further attempt: 0 means the default (50ms), a negative value
-	// disables the sleep.
-	//
-	// Deprecated: set Retry instead; its fields carry no sentinel
-	// values. RetryBackoff keeps its old semantics for compatibility and
-	// is ignored when Retry is non-nil.
-	RetryBackoff time.Duration
+	// Cache, when non-nil, enables the shared cross-flow response cache
+	// (internal/rcache) for the declared service operations. All
+	// sessions of the mediator share one cache; a flow about to send a
+	// cacheable request either serves a deep-cloned cached reply, joins
+	// an in-flight identical exchange, or executes it and populates the
+	// cache.
+	Cache *CachePolicy
 	// DialTimeout bounds each service dial — and, pool-side, how long a
 	// session waits for a pooled connection when the pool is at its
 	// bound (default network.DefaultDialTimeout).
@@ -170,45 +163,61 @@ type Observer interface {
 	ObserveTrace(TraceEvent)
 }
 
-// retryPolicy resolves the effective fault-recovery policy: the
-// explicit Retry field when set, else a translation of the deprecated
-// sentinel-valued knobs.
+// retryPolicy resolves the effective fault-recovery policy: the Retry
+// field when set (validated), else the defaults.
 func (c Config) retryPolicy() (RetryPolicy, error) {
-	if c.Retry != nil {
-		p := *c.Retry
-		if p.Disabled {
-			return RetryPolicy{Disabled: true}, nil
-		}
-		if p.Attempts < 0 {
-			return RetryPolicy{}, fmt.Errorf("%w: negative RetryPolicy.Attempts %d", ErrConfig, p.Attempts)
-		}
-		if p.Backoff < 0 {
-			return RetryPolicy{}, fmt.Errorf("%w: negative RetryPolicy.Backoff %v", ErrConfig, p.Backoff)
-		}
-		return p, nil
+	if c.Retry == nil {
+		return RetryPolicy{Attempts: DefaultRetryAttempts, Backoff: DefaultBackoff}, nil
 	}
-	p := RetryPolicy{Attempts: DefaultDialRetries, Backoff: DefaultRetryBackoff}
-	switch {
-	case c.DialRetries > 0:
-		p.Attempts = c.DialRetries
-	case c.DialRetries < 0:
-		p.Attempts = 0
+	p := *c.Retry
+	if p.Disabled {
+		return RetryPolicy{Disabled: true}, nil
 	}
-	switch {
-	case c.RetryBackoff > 0:
-		p.Backoff = c.RetryBackoff
-	case c.RetryBackoff < 0:
-		p.Backoff = 0
+	if p.Attempts < 0 {
+		return RetryPolicy{}, fmt.Errorf("%w: negative RetryPolicy.Attempts %d", ErrConfig, p.Attempts)
+	}
+	if p.Backoff < 0 {
+		return RetryPolicy{}, fmt.Errorf("%w: negative RetryPolicy.Backoff %v", ErrConfig, p.Backoff)
 	}
 	return p, nil
 }
 
-// DefaultDialRetries and DefaultRetryBackoff are the fault-recovery
-// defaults applied when Config leaves the knobs zero.
+// DefaultRetryAttempts and DefaultBackoff are the fault-recovery
+// defaults applied when Config.Retry is nil.
 const (
-	DefaultDialRetries  = 2
-	DefaultRetryBackoff = 50 * time.Millisecond
+	DefaultRetryAttempts = 2
+	DefaultBackoff       = 50 * time.Millisecond
 )
+
+// CacheRule declares one cacheable service operation: replies to it
+// are stored for TTL and served to later identical requests. Vary,
+// when non-empty, restricts which request field paths participate in
+// the cache key (the spec's `vary=` clause); otherwise the whole
+// outbound field tree does.
+type CacheRule struct {
+	// TTL is how long a stored reply stays servable. It must be > 0.
+	TTL time.Duration
+	// Vary lists the request field paths that distinguish cache
+	// entries; empty means all fields.
+	Vary []string
+}
+
+// CachePolicy is the spec-driven configuration of the shared response
+// cache (the `cacheable`/`invalidates`/`cache_size`/`cache_shards`
+// directives of a .mediator document).
+type CachePolicy struct {
+	// Rules maps cacheable service operation names to their rule.
+	Rules map[string]CacheRule
+	// Invalidates maps a write operation to the cacheable operations
+	// whose entries it flushes when sent.
+	Invalidates map[string][]string
+	// MaxEntries bounds the number of stored replies (0 = rcache
+	// default).
+	MaxEntries int
+	// Shards is the number of independently locked cache segments
+	// (0 = rcache default).
+	Shards int
+}
 
 // DefaultPoolSize and DefaultPoolIdle are the service-pool defaults
 // applied when Config leaves the knobs zero.
@@ -239,6 +248,11 @@ const (
 	// TraceSessionEnd fires when a session's goroutine exits, however it
 	// ended; observers use it to release per-session state.
 	TraceSessionEnd
+	// TraceCacheHit fires when a service exchange is answered from the
+	// shared response cache instead of the network — either a stored
+	// reply (Attempt 0) or a coalesced join of an in-flight leader's
+	// exchange (Attempt 1). State carries the operation name.
+	TraceCacheHit
 )
 
 // String names the kind for logs.
@@ -258,6 +272,8 @@ func (k TraceKind) String() string {
 		return "flow-end"
 	case TraceSessionEnd:
 		return "session-end"
+	case TraceCacheHit:
+		return "cache-hit"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}
@@ -341,6 +357,14 @@ type Stats struct {
 	// A non-zero value means an observability callback is buggy; the
 	// mediation flows themselves were unaffected.
 	HookPanics uint64
+	// CacheHits counts service exchanges answered from a stored reply;
+	// CacheMisses counts cache lookups that led a fresh exchange;
+	// CacheCoalesced counts exchanges that joined an in-flight leader;
+	// CacheEvictions counts entries dropped by LRU pressure or TTL
+	// expiry; CacheInvalidations counts entries flushed by write
+	// operations. All zero unless Config.Cache is set.
+	CacheHits, CacheMisses, CacheCoalesced uint64
+	CacheEvictions, CacheInvalidations     uint64
 }
 
 // statCounters is the internal atomic form of Stats.
@@ -366,6 +390,14 @@ type Mediator struct {
 	compiled map[int]*mtl.CompiledProgram // transition index -> compiled fast path
 	outs     map[string]outgoing          // state -> outgoing transitions, precomputed
 	stats    statCounters
+
+	// rcache is the shared cross-flow response cache (nil unless
+	// Config.Cache declares cacheable operations); cacheRules and
+	// cacheInvalidates are the validated per-operation lookups consulted
+	// on every service send.
+	rcache           *rcache.Cache
+	cacheRules       map[string]CacheRule
+	cacheInvalidates map[string][]string
 
 	// transitions, exchanges and translate are the latency histograms
 	// behind Snapshot: per-transition execution, per-service-exchange
@@ -413,7 +445,23 @@ func (m *Mediator) Stats() Stats {
 		ps := p.Stats()
 		st.PoolHits, st.PoolDials, st.PoolEvictions = ps.Hits, ps.Dials, ps.Evictions()
 	}
+	if m.rcache != nil {
+		cs := m.rcache.Stats()
+		st.CacheHits, st.CacheMisses, st.CacheCoalesced = cs.Hits, cs.Misses, cs.Coalesced
+		st.CacheEvictions, st.CacheInvalidations = cs.Evictions, cs.Invalidations
+	}
 	return st
+}
+
+// CacheFlush drops every reply from the cross-flow response cache,
+// forcing the next cacheable exchange of each key back to the service.
+// It returns the number of entries dropped, and is a no-op for
+// mediators deployed without a cache policy.
+func (m *Mediator) CacheFlush() int {
+	if m.rcache == nil {
+		return 0
+	}
+	return m.rcache.Flush()
 }
 
 // New validates the configuration and pre-compiles all γ MTL programs.
@@ -435,9 +483,13 @@ func New(cfg Config) (*Mediator, error) {
 		return nil, err
 	}
 	colors := map[int]bool{}
+	serviceSends := map[string]bool{}
 	for _, t := range cfg.Merged.Transitions {
 		if t.Kind == automata.KindMessage {
 			colors[t.Color] = true
+			if t.Color != cfg.ServerColor && t.Action == automata.Send {
+				serviceSends[t.Message] = true
+			}
 		}
 	}
 	for c := range colors {
@@ -452,6 +504,32 @@ func New(cfg Config) (*Mediator, error) {
 	if !colors[cfg.ServerColor] {
 		return nil, fmt.Errorf("%w: server color %d has no transitions", ErrConfig, cfg.ServerColor)
 	}
+	if cfg.Cache != nil {
+		if cfg.Cache.MaxEntries < 0 {
+			return nil, fmt.Errorf("%w: negative CachePolicy.MaxEntries %d", ErrConfig, cfg.Cache.MaxEntries)
+		}
+		if cfg.Cache.Shards < 0 {
+			return nil, fmt.Errorf("%w: negative CachePolicy.Shards %d", ErrConfig, cfg.Cache.Shards)
+		}
+		for op, rule := range cfg.Cache.Rules {
+			if !serviceSends[op] {
+				return nil, fmt.Errorf("%w: cacheable operation %q is not a service-side invocation of the automaton", ErrConfig, op)
+			}
+			if rule.TTL <= 0 {
+				return nil, fmt.Errorf("%w: cacheable operation %q needs a positive ttl, got %v", ErrConfig, op, rule.TTL)
+			}
+		}
+		for op, targets := range cfg.Cache.Invalidates {
+			if !serviceSends[op] {
+				return nil, fmt.Errorf("%w: invalidating operation %q is not a service-side invocation of the automaton", ErrConfig, op)
+			}
+			for _, target := range targets {
+				if _, ok := cfg.Cache.Rules[target]; !ok {
+					return nil, fmt.Errorf("%w: operation %q invalidates %q, which is not declared cacheable", ErrConfig, op, target)
+				}
+			}
+		}
+	}
 	m := &Mediator{
 		cfg:      cfg,
 		retry:    retry,
@@ -461,6 +539,14 @@ func New(cfg Config) (*Mediator, error) {
 		conns:    make(map[network.Conn]struct{}),
 		svcConns: make(map[network.Conn]struct{}),
 		idle:     make(map[network.Conn]struct{}),
+	}
+	if cfg.Cache != nil && len(cfg.Cache.Rules) > 0 {
+		m.rcache = rcache.New(rcache.Options{
+			MaxEntries: cfg.Cache.MaxEntries,
+			Shards:     cfg.Cache.Shards,
+		})
+		m.cacheRules = cfg.Cache.Rules
+		m.cacheInvalidates = cfg.Cache.Invalidates
 	}
 	handles := make([]string, len(cfg.Merged.States))
 	for i, st := range cfg.Merged.States {
@@ -852,6 +938,29 @@ type session struct {
 	// protocol-level fault instead of a dropped connection.
 	pendingAction  string
 	pendingRequest *message.Message
+	// cachePending tracks, per service color, the response-cache role of
+	// the exchange between its send and receive transitions: a cached or
+	// coalesced reply waiting to be bound, a led flight to fulfil, or a
+	// follower-fallback key to populate. Lazily allocated — nil for
+	// mediators without a cache.
+	cachePending map[int]*pendingCache
+}
+
+// pendingCache is one service color's in-progress cache interaction.
+type pendingCache struct {
+	// reply, when non-nil, is the deep-cloned cached (or coalesced)
+	// reply to bind at the receive transition instead of reading the
+	// network.
+	reply *message.Message
+	// flight, when non-nil, is the single-flight this session leads; it
+	// is fulfilled when the real reply parses, aborted if the session
+	// dies first.
+	flight *rcache.Flight
+	// key/op/ttl describe where a fetched reply is stored (leader
+	// fulfilment or follower fallback).
+	key string
+	op  string
+	ttl time.Duration
 }
 
 // serviceLink is a service-side connection checked out of the shared
@@ -918,6 +1027,9 @@ func (s *session) run() {
 		for color := range s.services {
 			s.releaseService(color)
 		}
+		// A session dying while leading a single-flight must wake its
+		// followers so they fall back to their own exchanges.
+		s.abortFlights(nil)
 	}()
 	for {
 		s.pendingAction, s.pendingRequest = "", nil
@@ -1217,31 +1329,134 @@ func (s *session) execMessage(
 			abs = message.New(t.Message)
 		}
 		abs.Name = t.Message
+		if s.med.rcache != nil && s.cacheCheck(t, abs) {
+			// Answered from the cache (or a coalesced in-flight
+			// exchange): no network send, the reply is parked for the
+			// receive transition.
+			lastServiceAction[t.Color] = t.Message
+			return nil
+		}
 		data, err := side.Binder.BuildRequest(t.Message, abs)
 		if err != nil {
+			s.abortFlight(t.Color, err)
 			return fmt.Errorf("build service request: %w", err)
 		}
 		if err := s.serviceSend(t.Color, data); err != nil {
+			s.abortFlight(t.Color, err)
 			return err
 		}
 		s.med.stats.messagesOut.Add(1)
 		lastServiceAction[t.Color] = t.Message
 	default:
 		// Mediator receives the service reply.
+		if pc := s.cachePending[t.Color]; pc != nil && pc.reply != nil {
+			// Serve the parked cached/coalesced reply without touching
+			// the network.
+			delete(s.cachePending, t.Color)
+			abs := pc.reply
+			abs.Name = t.Message
+			env.Bind(t.To, abs)
+			return nil
+		}
 		data, err := s.serviceRecv(t.Color)
 		if err != nil {
+			s.abortFlight(t.Color, err)
 			return err
 		}
 		s.med.stats.messagesIn.Add(1)
 		abs, err := side.Binder.ParseReply(lastServiceAction[t.Color], data)
 		if err != nil {
+			s.abortFlight(t.Color, err)
 			s.med.stats.serviceFailures.Add(1)
 			return fmt.Errorf("parse service reply: %w", err)
 		}
 		abs.Name = t.Message
+		if pc := s.cachePending[t.Color]; pc != nil {
+			delete(s.cachePending, t.Color)
+			if pc.flight != nil {
+				s.med.rcache.Fulfill(pc.flight, abs, pc.ttl)
+			} else {
+				s.med.rcache.Put(pc.op, pc.key, abs, pc.ttl)
+			}
+		}
 		env.Bind(t.To, abs)
 	}
 	return nil
+}
+
+// cacheCheck runs the response-cache protocol for one service-side
+// invocation: write operations flush the entries they invalidate, and
+// cacheable operations are looked up. It reports true when the reply
+// is already in hand (cache hit or coalesced join) and the network
+// exchange must be skipped; false means the caller proceeds with the
+// real exchange, with cachePending recording how its reply feeds back
+// into the cache.
+func (s *session) cacheCheck(t automata.MergedTransition, abs *message.Message) bool {
+	m := s.med
+	if targets := m.cacheInvalidates[t.Message]; len(targets) > 0 {
+		m.rcache.Invalidate(targets)
+	}
+	rule, ok := m.cacheRules[t.Message]
+	if !ok {
+		return false
+	}
+	key := rcache.Key(t.Message, s.serviceAddr(t.Color), abs, rule.Vary)
+	reply, flight, leader := m.rcache.Acquire(t.Message, key)
+	if reply != nil {
+		s.parkReply(t.Color, reply)
+		s.trace(TraceEvent{Kind: TraceCacheHit, Color: t.Color, State: t.Message})
+		return true
+	}
+	if leader {
+		s.setPending(t.Color, &pendingCache{flight: flight, key: key, op: t.Message, ttl: rule.TTL})
+		return false
+	}
+	// Follower: wait for the leader's exchange. Bound the wait by the
+	// exchange timeout — the leader's own exchange is bounded by it too.
+	start := time.Now()
+	rep, err := flight.Wait(m.cfg.ExchangeTimeout)
+	if err == nil {
+		s.parkReply(t.Color, rep)
+		s.trace(TraceEvent{Kind: TraceCacheHit, Color: t.Color, State: t.Message,
+			Attempt: 1, Elapsed: time.Since(start)})
+		return true
+	}
+	// Leader aborted (or timed out): fall back to a direct exchange and
+	// populate the cache ourselves.
+	s.setPending(t.Color, &pendingCache{key: key, op: t.Message, ttl: rule.TTL})
+	return false
+}
+
+func (s *session) parkReply(color int, reply *message.Message) {
+	s.setPending(color, &pendingCache{reply: reply})
+}
+
+func (s *session) setPending(color int, pc *pendingCache) {
+	if s.cachePending == nil {
+		s.cachePending = make(map[int]*pendingCache)
+	}
+	s.cachePending[color] = pc
+}
+
+// abortFlight releases one color's cache bookkeeping after its
+// exchange failed: a led flight is aborted so followers fall back.
+func (s *session) abortFlight(color int, err error) {
+	pc := s.cachePending[color]
+	if pc == nil {
+		return
+	}
+	delete(s.cachePending, color)
+	if pc.flight != nil {
+		s.med.rcache.Abort(pc.flight, err)
+	}
+}
+
+// abortFlights releases every color's pending cache state (session
+// teardown).
+func (s *session) abortFlights(err error) {
+	for color := range s.cachePending {
+		s.abortFlight(color, err)
+	}
 }
 
 // serviceSend delivers a composed request to a service color, retrying

@@ -265,7 +265,7 @@ func TestServiceRestartMidSessionRecovered(t *testing.T) {
 			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: addr},
 		},
 		ExchangeTimeout: 2 * time.Second,
-		RetryBackoff:    5 * time.Millisecond,
+		Retry:           &engine.RetryPolicy{Attempts: engine.DefaultRetryAttempts, Backoff: 5 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)

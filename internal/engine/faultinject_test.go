@@ -80,7 +80,7 @@ func startAddPlusWithDialer(t *testing.T, d *faultyDialer, tweak func(*engine.Co
 			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: srv.Addr(), Dialer: d.dial},
 		},
 		ExchangeTimeout: 2 * time.Second,
-		RetryBackoff:    time.Millisecond,
+		Retry:           &engine.RetryPolicy{Attempts: engine.DefaultRetryAttempts, Backoff: time.Millisecond},
 	}
 	if tweak != nil {
 		tweak(&cfg)
@@ -163,7 +163,7 @@ func TestRetriesExhaustedCounted(t *testing.T) {
 		fc.ScriptSend(network.Fault{})
 	}}
 	med := startAddPlusWithDialer(t, d, func(cfg *engine.Config) {
-		cfg.DialRetries = 2
+		cfg.Retry = &engine.RetryPolicy{Attempts: 2, Backoff: time.Millisecond}
 	})
 	client, err := giop.Dial(med.Addr(), "calc")
 	if err != nil {
@@ -195,14 +195,14 @@ func TestRetriesExhaustedCounted(t *testing.T) {
 	}
 }
 
-// TestDialRetriesDisabled: a negative DialRetries turns recovery off —
-// the first transport fault fails the session.
-func TestDialRetriesDisabled(t *testing.T) {
+// TestRetryDisabled: RetryPolicy.Disabled turns recovery off — the
+// first transport fault fails the session.
+func TestRetryDisabled(t *testing.T) {
 	d := &faultyDialer{script: func(dial int, fc *network.FaultConn) {
 		fc.ScriptSend(network.Fault{})
 	}}
 	med := startAddPlusWithDialer(t, d, func(cfg *engine.Config) {
-		cfg.DialRetries = -1
+		cfg.Retry = &engine.RetryPolicy{Disabled: true}
 	})
 	client, err := giop.Dial(med.Addr(), "calc")
 	if err != nil {
@@ -220,16 +220,15 @@ func TestDialRetriesDisabled(t *testing.T) {
 	}
 }
 
-// TestRetryBackoffSpacing: with a measurable backoff and two retries the
+// TestRetryDelaySpacing: with a measurable backoff and two retries the
 // failed exchange takes at least base + 2*base.
-func TestRetryBackoffSpacing(t *testing.T) {
+func TestRetryDelaySpacing(t *testing.T) {
 	d := &faultyDialer{script: func(dial int, fc *network.FaultConn) {
 		fc.ScriptSend(network.Fault{})
 	}}
 	const base = 40 * time.Millisecond
 	med := startAddPlusWithDialer(t, d, func(cfg *engine.Config) {
-		cfg.DialRetries = 2
-		cfg.RetryBackoff = base
+		cfg.Retry = &engine.RetryPolicy{Attempts: 2, Backoff: base}
 	})
 	client, err := giop.Dial(med.Addr(), "calc")
 	if err != nil {

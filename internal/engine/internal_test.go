@@ -6,31 +6,25 @@ import (
 	"time"
 )
 
-// TestRetryPolicyTranslation pins the compatibility shim: the deprecated
-// sentinel knobs translate into the explicit policy exactly as their old
-// documentation promised, and an explicit Retry wins outright.
+// TestRetryPolicyTranslation pins the single retry surface: a nil
+// Retry means the documented defaults, an explicit policy is taken
+// literally, and Disabled short-circuits everything else.
 func TestRetryPolicyTranslation(t *testing.T) {
 	cases := []struct {
 		name string
 		cfg  Config
 		want RetryPolicy
 	}{
-		{"zero values mean defaults", Config{},
-			RetryPolicy{Attempts: DefaultDialRetries, Backoff: DefaultRetryBackoff}},
-		{"positive legacy values pass through", Config{DialRetries: 5, RetryBackoff: time.Second},
+		{"nil policy means defaults", Config{},
+			RetryPolicy{Attempts: DefaultRetryAttempts, Backoff: DefaultBackoff}},
+		{"explicit policy is literal", Config{Retry: &RetryPolicy{Attempts: 5, Backoff: time.Second}},
 			RetryPolicy{Attempts: 5, Backoff: time.Second}},
-		{"negative legacy values disable", Config{DialRetries: -1, RetryBackoff: -1},
-			RetryPolicy{Attempts: 0, Backoff: 0}},
-		{"explicit policy wins over legacy", Config{Retry: &RetryPolicy{Attempts: 1}, DialRetries: 9, RetryBackoff: time.Hour},
-			RetryPolicy{Attempts: 1}},
 		{"disabled ignores other fields", Config{Retry: &RetryPolicy{Attempts: 7, Backoff: time.Hour, Disabled: true}},
 			RetryPolicy{Disabled: true}},
-		{"legacy knobs resolve independently", Config{DialRetries: 5, RetryBackoff: -1},
-			RetryPolicy{Attempts: 5, Backoff: 0}},
-		{"legacy disable with explicit backoff", Config{DialRetries: -1, RetryBackoff: time.Minute},
-			RetryPolicy{Attempts: 0, Backoff: time.Minute}},
 		{"explicit zero policy means zero, not defaults", Config{Retry: &RetryPolicy{}},
 			RetryPolicy{}},
+		{"attempts without backoff stays literal", Config{Retry: &RetryPolicy{Attempts: 1}},
+			RetryPolicy{Attempts: 1}},
 	}
 	for _, tt := range cases {
 		t.Run(tt.name, func(t *testing.T) {

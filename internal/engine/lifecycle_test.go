@@ -293,12 +293,11 @@ func TestRetryPolicyExplicit(t *testing.T) {
 			t.Errorf("RetriesExhausted = %d, want 1", st.RetriesExhausted)
 		}
 	})
-	t.Run("explicit overrides deprecated knobs", func(t *testing.T) {
+	t.Run("disabled policy fails on first fault", func(t *testing.T) {
 		d := &faultyDialer{script: func(dial int, fc *network.FaultConn) {
 			fc.ScriptRecv(network.Fault{})
 		}}
 		med := startAddPlusWithDialer(t, d, func(cfg *engine.Config) {
-			cfg.DialRetries = 5 // deprecated knob says 5 retries...
 			cfg.Retry = &engine.RetryPolicy{Disabled: true}
 		})
 		client, err := giop.Dial(med.Addr(), "calc")
@@ -310,7 +309,7 @@ func TestRetryPolicyExplicit(t *testing.T) {
 			t.Error("invoke succeeded")
 		}
 		if got := d.dials(); got != 1 {
-			t.Errorf("dials = %d, want 1: Retry must win over DialRetries", got)
+			t.Errorf("dials = %d, want 1: disabled policy must not redial", got)
 		}
 	})
 }

@@ -195,6 +195,16 @@ func RegisterMediator(r *Registry, med *engine.Mediator) {
 		stat(func(s engine.Stats) uint64 { return s.PoolEvictions }))
 	r.Counter("starlink_hook_panics_total", "Panics recovered from Trace/Observer hooks.",
 		stat(func(s engine.Stats) uint64 { return s.HookPanics }))
+	r.Counter("starlink_cache_hits_total", "Service exchanges served from the cross-flow response cache.",
+		stat(func(s engine.Stats) uint64 { return s.CacheHits }))
+	r.Counter("starlink_cache_misses_total", "Cacheable exchanges that went to the service (leader elections).",
+		stat(func(s engine.Stats) uint64 { return s.CacheMisses }))
+	r.Counter("starlink_cache_coalesced_total", "Cacheable exchanges that joined an in-flight leader.",
+		stat(func(s engine.Stats) uint64 { return s.CacheCoalesced }))
+	r.Counter("starlink_cache_evictions_total", "Cached replies dropped by TTL expiry or LRU overflow.",
+		stat(func(s engine.Stats) uint64 { return s.CacheEvictions }))
+	r.Counter("starlink_cache_invalidations_total", "Cached replies flushed by write-operation invalidation.",
+		stat(func(s engine.Stats) uint64 { return s.CacheInvalidations }))
 	r.Histogram("starlink_transition_seconds", "Latency of individual automaton transitions.",
 		func() engine.LatencyHistogram { return med.Snapshot().Transitions })
 	r.Histogram("starlink_exchange_seconds", "Latency of service request/reply round-trips.",

@@ -212,6 +212,21 @@ func (o *Observer) ObserveTrace(ev engine.TraceEvent) {
 			sp.Err = ev.Err.Error()
 		}
 		st.cur.Root.Children = append(st.cur.Root.Children, sp)
+	case engine.TraceCacheHit:
+		st := o.session(ev.Session)
+		if st.cur == nil {
+			return
+		}
+		sp := &Span{
+			Kind:     SpanCache,
+			Name:     fmt.Sprintf("cache hit %s", ev.State),
+			State:    ev.State,
+			Color:    ev.Color,
+			Attempt:  ev.Attempt,
+			Start:    ev.Time.Add(-ev.Elapsed),
+			Duration: ev.Elapsed,
+		}
+		st.cur.Root.Children = append(st.cur.Root.Children, sp)
 	case engine.TraceFlowEnd:
 		st := o.session(ev.Session)
 		if st.cur == nil {

@@ -16,6 +16,10 @@ const (
 	// SpanRedial marks a service connection replaced mid-flow (fault
 	// recovery or a sethost retarget).
 	SpanRedial = "redial"
+	// SpanCache marks a service exchange served by the cross-flow
+	// response cache — Attempt 0 for a stored reply, 1 for a coalesced
+	// join of an in-flight leader's exchange.
+	SpanCache = "cache"
 )
 
 // Span is one node of a flow's span tree: the flow root, a transition

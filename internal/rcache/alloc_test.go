@@ -1,0 +1,70 @@
+package rcache
+
+import (
+	"testing"
+	"time"
+
+	"starlink/internal/testutil"
+)
+
+// TestCacheHitAllocBudget pins the cache-hit fast path: rendering the
+// canonical key for an outbound request and serving a stored reply
+// (Acquire hit, which deep-clones the entry) must stay within a fixed
+// allocation budget. This is the path every cache-served flow pays
+// instead of a service exchange, so regressions here erode the very
+// latency win the cache exists for. The deep clone is mandatory:
+// callers mutate replies during γ translation, and the stored copy
+// must stay pristine.
+func TestCacheHitAllocBudget(t *testing.T) {
+	c := New(Options{})
+	outbound := req("espresso")
+	key := Key("catalog.search", "127.0.0.1:9999", outbound, nil)
+	c.Put("catalog.search", key, reply("stored"), time.Hour)
+
+	allocs := testing.AllocsPerRun(500, func() {
+		k := Key("catalog.search", "127.0.0.1:9999", outbound, nil)
+		hit, _, _ := c.Acquire("catalog.search", k)
+		if hit == nil {
+			t.Fatal("expected a cache hit")
+		}
+	})
+	if testutil.RaceEnabled {
+		t.Skipf("race detector enabled; measured %.1f allocs/op unasserted", allocs)
+	}
+	if allocs > hitBudget {
+		t.Errorf("key+hit path allocated %.1f times per op, budget %d", allocs, hitBudget)
+	}
+}
+
+// hitBudget covers one key string plus the deep clone of the stored
+// reply (Message, Fields slice, two Fields, one child and its slice)
+// — no per-hit map, list or flight allocation on top of that.
+const hitBudget = 8
+
+// TestMissCycleAllocBudget pins the uncontended miss: leader election,
+// Fulfill (which stores a stripped clone) and the flight bookkeeping.
+// The lazy done channel keeps the follower-free case channel-free.
+func TestMissCycleAllocBudget(t *testing.T) {
+	c := New(Options{})
+	outbound := req("espresso")
+	rep := reply("fresh")
+
+	allocs := testing.AllocsPerRun(200, func() {
+		k := Key("catalog.search", "127.0.0.1:9999", outbound, nil)
+		hit, f, lead := c.Acquire("catalog.search", k)
+		if hit != nil || !lead {
+			t.Fatal("expected to lead a new flight")
+		}
+		c.Fulfill(f, rep, 0) // ttl 0: fulfil without storing, so every run misses
+	})
+	if testutil.RaceEnabled {
+		t.Skipf("race detector enabled; measured %.1f allocs/op unasserted", allocs)
+	}
+	if allocs > missBudget {
+		t.Errorf("miss cycle allocated %.1f times per op, budget %d", allocs, missBudget)
+	}
+}
+
+// missBudget covers the key string, the Flight, and the stripped clone
+// Fulfill builds for waking followers.
+const missBudget = 10

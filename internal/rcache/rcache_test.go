@@ -1,0 +1,303 @@
+package rcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"starlink/internal/message"
+)
+
+func reply(v string) *message.Message {
+	return message.New("Reply",
+		message.NewPrimitive("result", message.TypeString, v),
+		message.NewStruct("meta", message.NewPrimitive("server", message.TypeString, "s1")),
+	)
+}
+
+func req(q string) *message.Message {
+	return message.New("Req",
+		message.NewPrimitive("q", message.TypeString, q),
+		message.NewPrimitive("_jsonrpc_id", message.TypeUint64, uint64(42)),
+	)
+}
+
+func TestKeyCanonical(t *testing.T) {
+	k1 := Key("catalog.search", "addr:1", req("espresso"), nil)
+	k2 := Key("catalog.search", "addr:1", req("espresso"), nil)
+	if k1 != k2 {
+		t.Fatalf("identical messages produced different keys:\n%q\n%q", k1, k2)
+	}
+	if k3 := Key("catalog.search", "addr:1", req("grinder"), nil); k3 == k1 {
+		t.Fatal("different field values produced the same key")
+	}
+	if k4 := Key("catalog.other", "addr:1", req("espresso"), nil); k4 == k1 {
+		t.Fatal("different operations produced the same key")
+	}
+	if k5 := Key("catalog.search", "addr:2", req("espresso"), nil); k5 == k1 {
+		t.Fatal("different service addresses produced the same key")
+	}
+}
+
+// TestKeySkipsBinderInternals: the "_"-prefixed correlation fields a
+// binder attaches (e.g. _jsonrpc_id) differ on every exchange and must
+// not fragment the key space.
+func TestKeySkipsBinderInternals(t *testing.T) {
+	a := req("espresso")
+	b := req("espresso")
+	b.Field("_jsonrpc_id").Value = uint64(7777)
+	if Key("op", "addr", a, nil) != Key("op", "addr", b, nil) {
+		t.Fatal("binder-internal field leaked into the cache key")
+	}
+}
+
+func TestKeyVary(t *testing.T) {
+	a := message.New("Req",
+		message.NewPrimitive("q", message.TypeString, "espresso"),
+		message.NewPrimitive("session_token", message.TypeString, "tok-1"),
+	)
+	b := message.New("Req",
+		message.NewPrimitive("q", message.TypeString, "espresso"),
+		message.NewPrimitive("session_token", message.TypeString, "tok-2"),
+	)
+	if Key("op", "addr", a, []string{"q"}) != Key("op", "addr", b, []string{"q"}) {
+		t.Fatal("vary=q should ignore the differing session_token")
+	}
+	if Key("op", "addr", a, nil) == Key("op", "addr", b, nil) {
+		t.Fatal("without vary, differing fields must produce different keys")
+	}
+	if Key("op", "addr", a, []string{"session_token"}) == Key("op", "addr", b, []string{"session_token"}) {
+		t.Fatal("vary=session_token must see the differing token")
+	}
+}
+
+func TestAcquireMissFulfillHit(t *testing.T) {
+	c := New(Options{})
+	key := Key("op", "addr", req("x"), nil)
+
+	got, f, leader := c.Acquire("op", key)
+	if got != nil || !leader {
+		t.Fatalf("first Acquire: got reply=%v leader=%v, want miss+leader", got, leader)
+	}
+	orig := reply("v1")
+	orig.Fields = append(orig.Fields, message.NewPrimitive("_giop_req", message.TypeUint64, uint64(9)))
+	c.Fulfill(f, orig, time.Minute)
+
+	got, f2, leader := c.Acquire("op", key)
+	if got == nil || f2 != nil || leader {
+		t.Fatalf("second Acquire: want hit, got reply=%v flight=%v leader=%v", got, f2, leader)
+	}
+	if got.Field("_giop_req") != nil {
+		t.Fatal("binder-internal field survived into the cached reply")
+	}
+	if v, _ := got.GetString("result"); v != "v1" {
+		t.Fatalf("cached reply result = %q, want v1", v)
+	}
+	// The hit must be a deep clone: mutating it cannot poison the cache.
+	got.Field("result").Value = "poisoned"
+	again, _, _ := c.Acquire("op", key)
+	if v, _ := again.GetString("result"); v != "v1" {
+		t.Fatalf("cache entry was aliased by a served reply: result = %q", v)
+	}
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New(Options{})
+	key := "k"
+	_, f, _ := c.Acquire("op", key)
+	c.Fulfill(f, reply("v"), 10*time.Millisecond)
+	if got, _, _ := c.Acquire("op", key); got == nil {
+		t.Fatal("entry should be live inside its TTL")
+	}
+	time.Sleep(20 * time.Millisecond)
+	got, _, leader := c.Acquire("op", key)
+	if got != nil || !leader {
+		t.Fatal("expired entry should miss and elect a new leader")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("expiry should count as an eviction, stats = %+v", st)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	c := New(Options{})
+	key := "k"
+	_, lead, isLead := c.Acquire("op", key)
+	if !isLead {
+		t.Fatal("want leader")
+	}
+	const followers = 16
+	var wg sync.WaitGroup
+	var served atomic.Uint64
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, f, leader := c.Acquire("op", key)
+			if got != nil || leader {
+				t.Errorf("follower got reply=%v leader=%v", got, leader)
+				return
+			}
+			rep, err := f.Wait(time.Second)
+			if err != nil {
+				t.Errorf("Wait: %v", err)
+				return
+			}
+			if v, _ := rep.GetString("result"); v != "v" {
+				t.Errorf("follower reply = %q", v)
+				return
+			}
+			served.Add(1)
+		}()
+	}
+	// Give followers time to join before the leader fulfils.
+	time.Sleep(20 * time.Millisecond)
+	c.Fulfill(lead, reply("v"), time.Minute)
+	wg.Wait()
+	if served.Load() != followers {
+		t.Fatalf("served %d followers, want %d", served.Load(), followers)
+	}
+	if st := c.Stats(); st.Coalesced != followers {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, followers)
+	}
+}
+
+func TestAbortWakesFollowers(t *testing.T) {
+	c := New(Options{})
+	_, lead, _ := c.Acquire("op", "k")
+	_, follower, _ := c.Acquire("op", "k")
+	go c.Abort(lead, nil)
+	if _, err := follower.Wait(time.Second); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Wait after abort: %v, want ErrAborted", err)
+	}
+	// The key must be leadable again.
+	if _, _, leader := c.Acquire("op", "k"); !leader {
+		t.Fatal("aborted key should elect a fresh leader")
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	c := New(Options{})
+	_, _, _ = c.Acquire("op", "k")
+	_, follower, _ := c.Acquire("op", "k")
+	if _, err := follower.Wait(5 * time.Millisecond); !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("Wait: %v, want ErrWaitTimeout", err)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Options{})
+	for i, op := range []string{"read.a", "read.a", "read.b"} {
+		key := fmt.Sprintf("k%d", i)
+		_, f, _ := c.Acquire(op, key)
+		c.Fulfill(f, reply("v"), time.Minute)
+	}
+	if n := c.Invalidate([]string{"read.a"}); n != 2 {
+		t.Fatalf("Invalidate removed %d, want 2", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after invalidation, want 1", c.Len())
+	}
+	if got, _, _ := c.Acquire("read.b", "k2"); got == nil {
+		t.Fatal("unrelated operation was invalidated")
+	}
+	if st := c.Stats(); st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", st.Invalidations)
+	}
+}
+
+// TestInvalidateMarksFlightStale: a write racing an in-flight read must
+// prevent the read's result from being stored (it may be pre-write
+// data), while still serving the waiting followers.
+func TestInvalidateMarksFlightStale(t *testing.T) {
+	c := New(Options{})
+	_, lead, _ := c.Acquire("read.a", "k")
+	_, follower, _ := c.Acquire("read.a", "k")
+	c.Invalidate([]string{"read.a"})
+	done := make(chan struct{})
+	go func() {
+		if rep, err := follower.Wait(time.Second); err != nil || rep == nil {
+			t.Errorf("follower not served across stale fulfil: %v", err)
+		}
+		close(done)
+	}()
+	c.Fulfill(lead, reply("stale"), time.Minute)
+	<-done
+	if got, _, _ := c.Acquire("read.a", "k"); got != nil {
+		t.Fatal("stale flight result was stored despite invalidation")
+	}
+}
+
+func TestLRUBound(t *testing.T) {
+	c := New(Options{MaxEntries: 8, Shards: 1})
+	for i := 0; i < 50; i++ {
+		c.Put("op", fmt.Sprintf("k%d", i), reply("v"), time.Minute)
+	}
+	if c.Len() > 8 {
+		t.Fatalf("cache holds %d entries, bound is 8", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 42 {
+		t.Fatalf("evictions = %d, want 42", st.Evictions)
+	}
+	// Most recent keys survive.
+	if got, _, _ := c.Acquire("op", "k49"); got == nil {
+		t.Fatal("most recently stored key was evicted")
+	}
+	if got, _, _ := c.Acquire("op", "k0"); got != nil {
+		t.Fatal("oldest key survived past the bound")
+	}
+}
+
+func TestPutFollowerFallback(t *testing.T) {
+	c := New(Options{})
+	c.Put("op", "k", reply("v"), time.Minute)
+	if got, _, _ := c.Acquire("op", "k"); got == nil {
+		t.Fatal("Put entry not served")
+	}
+	// ttl <= 0 is a no-op.
+	c.Put("op", "k2", reply("v"), 0)
+	if _, _, leader := c.Acquire("op", "k2"); !leader {
+		t.Fatal("zero-TTL Put should not store")
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(Options{MaxEntries: 64, Shards: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				op := fmt.Sprintf("op%d", i%3)
+				got, f, leader := c.Acquire(op, key)
+				switch {
+				case got != nil:
+				case leader:
+					if i%7 == 0 {
+						c.Abort(f, nil)
+					} else {
+						c.Fulfill(f, reply("v"), time.Millisecond*50)
+					}
+				default:
+					if _, err := f.Wait(time.Second); err != nil {
+						c.Put(op, key, reply("v"), time.Millisecond*50)
+					}
+				}
+				if i%41 == 0 {
+					c.Invalidate([]string{"op0"})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

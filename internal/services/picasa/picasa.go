@@ -8,6 +8,7 @@ package picasa
 import (
 	"strconv"
 	"strings"
+	"time"
 
 	"starlink/internal/protocol/httpwire"
 	"starlink/internal/protocol/rest"
@@ -23,6 +24,11 @@ type Config struct {
 	SearchParam string
 	// LimitParam is the result-limit parameter (default "max-results").
 	LimitParam string
+	// ProcessingDelay is slept before answering each request. The
+	// benchmark harness uses it to stand in for a remote service's
+	// processing and network time, which the in-process store would
+	// otherwise hide.
+	ProcessingDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +71,9 @@ func (s *Service) Addr() string { return s.http.Addr() }
 func (s *Service) Close() error { return s.http.Close() }
 
 func (s *Service) handle(req *httpwire.Request) *httpwire.Response {
+	if s.cfg.ProcessingDelay > 0 {
+		time.Sleep(s.cfg.ProcessingDelay)
+	}
 	switch {
 	case req.Method == "GET" && req.Path() == rest.BasePath+"/all":
 		return s.search(req)

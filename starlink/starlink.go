@@ -138,9 +138,28 @@ type (
 	Admin = observe.Admin
 	// AdminConfig wires an Admin endpoint to its data sources.
 	AdminConfig = observe.AdminConfig
-	// Deployment is a running mediator with its optional observability
-	// attachments; see Models.Deploy.
-	Deployment = core.Deployment
+	// Deployment is a running declarative deployment — mediator or
+	// gateway — behind one lifecycle interface (Addr, Snapshot,
+	// Shutdown, Close); see Deploy. Concrete types remain reachable by
+	// type assertion to *MediatorDeployment / *GatewayDeployment.
+	Deployment = core.Deployed
+	// MediatorDeployment is a running single mediator with its optional
+	// observability attachments; see Models.Deploy.
+	MediatorDeployment = core.Deployment
+	// DeployOptions carry the listener and admin addresses for Deploy.
+	DeployOptions = core.DeployOptions
+	// DeploySnapshot is the uniform stats snapshot every Deployment
+	// serves.
+	DeploySnapshot = core.DeploySnapshot
+	// SpecError is the typed error every spec parser (ParseMediatorSpec,
+	// ParseGatewaySpec) returns: Line, Directive and Msg are inspectable
+	// via errors.As instead of string matching.
+	SpecError = core.SpecError
+	// CachePolicy configures the cross-flow response cache for
+	// EngineConfig.Cache.
+	CachePolicy = engine.CachePolicy
+	// CacheRule is one cacheable operation's TTL and vary set.
+	CacheRule = engine.CacheRule
 	// Gateway is the mediation front door: one listener that sniffs,
 	// routes, admission-controls and hot-reloads many mediators.
 	Gateway = gateway.Gateway
@@ -167,6 +186,16 @@ type (
 	// GatewayDeployment is a running gateway with its hosted mediators
 	// and optional metrics endpoint; see Models.DeployGateway.
 	GatewayDeployment = core.GatewayDeployment
+)
+
+// Spec-parser error classification sentinels. Every parse failure is a
+// *SpecError wrapping one (or both) of these, so errors.Is classifies
+// and errors.As inspects.
+var (
+	// ErrSpec is wrapped by every mediator- and gateway-spec failure.
+	ErrSpec = core.ErrSpec
+	// ErrGateway is additionally wrapped by gateway-spec failures.
+	ErrGateway = core.ErrGateway
 )
 
 // Wire classes the gateway sniffer distinguishes.
@@ -199,15 +228,21 @@ const (
 	TraceFlowEnd = engine.TraceFlowEnd
 	// TraceSessionEnd fires when a client session tears down.
 	TraceSessionEnd = engine.TraceSessionEnd
+	// TraceCacheHit fires when a service exchange is served from the
+	// cross-flow response cache (Attempt 0) or by joining an in-flight
+	// leader's exchange (Attempt 1).
+	TraceCacheHit = engine.TraceCacheHit
 )
 
 // Fault-recovery and pooling defaults applied when EngineConfig leaves
-// the knobs zero.
+// the knobs zero (or Retry nil).
 const (
-	// DefaultDialRetries is the default service-retry count.
-	DefaultDialRetries = engine.DefaultDialRetries
-	// DefaultRetryBackoff is the default base backoff between retries.
-	DefaultRetryBackoff = engine.DefaultRetryBackoff
+	// DefaultRetryAttempts is the default service-retry count applied
+	// when EngineConfig.Retry is nil.
+	DefaultRetryAttempts = engine.DefaultRetryAttempts
+	// DefaultBackoff is the default base backoff between retries applied
+	// when EngineConfig.Retry is nil.
+	DefaultBackoff = engine.DefaultBackoff
 	// DefaultPoolSize is the default per-(color, address) bound on
 	// pooled service connections.
 	DefaultPoolSize = engine.DefaultPoolSize
@@ -318,6 +353,22 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 // GatewaySpec for the directive grammar; on disk: *.gateway).
 func ParseGatewaySpec(doc string) (*GatewaySpec, error) {
 	return core.ParseGatewaySpec(doc)
+}
+
+// Deploy is the single declarative deployment entrypoint: it starts
+// the mediator or gateway spec named spec from models and returns it
+// behind the common Deployment interface. Whether the name resolves to
+// a *.mediator or a *.gateway document is discovered from the model
+// set; a name present as both is rejected as ambiguous. opts.Listen
+// overrides the spec's listen directive, opts.Admin its admin
+// directive.
+//
+// Deploy subsumes the former Models.Deploy / Models.DeployGateway /
+// StartMediator triple for callers that only need the common
+// lifecycle; the concrete deployments stay available by type
+// assertion.
+func Deploy(spec string, models *Models, opts DeployOptions) (Deployment, error) {
+	return models.DeployAny(spec, opts)
 }
 
 // NewGateway assembles a mediation gateway programmatically; see

@@ -2,14 +2,18 @@ package starlink_test
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"starlink/internal/bind"
 	"starlink/internal/casestudy"
+	"starlink/internal/protocol/giop"
+	"starlink/internal/protocol/soap"
 	"starlink/starlink"
 )
 
@@ -229,5 +233,167 @@ func TestPublicObservability(t *testing.T) {
 		"merged x\nside 1 xmlrpc path=/x server\nadmin 127.0.0.1:9090\n")
 	if err != nil || spec.Admin != "127.0.0.1:9090" {
 		t.Errorf("admin directive: %v, %+v", err, spec)
+	}
+}
+
+// TestPublicCacheDirectives pins the *.mediator caching grammar through
+// the facade: cacheable (with ttl and vary), invalidates, cache_size
+// and cache_shards.
+func TestPublicCacheDirectives(t *testing.T) {
+	spec, err := starlink.ParseMediatorSpec(`
+merged x
+side 1 xmlrpc path=/x server
+cacheable catalog.search ttl=30s vary=query,limit
+cacheable catalog.get ttl=1m
+invalidates orders.create catalog.search,catalog.get
+cache_size 4096
+cache_shards 16
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := spec.Cacheable["catalog.search"]
+	if rule.TTL != 30*time.Second || len(rule.Vary) != 2 || rule.Vary[0] != "query" {
+		t.Errorf("catalog.search rule = %+v", rule)
+	}
+	if spec.Cacheable["catalog.get"].TTL != time.Minute {
+		t.Errorf("catalog.get rule = %+v", spec.Cacheable["catalog.get"])
+	}
+	if got := spec.Invalidates["orders.create"]; len(got) != 2 || got[1] != "catalog.get" {
+		t.Errorf("invalidates = %v", got)
+	}
+	if spec.CacheSize != 4096 || spec.CacheShards != 16 {
+		t.Errorf("cache_size/cache_shards = %d/%d", spec.CacheSize, spec.CacheShards)
+	}
+
+	for name, doc := range map[string]string{
+		"missing ttl":       "merged x\nside 1 xmlrpc server\ncacheable op vary=a",
+		"bad ttl":           "merged x\nside 1 xmlrpc server\ncacheable op ttl=soon",
+		"zero ttl":          "merged x\nside 1 xmlrpc server\ncacheable op ttl=0s",
+		"undeclared target": "merged x\nside 1 xmlrpc server\ninvalidates w missing.op",
+		"bad size":          "merged x\nside 1 xmlrpc server\ncache_size -3",
+	} {
+		if _, err := starlink.ParseMediatorSpec(doc); !errors.Is(err, starlink.ErrSpec) {
+			t.Errorf("%s: err = %v, want ErrSpec", name, err)
+		}
+	}
+}
+
+// TestPublicSpecError pins the typed spec error: errors.As exposes
+// line, directive and message for both parsers, and the sentinels stay
+// matchable through the wrapper.
+func TestPublicSpecError(t *testing.T) {
+	_, err := starlink.ParseMediatorSpec("merged x\nside 1 xmlrpc server\nbogus y\n")
+	var se *starlink.SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("not a SpecError: %v", err)
+	}
+	if se.Line != 3 || se.Directive != "bogus" || se.Msg != "unknown directive" {
+		t.Errorf("SpecError = %+v", se)
+	}
+	if !errors.Is(err, starlink.ErrSpec) {
+		t.Errorf("mediator spec error does not match ErrSpec: %v", err)
+	}
+
+	_, err = starlink.ParseGatewaySpec("listen :0\nroute x path=/x\ndefault y\n")
+	se = nil
+	if !errors.As(err, &se) {
+		t.Fatalf("gateway error not a SpecError: %v", err)
+	}
+	if se.Directive != "default" {
+		t.Errorf("gateway SpecError = %+v", se)
+	}
+	if !errors.Is(err, starlink.ErrGateway) || !errors.Is(err, starlink.ErrSpec) {
+		t.Errorf("gateway spec error sentinels: %v", err)
+	}
+
+	// A whole-document problem carries no line or directive.
+	_, err = starlink.ParseMediatorSpec("side 1 xmlrpc server\n")
+	se = nil
+	if !errors.As(err, &se) || se.Line != 0 || se.Directive != "" {
+		t.Errorf("whole-document SpecError = %+v (%v)", se, err)
+	}
+}
+
+// TestPublicDeployFacade drives starlink.Deploy end to end: an
+// in-memory model set with a spec-declared cacheable operation is
+// deployed behind the unified Deployment interface, served through,
+// snapshotted and gracefully shut down.
+func TestPublicDeployFacade(t *testing.T) {
+	var ops int
+	srv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			ops++
+			x, _ := strconv.Atoi(params[0].Value)
+			y, _ := strconv.Atoi(params[1].Value)
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	models := starlink.NewModels()
+	models.Automata["AAdd"] = casestudy.AddUsage()
+	models.Automata["APlus"] = casestudy.PlusUsage()
+	models.Equivalences["add-plus"] = casestudy.AddPlusEquivalence()
+	models.MustMerge("AAdd", "APlus", "add-plus", "Add+Plus")
+	spec, err := starlink.ParseMediatorSpec(`
+merged Add+Plus
+side 1 giop objectkey=calc defs=AAdd server
+side 2 soap path=/soap target=` + srv.Addr() + `
+cacheable Plus ttl=1m
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models.Mediators["addplus"] = spec
+
+	var dep starlink.Deployment
+	dep, err = starlink.Deploy("addplus", models, starlink.DeployOptions{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := giop.Dial(dep.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 3; i++ {
+		results, err := client.Invoke("Add", giop.IntParam(20), giop.IntParam(22))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].ValueString() != "42" {
+			t.Errorf("Add = %s", results[0].ValueString())
+		}
+	}
+	if ops != 1 {
+		t.Errorf("service exchanges = %d, want 1 (spec-declared cacheable)", ops)
+	}
+	snap := dep.Snapshot()
+	if snap.Kind != "mediator" {
+		t.Errorf("snapshot kind = %q", snap.Kind)
+	}
+	ms, ok := snap.Mediators["addplus"]
+	if !ok || ms.Stats.CacheHits != 2 || ms.Stats.CacheMisses != 1 {
+		t.Errorf("snapshot stats = %+v", ms.Stats)
+	}
+
+	// The concrete deployment stays reachable for callers that need the
+	// mediator-specific surface.
+	if md, ok := dep.(*starlink.MediatorDeployment); !ok || md.Mediator == nil {
+		t.Errorf("deployment does not assert to *MediatorDeployment: %T", dep)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := dep.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown = %v", err)
+	}
+
+	if _, err := starlink.Deploy("nope", models, starlink.DeployOptions{}); !errors.Is(err, starlink.ErrSpec) {
+		t.Errorf("unknown spec err = %v, want ErrSpec", err)
 	}
 }
