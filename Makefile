@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race race-alloc bench bench-translate bench-cache fault-soak experiments fuzz fmt
+.PHONY: all build test check race race-alloc bench bench-translate bench-cache bench-balance fault-soak experiments fuzz fmt
 
 all: check
 
@@ -14,10 +14,11 @@ test: build
 # Race-enabled pass over the subsystems with real concurrency: the
 # mediation engine (sessions, pooling, lifecycle, retry/redial), the
 # network layer (framers, fault injection, the shared connection pool),
-# the observability subsystem (lock-free rings, tracer, admin) and the
+# the backend replica sets (balancer churn, prober, ejection), the
+# observability subsystem (lock-free rings, tracer, admin) and the
 # mediation gateway (sniffing, admission, hot swap).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/harness/... ./internal/observe/... ./internal/gateway/... ./internal/rcache/...
+	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/backend/... ./internal/harness/... ./internal/observe/... ./internal/gateway/... ./internal/rcache/...
 
 # The allocation-budget tests under the race detector: AllocsPerRun is
 # meaningless with -race instrumentation, so the numeric budgets skip
@@ -54,6 +55,13 @@ bench-translate:
 # (committed baseline; see EXPERIMENTS.md E16 for acceptance bars).
 bench-cache:
 	$(GO) run ./cmd/benchharness -cache BENCH_cache.json
+
+# Backend replica-set balancing machinery: fixed-target mediator vs one
+# routing every checkout through a single-replica p2c set with active
+# probing, at 1/8/64 sessions -> BENCH_balance.json (committed baseline;
+# the per-flow overhead bar is <2%, see EXPERIMENTS.md E17).
+bench-balance:
+	$(GO) run ./cmd/benchharness -balance BENCH_balance.json
 
 # The fault-path soak on its own: mediated flows while the service is
 # periodically killed and restarted (see BenchmarkE11FaultRecoverySoak).

@@ -1,5 +1,5 @@
 // Command benchharness runs the paper-reproduction experiment suite
-// (E1-E14 and E16, see DESIGN.md §4 and EXPERIMENTS.md) and prints one
+// (E1-E14 and E16-E17, see DESIGN.md §4 and EXPERIMENTS.md) and prints one
 // report line per experiment. It exits non-zero if any experiment fails.
 //
 // With -observe <file>, it additionally measures the flow tracer's
@@ -22,6 +22,12 @@
 // through starlink.Deploy, cache off vs on, repeated-read and
 // unique-query workloads at the same concurrency levels, and writes the
 // result as JSON (the committed BENCH_cache.json baseline).
+//
+// With -balance <file>, it measures the backend replica-set balancing
+// machinery's per-flow overhead — a mediator dialling a fixed service
+// address vs one routing every checkout through a single-replica p2c set
+// with the active prober running — at the same concurrency levels, and
+// writes the result as JSON (the committed BENCH_balance.json baseline).
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 	gatewayOut := flag.String("gateway", "", "write gateway-overhead measurements (JSON) to this file")
 	translateOut := flag.String("translate", "", "write γ-translation interpreted-vs-compiled measurements (JSON) to this file")
 	cacheOut := flag.String("cache", "", "write response-cache off-vs-on measurements (JSON) to this file")
+	balanceOut := flag.String("balance", "", "write backend-balancer overhead measurements (JSON) to this file")
 	flag.Parse()
 
 	fmt.Println("Starlink experiment harness — MIDDLEWARE 2011 reproduction")
@@ -149,6 +156,28 @@ func main() {
 		for _, cs := range []string{"flickr", "shopping"} {
 			fmt.Printf("  %s: %.0fx fewer service exchanges, p50 -%.0f%%, miss overhead %+.2f%%\n",
 				cs, report.ExchangeReduction[cs], report.P50Reduction[cs]*100, report.MissOverheadPct[cs])
+		}
+	}
+
+	if *balanceOut != "" {
+		bench, err := harness.MeasureBalanceOverhead([]int{1, 8, 64}, 400)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness: balance measurement:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*balanceOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("balancer-overhead measurements written to %s\n", *balanceOut)
+		for _, p := range bench.Points {
+			fmt.Printf("  %2d session(s): direct %.0fns/flow, balanced %.0fns/flow (%+.1f%%)\n",
+				p.Sessions, p.DirectNsPerFlow, p.BalancedNsPerFlow, p.OverheadPct)
 		}
 	}
 }

@@ -1,0 +1,303 @@
+package backend_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"starlink/internal/backend"
+)
+
+var errDown = errors.New("replica down")
+
+func newSet(t *testing.T, addrs []string, opts backend.Options) *backend.Set {
+	t.Helper()
+	s, err := backend.New("svc", addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := backend.New("", []string{"a"}, backend.Options{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := backend.New("svc", nil, backend.Options{}); err == nil {
+		t.Error("zero addresses accepted")
+	}
+	if _, err := backend.New("svc", []string{"a", "a"}, backend.Options{}); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	if _, err := backend.New("svc", []string{"a"}, backend.Options{Policy: "bogus"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	s := newSet(t, []string{"a", "b"}, backend.Options{})
+	got := map[string]int{}
+	for i := 0; i < 10; i++ {
+		addr := s.Pick("")
+		got[addr]++
+		s.Release(addr)
+	}
+	if got["a"] != 5 || got["b"] != 5 {
+		t.Errorf("round-robin picks = %v, want 5/5", got)
+	}
+}
+
+func TestPickAvoidsFailedReplica(t *testing.T) {
+	s := newSet(t, []string{"a", "b", "c"}, backend.Options{Policy: backend.PowerOfTwo})
+	for i := 0; i < 50; i++ {
+		addr := s.Pick("b")
+		if addr == "b" {
+			t.Fatal("picked the avoided replica with two healthy alternatives")
+		}
+		s.Release(addr)
+	}
+	// With a single replica the avoid hint must lose: a guaranteed-wrong
+	// pick beats no pick.
+	one := newSet(t, []string{"only"}, backend.Options{})
+	if addr := one.Pick("only"); addr != "only" {
+		t.Errorf("single-replica avoid pick = %q", addr)
+	}
+}
+
+func TestPowerOfTwoPrefersIdle(t *testing.T) {
+	s := newSet(t, []string{"a", "b"}, backend.Options{Policy: backend.PowerOfTwo})
+	first := s.Pick("") // in-flight 1 on one replica
+	second := s.Pick("")
+	if second == first {
+		t.Fatalf("p2c picked the loaded replica %q twice", first)
+	}
+	s.Release(first)
+	// first is now idle while second still has an exchange in flight.
+	if third := s.Pick(""); third != first {
+		t.Errorf("p2c pick = %q, want the idle %q", third, first)
+	}
+}
+
+func TestEjectionThresholdAndFloor(t *testing.T) {
+	s := newSet(t, []string{"a", "b"}, backend.Options{FailThreshold: 2, Cooloff: time.Minute})
+	var ejected []string
+	s.OnEject(func(addr string) { ejected = append(ejected, addr) })
+
+	s.Report("a", 0, errDown)
+	if snap := replicaSnap(t, s, "a"); !snap.Live {
+		t.Fatal("one failure below the threshold ejected")
+	}
+	s.Report("a", 0, errDown)
+	if snap := replicaSnap(t, s, "a"); snap.Live {
+		t.Fatal("threshold failures did not eject")
+	}
+	if len(ejected) != 1 || ejected[0] != "a" {
+		t.Errorf("eject hook fired %v, want [a]", ejected)
+	}
+	// b is the last live replica: the MinLive floor must refuse to eject
+	// it no matter how hard it fails.
+	for i := 0; i < 10; i++ {
+		s.Report("b", 0, errDown)
+	}
+	if snap := replicaSnap(t, s, "b"); !snap.Live {
+		t.Error("floor replica was ejected to zero live")
+	}
+	// Picks now have exactly one candidate.
+	for i := 0; i < 5; i++ {
+		if addr := s.Pick(""); addr != "b" {
+			t.Fatalf("pick = %q with a ejected", addr)
+		}
+		s.Release("b")
+	}
+}
+
+func TestProbationReadmitAndReeject(t *testing.T) {
+	s := newSet(t, []string{"a", "b"}, backend.Options{
+		FailThreshold: 1, Cooloff: 20 * time.Millisecond, MaxCooloff: time.Minute,
+	})
+	var readmitted []string
+	s.OnReadmit(func(addr string) { readmitted = append(readmitted, addr) })
+
+	s.Report("a", 0, errDown)
+	for i := 0; i < 10; i++ {
+		if addr := s.Pick(""); addr == "a" {
+			t.Fatal("picked a cooling replica")
+		} else {
+			s.Release(addr)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	if snap := replicaSnap(t, s, "a"); !snap.Probation {
+		t.Fatal("cooloff expiry did not move the replica to probation")
+	}
+	picked := false
+	for i := 0; i < 20 && !picked; i++ {
+		addr := s.Pick("")
+		picked = addr == "a"
+		s.Release(addr)
+	}
+	if !picked {
+		t.Fatal("probation replica never picked")
+	}
+	// A probation failure re-ejects with a doubled cooloff.
+	s.Report("a", 0, errDown)
+	snap := replicaSnap(t, s, "a")
+	if snap.Live || snap.Ejections != 2 {
+		t.Fatalf("probation failure: live=%v ejections=%d, want re-ejected with 2", snap.Live, snap.Ejections)
+	}
+	if until := time.Until(snap.CooloffUntil); until < 30*time.Millisecond {
+		t.Errorf("re-ejection cooloff %v, want ~2x the 20ms base", until)
+	}
+	// And a probation success re-admits fully.
+	time.Sleep(50 * time.Millisecond)
+	s.Report("a", time.Millisecond, nil)
+	if snap := replicaSnap(t, s, "a"); !snap.Live {
+		t.Error("probation success did not re-admit")
+	}
+	if len(readmitted) != 1 || readmitted[0] != "a" {
+		t.Errorf("readmit hook fired %v, want [a]", readmitted)
+	}
+}
+
+func TestProberEjectsAndReadmits(t *testing.T) {
+	var bDown atomic.Bool
+	s := newSet(t, []string{"a", "b"}, backend.Options{
+		FailThreshold: 2,
+		Cooloff:       5 * time.Millisecond,
+		ProbeInterval: 2 * time.Millisecond,
+		Probe: func(addr string) error {
+			if addr == "b" && bDown.Load() {
+				return errDown
+			}
+			return nil
+		},
+	})
+	s.Start()
+	defer s.Close()
+
+	bDown.Store(true)
+	if err := waitUntil(func() bool { return !replicaSnap(t, s, "b").Live }); err != nil {
+		t.Fatal("prober never ejected the failing replica:", err)
+	}
+	bDown.Store(false)
+	if err := waitUntil(func() bool { return replicaSnap(t, s, "b").Live }); err != nil {
+		t.Fatal("prober never re-admitted the recovered replica:", err)
+	}
+	snap := replicaSnap(t, s, "b")
+	if snap.Probes == 0 || snap.ProbeFailures == 0 {
+		t.Errorf("probe counters = %d/%d, want both non-zero", snap.Probes, snap.ProbeFailures)
+	}
+}
+
+func TestAdoptCarriesHealth(t *testing.T) {
+	old := newSet(t, []string{"a", "b"}, backend.Options{FailThreshold: 1, Cooloff: time.Minute})
+	old.Report("a", 5*time.Millisecond, nil)
+	old.Report("b", 0, errDown)
+
+	fresh := newSet(t, []string{"a", "b", "c"}, backend.Options{FailThreshold: 1, Cooloff: time.Minute})
+	fresh.Adopt(old)
+	if snap := replicaSnap(t, fresh, "b"); snap.Live || snap.Ejections != 1 {
+		t.Errorf("adopted b: live=%v ejections=%d, want ejected once", snap.Live, snap.Ejections)
+	}
+	if snap := replicaSnap(t, fresh, "a"); snap.EWMANs == 0 {
+		t.Error("adopted a lost its latency EWMA")
+	}
+	if snap := replicaSnap(t, fresh, "c"); !snap.Live {
+		t.Error("replica unknown to the old set did not stay live")
+	}
+}
+
+// TestBalancerChurnRace hammers one set from 64 goroutines doing the
+// full pick/report/eject/re-admit cycle concurrently with an active
+// prober, a snapshotting observer and an adopting shadow set; run under
+// -race (make race) it is the balancer's memory-model gate. The final
+// invariant: every in-flight slot taken was released.
+func TestBalancerChurnRace(t *testing.T) {
+	var flaky atomic.Bool
+	s := newSet(t, []string{"a", "b", "c", "d"}, backend.Options{
+		Policy:        backend.PowerOfTwo,
+		FailThreshold: 2,
+		Cooloff:       time.Millisecond,
+		MaxCooloff:    4 * time.Millisecond,
+		ProbeInterval: time.Millisecond,
+		Probe: func(addr string) error {
+			if addr == "d" && flaky.Load() {
+				return errDown
+			}
+			return nil
+		},
+	})
+	s.OnEject(func(string) {})
+	s.OnReadmit(func(string) {})
+	s.Start()
+	defer s.Close()
+
+	const goroutines, iters = 64, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			shadow, err := backend.New("shadow", []string{"a", "b", "c", "d"}, backend.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			avoid := ""
+			for i := 0; i < iters; i++ {
+				addr := s.Pick(avoid)
+				if addr == "" {
+					t.Error("Pick returned an empty address")
+					return
+				}
+				switch {
+				case (g+i)%13 == 0:
+					s.Report(addr, 0, errDown)
+					avoid = addr
+				default:
+					s.Report(addr, time.Duration(i%50)*time.Microsecond, nil)
+					avoid = ""
+				}
+				s.Release(addr)
+				switch i % 40 {
+				case 10:
+					flaky.Store(g%2 == 0)
+				case 20:
+					_ = s.Snapshot()
+				case 30:
+					shadow.Adopt(s)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, rs := range s.Snapshot().Replicas {
+		if rs.InFlight != 0 {
+			t.Errorf("replica %s leaked %d in-flight slots", rs.Addr, rs.InFlight)
+		}
+	}
+}
+
+func replicaSnap(t *testing.T, s *backend.Set, addr string) backend.ReplicaSnapshot {
+	t.Helper()
+	for _, rs := range s.Snapshot().Replicas {
+		if rs.Addr == addr {
+			return rs
+		}
+	}
+	t.Fatalf("replica %q not in snapshot", addr)
+	return backend.ReplicaSnapshot{}
+}
+
+func waitUntil(cond func() bool) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return errors.New("timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"starlink/internal/automata"
+	"starlink/internal/backend"
 	"starlink/internal/bind"
 	"starlink/internal/engine"
 	"starlink/internal/gateway"
@@ -237,12 +238,38 @@ type SideSpec struct {
 	Transport string
 }
 
+// BackendSpec is one named service replica set (the `backend`
+// directive) together with the tuning the balance/probe/eject
+// directives applied to it. A client-role side's target= (or a hostmap
+// resolution) naming a backend is load-balanced across its replicas
+// instead of dialled literally.
+type BackendSpec struct {
+	// Name is the logical service name sides and hostmaps reference.
+	Name string
+	// Addrs are the replica addresses traffic balances over.
+	Addrs []string
+	// Policy is the balancing policy: "roundrobin" (default) or "p2c".
+	Policy string
+	// ProbeInterval enables active health probing when positive;
+	// ProbeTimeout bounds each probe (0 = backend default).
+	ProbeInterval, ProbeTimeout time.Duration
+	// FailThreshold, Cooloff, MaxCooloff and MinLive tune passive
+	// outlier ejection (zero values = backend package defaults).
+	FailThreshold       int
+	Cooloff, MaxCooloff time.Duration
+	MinLive             int
+}
+
 // MediatorSpec is a parsed deployment spec:
 //
 //	merged <name>
 //	listen <addr>
 //	side <color> <protocol> [key=value ...] [server] [udp]
 //	hostmap <logical-host> = <addr>
+//	backend <name> <addr> [addr ...]
+//	balance <backend> roundrobin|p2c
+//	probe <backend> <interval> [timeout=<duration>]
+//	eject <backend> [fails=<n>] [cooloff=<duration>] [max_cooloff=<duration>] [min_live=<n>]
 //	typemap <name>
 //	retries <n>
 //	backoff <duration>
@@ -263,6 +290,9 @@ type MediatorSpec struct {
 	Sides []SideSpec
 	// HostMap resolves sethost logical hosts.
 	HostMap map[string]string
+	// Backends are the named service replica sets (`backend` directives)
+	// with their balance/probe/eject tuning, in declaration order.
+	Backends []BackendSpec
 	// TypeMap names a loaded vocabulary map exposed as maptype().
 	TypeMap string
 	// Retries overrides the engine's service-retry count when non-nil
@@ -314,10 +344,37 @@ var singleValued = map[string]bool{
 	"cache_shards": true,
 }
 
+// backendTune is one balance/probe/eject directive waiting to be
+// applied to its backend: tuning directives may precede the `backend`
+// declaration they refer to, so application is deferred to the end of
+// the parse (where a dangling reference becomes a SpecError).
+type backendTune struct {
+	lineNo    int
+	directive string
+	name      string
+	apply     func(*BackendSpec)
+}
+
 // ParseMediatorSpec reads a deployment spec document.
 func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 	spec := &MediatorSpec{HostMap: map[string]string{}}
-	seen := map[string]int{} // single-valued directive → first line (0-based)
+	seen := map[string]int{}         // single-valued directive → first line (0-based)
+	backendLines := map[string]int{} // backend name → declaring line (0-based)
+	tunedLines := map[string]int{}   // "directive name" → first line (0-based)
+	var tunes []backendTune
+	// tune records one balance/probe/eject directive, rejecting a repeat
+	// for the same backend with both lines named (the PR 4 duplicate
+	// rule, per backend instead of global).
+	tune := func(lineNo int, directive, name string, apply func(*BackendSpec)) error {
+		key := directive + " " + name
+		if first, dup := tunedLines[key]; dup {
+			return specErr(lineNo, directive, "duplicate %s for backend %q (first given on line %d)",
+				directive, name, first+1)
+		}
+		tunedLines[key] = lineNo
+		tunes = append(tunes, backendTune{lineNo: lineNo, directive: directive, name: name, apply: apply})
+		return nil
+	}
 	for lineNo, line := range strings.Split(doc, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -445,6 +502,113 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 				return nil, specErr(lineNo, "hostmap", "want: hostmap <host> = <addr>")
 			}
 			spec.HostMap[strings.TrimSpace(host)] = strings.TrimSpace(addr)
+		case "backend":
+			if len(fields) == 2 {
+				return nil, specErr(lineNo, "backend", "backend %q declares no replica addresses", fields[1])
+			}
+			if len(fields) < 3 {
+				return nil, specErr(lineNo, "backend", "want: backend <name> <addr> [addr ...]")
+			}
+			name := fields[1]
+			if first, dup := backendLines[name]; dup {
+				return nil, specErr(lineNo, "backend", "duplicate backend %q (first declared on line %d)", name, first+1)
+			}
+			backendLines[name] = lineNo
+			addrs := append([]string(nil), fields[2:]...)
+			dupAddr := map[string]bool{}
+			for _, a := range addrs {
+				if dupAddr[a] {
+					return nil, specErr(lineNo, "backend", "backend %q lists replica %q twice", name, a)
+				}
+				dupAddr[a] = true
+			}
+			spec.Backends = append(spec.Backends, BackendSpec{Name: name, Addrs: addrs})
+		case "balance":
+			if len(fields) != 3 {
+				return nil, specErr(lineNo, "balance", "want: balance <backend> roundrobin|p2c")
+			}
+			policy := fields[2]
+			if policy != "roundrobin" && policy != "p2c" {
+				return nil, specErr(lineNo, "balance", "unknown policy %q (want roundrobin or p2c)", policy)
+			}
+			if err := tune(lineNo, "balance", fields[1], func(b *BackendSpec) { b.Policy = policy }); err != nil {
+				return nil, err
+			}
+		case "probe":
+			if len(fields) < 3 {
+				return nil, specErr(lineNo, "probe", "want: probe <backend> <interval> [timeout=<duration>]")
+			}
+			interval, err := time.ParseDuration(fields[2])
+			if err != nil || interval <= 0 {
+				return nil, specErr(lineNo, "probe", "bad probe interval %q", fields[2])
+			}
+			var timeout time.Duration
+			for _, kv := range fields[3:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || k != "timeout" {
+					return nil, specErr(lineNo, "probe", "bad option %q (want timeout=<duration>)", kv)
+				}
+				d, err := time.ParseDuration(v)
+				if err != nil || d <= 0 {
+					return nil, specErr(lineNo, "probe", "bad probe timeout %q", v)
+				}
+				timeout = d
+			}
+			err = tune(lineNo, "probe", fields[1], func(b *BackendSpec) {
+				b.ProbeInterval, b.ProbeTimeout = interval, timeout
+			})
+			if err != nil {
+				return nil, err
+			}
+		case "eject":
+			if len(fields) < 3 {
+				return nil, specErr(lineNo, "eject", "want: eject <backend> [fails=<n>] [cooloff=<duration>] [max_cooloff=<duration>] [min_live=<n>]")
+			}
+			var (
+				fails, minLive      int
+				cooloff, maxCooloff time.Duration
+			)
+			for _, kv := range fields[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, specErr(lineNo, "eject", "bad option %q", kv)
+				}
+				switch k {
+				case "fails":
+					n, err := strconv.Atoi(v)
+					if err != nil || n <= 0 {
+						return nil, specErr(lineNo, "eject", "bad fails %q", v)
+					}
+					fails = n
+				case "cooloff":
+					d, err := time.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, specErr(lineNo, "eject", "bad cooloff %q", v)
+					}
+					cooloff = d
+				case "max_cooloff":
+					d, err := time.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, specErr(lineNo, "eject", "bad max_cooloff %q", v)
+					}
+					maxCooloff = d
+				case "min_live":
+					n, err := strconv.Atoi(v)
+					if err != nil || n <= 0 {
+						return nil, specErr(lineNo, "eject", "bad min_live %q", v)
+					}
+					minLive = n
+				default:
+					return nil, specErr(lineNo, "eject", "unknown option %q", k)
+				}
+			}
+			err := tune(lineNo, "eject", fields[1], func(b *BackendSpec) {
+				b.FailThreshold, b.MinLive = fails, minLive
+				b.Cooloff, b.MaxCooloff = cooloff, maxCooloff
+			})
+			if err != nil {
+				return nil, err
+			}
 		case "cacheable":
 			if len(fields) < 3 {
 				return nil, specErr(lineNo, "cacheable", "want: cacheable <operation> ttl=<duration> [vary=<path,...>]")
@@ -542,6 +706,19 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 			}
 		}
 	}
+	for _, tn := range tunes {
+		applied := false
+		for i := range spec.Backends {
+			if spec.Backends[i].Name == tn.name {
+				tn.apply(&spec.Backends[i])
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			return nil, specErr(tn.lineNo, tn.directive, "references undeclared backend %q", tn.name)
+		}
+	}
 	return spec, nil
 }
 
@@ -629,6 +806,24 @@ func (m *Models) buildConfig(spec *MediatorSpec) (engine.Config, error) {
 			return engine.Config{}, fmt.Errorf("%w: vocabulary map %q not loaded", ErrSpec, spec.TypeMap)
 		}
 		cfg.Funcs = map[string]mtl.Func{"maptype": mtl.TableFunc(tm)}
+	}
+	if len(spec.Backends) > 0 {
+		cfg.Backends = make(map[string]*backend.Set, len(spec.Backends))
+		for _, bs := range spec.Backends {
+			set, err := backend.New(bs.Name, bs.Addrs, backend.Options{
+				Policy:        backend.Policy(bs.Policy),
+				ProbeInterval: bs.ProbeInterval,
+				ProbeTimeout:  bs.ProbeTimeout,
+				FailThreshold: bs.FailThreshold,
+				Cooloff:       bs.Cooloff,
+				MaxCooloff:    bs.MaxCooloff,
+				MinLive:       bs.MinLive,
+			})
+			if err != nil {
+				return engine.Config{}, fmt.Errorf("%w: backend %q: %v", ErrSpec, bs.Name, err)
+			}
+			cfg.Backends[bs.Name] = set
+		}
 	}
 	for _, ss := range spec.Sides {
 		binder, err := m.BuildBinder(ss)

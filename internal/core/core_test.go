@@ -638,3 +638,92 @@ func TestDeployWithAdmin(t *testing.T) {
 		t.Error("bare deployment grew observability attachments")
 	}
 }
+
+func TestParseMediatorSpecBackendDirectives(t *testing.T) {
+	spec, err := core.ParseMediatorSpec(`
+merged Add+Plus
+side 1 giop defs=AAdd server
+side 2 soap path=/soap target=photos
+# tuning may precede the declaration it refers to
+balance photos p2c
+backend photos 10.0.0.1:80 10.0.0.2:80 10.0.0.3:80
+probe photos 250ms timeout=1s
+eject photos fails=2 cooloff=500ms max_cooloff=10s min_live=2
+backend orders 10.0.1.1:80
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Backends) != 2 {
+		t.Fatalf("Backends = %+v, want photos and orders", spec.Backends)
+	}
+	photos := spec.Backends[0]
+	if photos.Name != "photos" || len(photos.Addrs) != 3 {
+		t.Errorf("photos = %+v", photos)
+	}
+	if photos.Policy != "p2c" {
+		t.Errorf("Policy = %q, want p2c", photos.Policy)
+	}
+	if photos.ProbeInterval != 250*time.Millisecond || photos.ProbeTimeout != time.Second {
+		t.Errorf("probe = %v/%v", photos.ProbeInterval, photos.ProbeTimeout)
+	}
+	if photos.FailThreshold != 2 || photos.Cooloff != 500*time.Millisecond ||
+		photos.MaxCooloff != 10*time.Second || photos.MinLive != 2 {
+		t.Errorf("eject = %+v", photos)
+	}
+	orders := spec.Backends[1]
+	if orders.Name != "orders" || orders.Policy != "" || orders.ProbeInterval != 0 {
+		t.Errorf("orders = %+v, want untouched defaults", orders)
+	}
+}
+
+func TestParseMediatorSpecBackendErrors(t *testing.T) {
+	const head = "merged x\nside 1 xmlrpc path=/x server\n"
+
+	// A duplicate backend name is rejected naming both lines.
+	_, err := core.ParseMediatorSpec(head + "backend b 1.1.1.1:1\nbackend b 2.2.2.2:2")
+	if !errors.Is(err, core.ErrSpec) {
+		t.Fatalf("duplicate backend err = %v", err)
+	}
+	var se *core.SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("duplicate backend err %T is not a *SpecError", err)
+	}
+	if se.Line != 4 || se.Directive != "backend" {
+		t.Errorf("SpecError = %+v, want line 4 directive backend", se)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name the first declaration line", err)
+	}
+
+	// A backend with zero addresses is rejected.
+	_, err = core.ParseMediatorSpec(head + "backend lonely")
+	if !errors.As(err, &se) || se.Directive != "backend" {
+		t.Fatalf("zero-address backend err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "no replica addresses") {
+		t.Errorf("error %q does not explain the zero-address problem", err)
+	}
+
+	for _, doc := range []string{
+		head + "backend b 1.1.1.1:1 1.1.1.1:1",                            // replica listed twice
+		head + "balance b p2c",                                            // undeclared backend
+		head + "probe b 1s",                                               // undeclared backend
+		head + "eject b fails=1",                                          // undeclared backend
+		head + "backend b 1.1.1.1:1\nbalance b lifo",                      // unknown policy
+		head + "backend b 1.1.1.1:1\nbalance b",                           // malformed balance
+		head + "backend b 1.1.1.1:1\nprobe b fast",                        // bad interval
+		head + "backend b 1.1.1.1:1\nprobe b 1s t=2",                      // unknown probe option
+		head + "backend b 1.1.1.1:1\neject b",                             // no options
+		head + "backend b 1.1.1.1:1\neject b fails=0",                     // non-positive fails
+		head + "backend b 1.1.1.1:1\neject b cooloff=-1s",                 // negative cooloff
+		head + "backend b 1.1.1.1:1\neject b wat=1",                       // unknown eject option
+		head + "backend b 1.1.1.1:1\nbalance b p2c\nbalance b roundrobin", // duplicate tuning
+		head + "backend b 1.1.1.1:1\nprobe b 1s\nprobe b 2s",              // duplicate tuning
+		head + "backend b 1.1.1.1:1\neject b fails=1\neject b fails=2",    // duplicate tuning
+	} {
+		if _, err := core.ParseMediatorSpec(doc); !errors.Is(err, core.ErrSpec) {
+			t.Errorf("ParseMediatorSpec(%q) err = %v, want ErrSpec", doc, err)
+		}
+	}
+}

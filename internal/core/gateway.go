@@ -454,6 +454,10 @@ func (d *GatewayDeployment) Reload(ctx context.Context, models *Models) error {
 			med.Close()
 			return fail(fmt.Errorf("%w: reload: route %q changed wire shape; redeploy the gateway", ErrGateway, rs.Name))
 		}
+		// Carry live backend health across the swap: a replica the old
+		// mediator ejected stays ejected (with its cooloff clock intact)
+		// instead of taking fresh traffic the moment the reload lands.
+		med.AdoptBackendHealth(d.mediators[rs.Name])
 		fresh[rs.Name] = med
 	}
 	var (

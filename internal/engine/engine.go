@@ -32,12 +32,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"starlink/internal/automata"
+	"starlink/internal/backend"
 	"starlink/internal/bind"
 	"starlink/internal/message"
 	"starlink/internal/mtl"
@@ -112,6 +114,16 @@ type Config struct {
 	// HostMap resolves logical hosts set by the MTL sethost keyword to
 	// real addresses (the simulation stand-in for DNS/deployment).
 	HostMap map[string]string
+	// Backends maps a logical service name to a replica set
+	// (internal/backend). A client-role Side.Target — or a HostMap
+	// resolution — that names a key of this map is load-balanced instead
+	// of dialled literally: each pool checkout picks a live replica via
+	// the set's policy, every exchange outcome is reported back for
+	// passive outlier ejection, and the fault-recovery redial retries a
+	// different healthy replica. An ejected replica's idle pooled
+	// connections are flushed. The mediator owns the sets: Start starts
+	// their health probers, Close/Shutdown stop them.
+	Backends map[string]*backend.Set
 	// Funcs adds extra MTL functions.
 	Funcs map[string]mtl.Func
 	// ExchangeTimeout bounds each network exchange (default 10s).
@@ -390,6 +402,9 @@ type Mediator struct {
 	compiled map[int]*mtl.CompiledProgram // transition index -> compiled fast path
 	outs     map[string]outgoing          // state -> outgoing transitions, precomputed
 	stats    statCounters
+	// clientColors lists the colors the mediator plays the client role
+	// for — the colors whose pool keys a backend ejection must flush.
+	clientColors []int
 
 	// rcache is the shared cross-flow response cache (nil unless
 	// Config.Cache declares cacheable operations); cacheRules and
@@ -504,6 +519,11 @@ func New(cfg Config) (*Mediator, error) {
 	if !colors[cfg.ServerColor] {
 		return nil, fmt.Errorf("%w: server color %d has no transitions", ErrConfig, cfg.ServerColor)
 	}
+	for name, set := range cfg.Backends {
+		if set == nil {
+			return nil, fmt.Errorf("%w: backend set %q is nil", ErrConfig, name)
+		}
+	}
 	if cfg.Cache != nil {
 		if cfg.Cache.MaxEntries < 0 {
 			return nil, fmt.Errorf("%w: negative CachePolicy.MaxEntries %d", ErrConfig, cfg.Cache.MaxEntries)
@@ -540,6 +560,12 @@ func New(cfg Config) (*Mediator, error) {
 		svcConns: make(map[network.Conn]struct{}),
 		idle:     make(map[network.Conn]struct{}),
 	}
+	for c := range colors {
+		if c != cfg.ServerColor {
+			m.clientColors = append(m.clientColors, c)
+		}
+	}
+	sort.Ints(m.clientColors)
 	if cfg.Cache != nil && len(cfg.Cache.Rules) > 0 {
 		m.rcache = rcache.New(rcache.Options{
 			MaxEntries: cfg.Cache.MaxEntries,
@@ -641,9 +667,84 @@ func (m *Mediator) Start(listenAddr string) error {
 	m.listener = l
 	m.pool = p
 	m.mu.Unlock()
+	m.startBackends()
 	m.wg.Add(1)
 	go m.acceptLoop()
 	return nil
+}
+
+// startBackends hooks every replica set into the pool — an ejection
+// flushes the replica's idle connections for every client color, since
+// they were dialled to an endpoint now presumed sick — and starts the
+// sets' health probers.
+func (m *Mediator) startBackends() {
+	for _, set := range m.cfg.Backends {
+		set.OnEject(func(addr string) {
+			m.mu.Lock()
+			p := m.pool
+			m.mu.Unlock()
+			if p == nil {
+				return
+			}
+			for _, color := range m.clientColors {
+				p.Flush(pool.Key{Color: color, Addr: addr})
+			}
+		})
+		set.Start()
+	}
+}
+
+// closeBackends stops every replica set's health prober (idempotent).
+func (m *Mediator) closeBackends() {
+	for _, set := range m.cfg.Backends {
+		set.Close()
+	}
+}
+
+// Backends snapshots the mediator's replica sets, sorted by name, for
+// the admin view and the -backends startup dump. Nil when the mediator
+// has none.
+func (m *Mediator) Backends() []backend.SetSnapshot {
+	if len(m.cfg.Backends) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m.cfg.Backends))
+	for name := range m.cfg.Backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snaps := make([]backend.SetSnapshot, len(names))
+	for i, name := range names {
+		snaps[i] = m.cfg.Backends[name].Snapshot()
+	}
+	return snaps
+}
+
+// AdoptBackendHealth carries replica health state (ejections, cooloff
+// deadlines, latency EWMAs) from a previous mediator's same-named sets
+// into this one's, so a gateway hot swap does not forget which replicas
+// are sick and re-route fresh traffic straight back into them.
+func (m *Mediator) AdoptBackendHealth(prev *Mediator) {
+	if prev == nil {
+		return
+	}
+	for name, set := range m.cfg.Backends {
+		if old := prev.cfg.Backends[name]; old != nil {
+			set.Adopt(old)
+		}
+	}
+}
+
+// PoolStats snapshots the shared service pool's occupancy (zero before
+// Start). It backs the per-key pool gauges in internal/observe.
+func (m *Mediator) PoolStats() pool.Stats {
+	m.mu.Lock()
+	p := m.pool
+	m.mu.Unlock()
+	if p == nil {
+		return pool.Stats{}
+	}
+	return p.Stats()
 }
 
 // StartDetached opens the shared service pool without binding a
@@ -660,6 +761,7 @@ func (m *Mediator) StartDetached() error {
 	m.mu.Lock()
 	m.pool = p
 	m.mu.Unlock()
+	m.startBackends()
 	return nil
 }
 
@@ -729,13 +831,14 @@ func (m *Mediator) startSession(conn network.Conn) {
 	go func() {
 		defer m.wg.Done()
 		s := &session{
-			med:      m,
-			id:       id,
-			client:   conn,
-			services: make(map[int]*serviceLink),
-			lastWire: make(map[int][]byte),
-			sentAt:   make(map[int]time.Time),
-			dialed:   make(map[int]struct{}),
+			med:       m,
+			id:        id,
+			client:    conn,
+			services:  make(map[int]*serviceLink),
+			lastWire:  make(map[int][]byte),
+			sentAt:    make(map[int]time.Time),
+			dialed:    make(map[int]struct{}),
+			lastFault: make(map[int]string),
 		}
 		s.run()
 	}()
@@ -765,6 +868,7 @@ func (m *Mediator) Close() error {
 	p := m.pool
 	m.mu.Unlock()
 	m.wg.Wait()
+	m.closeBackends()
 	if p != nil {
 		p.Close()
 	}
@@ -820,6 +924,7 @@ func (m *Mediator) Shutdown(ctx context.Context) error {
 	m.closed = true
 	p := m.pool
 	m.mu.Unlock()
+	m.closeBackends()
 	if p != nil {
 		p.Close()
 	}
@@ -918,6 +1023,11 @@ type session struct {
 	// dialed marks colors that have been checked out at least once, so a
 	// replacement checkout is counted as a redial.
 	dialed map[int]struct{}
+	// lastFault remembers, per balanced color, the replica address of the
+	// most recent fault, so the recovery redial avoids retrying the
+	// replica that just failed while other candidates are live. Cleared
+	// by the next successful exchange.
+	lastFault map[int]string
 	// hostOverride holds the current flow's sethost retarget; it is
 	// cleared when the automaton restarts so one traversal's retarget
 	// cannot leak into the next.
@@ -965,12 +1075,15 @@ type pendingCache struct {
 
 // serviceLink is a service-side connection checked out of the shared
 // pool, together with the pool key's address (so a sethost retarget is
-// detected as a key change) and whether a request is in flight on it (a
-// connection with an unconsumed reply cannot be returned to the pool —
-// the next session would read a stale reply).
+// detected as a key change), the replica set the address was picked
+// from (nil for a literal target; the set's in-flight slot is held
+// until the link is released) and whether a request is in flight on it
+// (a connection with an unconsumed reply cannot be returned to the
+// pool — the next session would read a stale reply).
 type serviceLink struct {
 	conn    network.Conn
 	addr    string
+	set     *backend.Set
 	pending bool
 }
 
@@ -1400,7 +1513,10 @@ func (s *session) cacheCheck(t automata.MergedTransition, abs *message.Message) 
 	if !ok {
 		return false
 	}
-	key := rcache.Key(t.Message, s.serviceAddr(t.Color), abs, rule.Vary)
+	// The cache key uses the logical target — a backend set name when the
+	// color is balanced — so a reply cached via one replica is served for
+	// identical requests routed to any replica.
+	key := rcache.Key(t.Message, s.serviceTarget(t.Color), abs, rule.Vary)
 	reply, flight, leader := m.rcache.Acquire(t.Message, key)
 	if reply != nil {
 		s.parkReply(t.Color, reply)
@@ -1481,7 +1597,7 @@ func (s *session) serviceSend(color int, data []byte) error {
 				s.med.stats.serviceFailures.Add(1)
 				return fmt.Errorf("send service request: %w", err)
 			}
-			s.evictService(color)
+			s.evictService(color, err)
 		}
 		lastErr = err
 		if attempt >= s.med.retry.attempts() || s.med.stopping.Load() {
@@ -1501,12 +1617,21 @@ func (s *session) serviceRecv(color int) ([]byte, error) {
 		data, err := s.tryServiceRecv(color, attempt)
 		if err == nil {
 			s.lastRecv = data
+			var elapsed time.Duration
+			if t0, ok := s.sentAt[color]; ok {
+				elapsed = time.Since(t0)
+				s.med.exchanges.observe(elapsed)
+				delete(s.sentAt, color)
+			}
 			if link, ok := s.services[color]; ok {
 				link.pending = false
-			}
-			if t0, ok := s.sentAt[color]; ok {
-				s.med.exchanges.observe(time.Since(t0))
-				delete(s.sentAt, color)
+				if link.set != nil {
+					// A completed round trip is the replica's health
+					// signal: it feeds the latency EWMA and clears any
+					// avoid-on-redial hint.
+					link.set.Report(link.addr, elapsed, nil)
+					delete(s.lastFault, color)
+				}
 			}
 			return data, nil
 		}
@@ -1514,7 +1639,7 @@ func (s *session) serviceRecv(color int) ([]byte, error) {
 			s.med.stats.serviceFailures.Add(1)
 			return nil, fmt.Errorf("recv service reply: %w", err)
 		}
-		s.evictService(color)
+		s.evictService(color, err)
 		lastErr = err
 		if attempt >= s.med.retry.attempts() || s.lastWire[color] == nil || s.med.stopping.Load() {
 			// Nothing to replay means retrying cannot produce the reply.
@@ -1564,6 +1689,9 @@ func (s *session) releaseService(color int) {
 	}
 	delete(s.services, color)
 	s.med.untrackService(link.conn)
+	if link.set != nil {
+		link.set.Release(link.addr)
+	}
 	key := pool.Key{Color: color, Addr: link.addr}
 	if link.pending {
 		s.med.pool.Discard(key, link.conn)
@@ -1575,14 +1703,22 @@ func (s *session) releaseService(color int) {
 // evictService reports a broken service connection to the pool so the
 // next exchange checks out a fresh one, and flushes the key's idle
 // siblings: they were dialled to the same dead endpoint, and vetting
-// them one by one would burn the retry budget on stale sockets.
-func (s *session) evictService(color int) {
+// them one by one would burn the retry budget on stale sockets. A
+// balanced replica additionally gets the fault reported to its set —
+// feeding passive ejection — and is remembered so the recovery redial
+// picks a different live replica.
+func (s *session) evictService(color int, cause error) {
 	link, ok := s.services[color]
 	if !ok {
 		return
 	}
 	delete(s.services, color)
 	s.med.untrackService(link.conn)
+	if link.set != nil {
+		link.set.Release(link.addr)
+		link.set.Report(link.addr, 0, cause)
+		s.lastFault[color] = link.addr
+	}
 	key := pool.Key{Color: color, Addr: link.addr}
 	s.med.pool.Discard(key, link.conn)
 	s.med.pool.Flush(key)
@@ -1601,9 +1737,12 @@ func copyCorrelationFields(req, reply *message.Message) {
 	}
 }
 
-// serviceAddr resolves the current target address of a client-role
-// color, honouring the flow's sethost retarget via the host map.
-func (s *session) serviceAddr(color int) string {
+// serviceTarget resolves the current logical target of a client-role
+// color, honouring the flow's sethost retarget via the host map. The
+// result is either a literal address or the name of a backend replica
+// set — resolving a set to a concrete replica is serviceConn's job, so
+// cache keys and retarget detection stay per-service, not per-replica.
+func (s *session) serviceTarget(color int) string {
 	addr := s.med.cfg.Sides[color].Target
 	if s.hostOverride != "" {
 		if mapped, ok := s.med.cfg.HostMap[s.hostOverride]; ok {
@@ -1615,15 +1754,19 @@ func (s *session) serviceAddr(color int) string {
 
 // serviceConn returns (checking out of the pool lazily) the connection
 // towards a client-role color. A held connection is kept only while it
-// still points at the address the flow wants: a sethost retarget that
+// still points at the target the flow wants: a sethost retarget that
 // fires after the first checkout is a pool-key change — the old
 // connection goes back to the pool for its own key — as is a transport
-// fault (via evictService). Replacement checkouts are counted as
+// fault (via evictService). A target naming a backend replica set is
+// resolved to a concrete replica by the set's balancing policy,
+// avoiding the last faulted replica; the session then sticks to that
+// replica until release or fault. Replacement checkouts are counted as
 // Redials; attempt > 0 marks a fault-recovery redial in the trace.
 func (s *session) serviceConn(color, attempt int) (*serviceLink, error) {
-	addr := s.serviceAddr(color)
+	target := s.serviceTarget(color)
+	set := s.med.cfg.Backends[target]
 	if link, ok := s.services[color]; ok {
-		if link.addr == addr {
+		if link.set == set && (set != nil || link.addr == target) {
 			return link, nil
 		}
 		// Retargeted after checkout: the connection is healthy, it just
@@ -1631,13 +1774,24 @@ func (s *session) serviceConn(color, attempt int) (*serviceLink, error) {
 		s.releaseService(color)
 	}
 	if s.med.stopping.Load() {
-		return nil, fmt.Errorf("service connection (color %d, %s): %w", color, addr, errClosing)
+		return nil, fmt.Errorf("service connection (color %d, %s): %w", color, target, errClosing)
+	}
+	addr := target
+	if set != nil {
+		addr = set.Pick(s.lastFault[color])
 	}
 	conn, err := s.med.checkout(color, addr)
 	if err != nil {
+		if set != nil {
+			// The in-flight slot Pick took is never used; a failed
+			// checkout is a replica fault for ejection accounting.
+			set.Release(addr)
+			set.Report(addr, 0, err)
+			s.lastFault[color] = addr
+		}
 		return nil, fmt.Errorf("service connection (color %d, %s): %w", color, addr, err)
 	}
-	link := &serviceLink{conn: conn, addr: addr}
+	link := &serviceLink{conn: conn, addr: addr, set: set}
 	if _, redialed := s.dialed[color]; redialed {
 		s.med.stats.redials.Add(1)
 		s.trace(TraceEvent{Kind: TraceRedial, Color: color, State: addr, Attempt: attempt})

@@ -95,6 +95,22 @@ type Stats struct {
 	Active int
 	// Idle is the current number of idle connections (all keys).
 	Idle int
+	// Waiters is the current number of checkouts blocked on the
+	// MaxActive bound (all keys).
+	Waiters int
+	// PerKey is the current occupancy of every key the pool has seen.
+	PerKey map[Key]KeyStats
+}
+
+// KeyStats is one key's point-in-time occupancy.
+type KeyStats struct {
+	// Idle is the number of connections parked for reuse.
+	Idle int
+	// InFlight is the number of connections checked out to sessions
+	// (the key's live total minus its idle count).
+	InFlight int
+	// Waiters is the number of checkouts blocked on the MaxActive bound.
+	Waiters int
 }
 
 // Evictions sums every way a pooled connection was closed early.
@@ -442,9 +458,16 @@ func (p *Pool) Stats() Stats {
 		Discarded: p.discarded.Load(),
 	}
 	p.mu.Lock()
-	for _, b := range p.keys {
+	s.PerKey = make(map[Key]KeyStats, len(p.keys))
+	for k, b := range p.keys {
 		s.Active += b.total
 		s.Idle += len(b.idle)
+		s.Waiters += len(b.waiters)
+		s.PerKey[k] = KeyStats{
+			Idle:     len(b.idle),
+			InFlight: b.total - len(b.idle),
+			Waiters:  len(b.waiters),
+		}
 	}
 	p.mu.Unlock()
 	return s

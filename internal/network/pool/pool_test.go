@@ -437,3 +437,50 @@ func TestOptionValidation(t *testing.T) {
 		t.Errorf("stats = %+v, want nothing kept idle", st)
 	}
 }
+
+func TestStatsPerKeyOccupancy(t *testing.T) {
+	p, _ := newTestPool(t, Options{MaxActive: 1})
+	ctx := context.Background()
+	other := Key{Color: 3, Addr: "svc:9"}
+
+	held, err := p.Get(ctx, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := p.Get(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(other, idle)
+
+	// Block a second checkout of testKey on the MaxActive=1 bound so the
+	// snapshot sees a waiter.
+	waiting := make(chan struct{})
+	go func() {
+		close(waiting)
+		c, err := p.Get(ctx, testKey)
+		if err == nil {
+			p.Put(testKey, c)
+		}
+	}()
+	<-waiting
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Waiters == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never showed up in Stats")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st := p.Stats()
+	if got := st.PerKey[testKey]; got != (KeyStats{Idle: 0, InFlight: 1, Waiters: 1}) {
+		t.Errorf("PerKey[%v] = %+v, want 1 in-flight / 1 waiter", testKey, got)
+	}
+	if got := st.PerKey[other]; got != (KeyStats{Idle: 1, InFlight: 0, Waiters: 0}) {
+		t.Errorf("PerKey[%v] = %+v, want 1 idle", other, got)
+	}
+	if st.Waiters != 1 {
+		t.Errorf("Waiters = %d, want 1", st.Waiters)
+	}
+	p.Put(testKey, held)
+}

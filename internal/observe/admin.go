@@ -31,6 +31,8 @@ type AdminConfig struct {
 //	                    span trees and wire hexdumps included (JSON)
 //	GET /automaton.dot  the live merged automaton in Graphviz format
 //	                    with per-transition hit counts
+//	GET /backends       the mediator's replica sets: policy, probe and
+//	                    ejection config, per-replica health (JSON)
 type Admin struct {
 	cfg    AdminConfig
 	srv    *httpwire.Server
@@ -74,6 +76,8 @@ func (a *Admin) handle(req *httpwire.Request) *httpwire.Response {
 		return a.flows(req)
 	case "/automaton.dot":
 		return a.automatonDOT()
+	case "/backends":
+		return a.backends()
 	default:
 		return &httpwire.Response{Status: 404, Body: []byte("not found\n")}
 	}
@@ -145,6 +149,17 @@ func (a *Admin) automatonDOT() *httpwire.Response {
 		Headers: map[string]string{"Content-Type": "text/vnd.graphviz; charset=utf-8"},
 		Body:    []byte(dot),
 	}
+}
+
+func (a *Admin) backends() *httpwire.Response {
+	if a.cfg.Mediator == nil {
+		return &httpwire.Response{Status: 404, Body: []byte("no mediator attached\n")}
+	}
+	snaps := a.cfg.Mediator.Backends()
+	if snaps == nil {
+		return &httpwire.Response{Status: 404, Body: []byte("mediator has no backend replica sets\n")}
+	}
+	return jsonResponse(snaps)
 }
 
 func jsonResponse(v any) *httpwire.Response {

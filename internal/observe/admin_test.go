@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"starlink/internal/automata"
+	"starlink/internal/backend"
 	"starlink/internal/bind"
 	"starlink/internal/casestudy"
 	"starlink/internal/engine"
@@ -210,6 +211,12 @@ func TestAdminEndToEnd(t *testing.T) {
 		}
 	})
 
+	t.Run("backends without sets", func(t *testing.T) {
+		if resp := get("/backends"); resp.Status != 404 {
+			t.Errorf("status = %d, want 404 when the mediator has no replica sets", resp.Status)
+		}
+	})
+
 	t.Run("not-found and bad method", func(t *testing.T) {
 		if resp := get("/nope"); resp.Status != 404 {
 			t.Errorf("status = %d, want 404", resp.Status)
@@ -222,4 +229,114 @@ func TestAdminEndToEnd(t *testing.T) {
 			t.Errorf("POST status = %d, want 400", resp.Status)
 		}
 	})
+}
+
+// TestAdminBackendsRoute deploys a mediator whose service side targets a
+// one-replica backend set, drives a flow through it, and checks the
+// /backends JSON view plus the backend and pool metric families.
+func TestAdminBackendsRoute(t *testing.T) {
+	plusSrv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			x, _ := strconv.Atoi(params[0].Value)
+			y, _ := strconv.Atoi(params[1].Value)
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plusSrv.Close()
+
+	set, err := backend.New("plus", []string{plusSrv.Addr()}, backend.Options{Policy: backend.PowerOfTwo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := engine.New(engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: "plus"},
+		},
+		Backends: map[string]*backend.Set{"plus": set},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer med.Close()
+
+	admin, err := observe.ServeAdmin("127.0.0.1:0", observe.AdminConfig{
+		Registry: observe.MediatorRegistry(med, nil),
+		Mediator: med,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := client.Invoke("Add", giop.IntParam(20), giop.IntParam(22))
+	client.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].ValueString() != "42" {
+		t.Fatalf("Add = %v", results)
+	}
+
+	hc := &httpwire.Client{Addr: admin.Addr()}
+	defer hc.Close()
+
+	resp, err := hc.Get("/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("GET /backends status = %d\n%s", resp.Status, resp.Body)
+	}
+	var snaps []backend.SetSnapshot
+	if err := json.Unmarshal(resp.Body, &snaps); err != nil {
+		t.Fatalf("%v\n%s", err, resp.Body)
+	}
+	if len(snaps) != 1 || snaps[0].Name != "plus" || snaps[0].Policy != backend.PowerOfTwo {
+		t.Fatalf("backends = %+v", snaps)
+	}
+	if len(snaps[0].Replicas) != 1 || snaps[0].Replicas[0].Addr != plusSrv.Addr() {
+		t.Fatalf("replicas = %+v", snaps[0].Replicas)
+	}
+	if rs := snaps[0].Replicas[0]; !rs.Live || rs.Picks == 0 {
+		t.Errorf("replica = %+v, want live with at least one pick", rs)
+	}
+
+	resp, err = hc.Get("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(resp.Body)
+	label := "plus/" + plusSrv.Addr()
+	for _, want := range []string{
+		"starlink_backend_up{replica=\"" + label + "\"} 1",
+		"starlink_backend_picks_total{replica=\"" + label + "\"}",
+		"starlink_backend_ejections_total{set=\"plus\"} 0",
+		"starlink_pool_idle_conns{key=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
 }

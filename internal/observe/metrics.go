@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"starlink/internal/backend"
 	"starlink/internal/engine"
+	"starlink/internal/network/pool"
 )
 
 // Registry is a pull-model metrics registry: each metric is a name,
@@ -211,6 +213,87 @@ func RegisterMediator(r *Registry, med *engine.Mediator) {
 		func() engine.LatencyHistogram { return med.Snapshot().Exchanges })
 	r.Histogram("starlink_translate_seconds", "Latency of gamma translations alone.",
 		func() engine.LatencyHistogram { return med.Snapshot().Translate })
+	// Per-key pool occupancy: aggregate Hits/Dials/Evictions say nothing
+	// about which (color, address) is under pressure, so idle, in-flight
+	// and blocked-checkout gauges are exported per key.
+	perKey := func(f func(pool.KeyStats) int) func() map[string]uint64 {
+		return func() map[string]uint64 {
+			per := med.PoolStats().PerKey
+			out := make(map[string]uint64, len(per))
+			for k, ks := range per {
+				out[k.String()] = uint64(f(ks))
+			}
+			return out
+		}
+	}
+	r.GaugeVec("starlink_pool_idle_conns", "key",
+		"Idle pooled service connections per (color, address) key.",
+		perKey(func(ks pool.KeyStats) int { return ks.Idle }))
+	r.GaugeVec("starlink_pool_inflight_conns", "key",
+		"Checked-out pooled service connections per (color, address) key.",
+		perKey(func(ks pool.KeyStats) int { return ks.InFlight }))
+	r.GaugeVec("starlink_pool_waiters", "key",
+		"Checkouts blocked on the pool bound per (color, address) key.",
+		perKey(func(ks pool.KeyStats) int { return ks.Waiters }))
+	if med.Backends() != nil {
+		registerBackends(r, med)
+	}
+}
+
+// registerBackends exports the mediator's replica sets: per-replica
+// health/traffic series labelled "set/addr" and per-set ejection
+// totals. Registered only for mediators deployed with `backend`
+// directives, so plain single-address mediators keep a clean scrape.
+func registerBackends(r *Registry, med *engine.Mediator) {
+	perReplica := func(f func(backend.ReplicaSnapshot) uint64) func() map[string]uint64 {
+		return func() map[string]uint64 {
+			out := map[string]uint64{}
+			for _, set := range med.Backends() {
+				for _, rs := range set.Replicas {
+					out[set.Name+"/"+rs.Addr] = f(rs)
+				}
+			}
+			return out
+		}
+	}
+	r.GaugeVec("starlink_backend_up", "replica",
+		"1 when the replica is live or in probation, 0 while ejected and cooling.",
+		perReplica(func(rs backend.ReplicaSnapshot) uint64 {
+			if rs.Live || rs.Probation {
+				return 1
+			}
+			return 0
+		}))
+	r.GaugeVec("starlink_backend_inflight", "replica",
+		"Service exchanges currently charged to the replica.",
+		perReplica(func(rs backend.ReplicaSnapshot) uint64 { return uint64(rs.InFlight) }))
+	r.CounterVec("starlink_backend_picks_total", "replica",
+		"Balancing decisions that landed on the replica.",
+		perReplica(func(rs backend.ReplicaSnapshot) uint64 { return rs.Picks }))
+	r.CounterVec("starlink_backend_failures_total", "replica",
+		"Exchange failures reported against the replica.",
+		perReplica(func(rs backend.ReplicaSnapshot) uint64 { return rs.Failures }))
+	r.CounterVec("starlink_backend_probes_total", "replica",
+		"Active health probes sent to the replica.",
+		perReplica(func(rs backend.ReplicaSnapshot) uint64 { return rs.Probes }))
+	r.CounterVec("starlink_backend_probe_failures_total", "replica",
+		"Active health probes the replica failed.",
+		perReplica(func(rs backend.ReplicaSnapshot) uint64 { return rs.ProbeFailures }))
+	perSet := func(f func(backend.SetSnapshot) uint64) func() map[string]uint64 {
+		return func() map[string]uint64 {
+			out := map[string]uint64{}
+			for _, set := range med.Backends() {
+				out[set.Name] = f(set)
+			}
+			return out
+		}
+	}
+	r.CounterVec("starlink_backend_ejections_total", "set",
+		"Replicas ejected from the set (passive or probe-driven).",
+		perSet(func(s backend.SetSnapshot) uint64 { return s.Ejections }))
+	r.CounterVec("starlink_backend_readmissions_total", "set",
+		"Ejected replicas re-admitted after a probation success.",
+		perSet(func(s backend.SetSnapshot) uint64 { return s.Readmissions }))
 }
 
 // RegisterObserver wires the tracer's and flight recorder's own

@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"starlink/internal/automata"
+	"starlink/internal/backend"
 	"starlink/internal/bind"
 	"starlink/internal/core"
 	"starlink/internal/engine"
@@ -87,6 +88,22 @@ type (
 	MediatorSpec = core.MediatorSpec
 	// SideSpec configures one color of a deployment.
 	SideSpec = core.SideSpec
+	// BackendSpec is one named replica-set declaration of a MediatorSpec
+	// (the backend/balance/probe/eject directives).
+	BackendSpec = core.BackendSpec
+	// BackendSet is a named, health-checked, load-balanced replica set a
+	// side's Target may name instead of a concrete address; see
+	// EngineConfig.Backends.
+	BackendSet = backend.Set
+	// BackendOptions configure a BackendSet: balancing policy, active
+	// probing cadence and the passive-ejection thresholds.
+	BackendOptions = backend.Options
+	// BackendSetSnapshot is one replica set's point-in-time health and
+	// traffic view, as served by the admin /backends route.
+	BackendSetSnapshot = backend.SetSnapshot
+	// BackendReplicaSnapshot is one replica's slice of a
+	// BackendSetSnapshot.
+	BackendReplicaSnapshot = backend.ReplicaSnapshot
 	// Mediator is a running (or startable) mediator.
 	Mediator = engine.Mediator
 	// EngineConfig assembles a mediator programmatically.

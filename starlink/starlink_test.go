@@ -397,3 +397,100 @@ cacheable Plus ttl=1m
 		t.Errorf("unknown spec err = %v, want ErrSpec", err)
 	}
 }
+
+// TestPublicBackendDirectives drives the *.mediator backend grammar
+// through the facade end to end: a two-replica set declared in the
+// spec is deployed with starlink.Deploy, churning sessions spread
+// across both replicas, and the health view is reachable through the
+// re-exported snapshot types.
+func TestPublicBackendDirectives(t *testing.T) {
+	newPlus := func() (*soap.Server, error) {
+		return soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+			"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+				x, _ := strconv.Atoi(params[0].Value)
+				y, _ := strconv.Atoi(params[1].Value)
+				return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+			},
+		})
+	}
+	a, err := newPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := newPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	models := starlink.NewModels()
+	models.Automata["AAdd"] = casestudy.AddUsage()
+	models.Automata["APlus"] = casestudy.PlusUsage()
+	models.Equivalences["add-plus"] = casestudy.AddPlusEquivalence()
+	models.MustMerge("AAdd", "APlus", "add-plus", "Add+Plus")
+	spec, err := starlink.ParseMediatorSpec(`
+merged Add+Plus
+side 1 giop objectkey=calc defs=AAdd server
+side 2 soap path=/soap target=plus
+backend plus ` + a.Addr() + ` ` + b.Addr() + `
+balance plus roundrobin
+eject plus fails=2 cooloff=500ms min_live=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Backends) != 1 || spec.Backends[0].Name != "plus" || spec.Backends[0].FailThreshold != 2 {
+		t.Fatalf("parsed backends = %+v", spec.Backends)
+	}
+	models.Mediators["addplus"] = spec
+
+	dep, err := starlink.Deploy("addplus", models, starlink.DeployOptions{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	// Sessions are the balancing granularity: round-robin lands the two
+	// sessions on the two replicas.
+	for i := 0; i < 2; i++ {
+		client, err := giop.Dial(dep.Addr(), "calc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := client.Invoke("Add", giop.IntParam(20), giop.IntParam(22))
+		client.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].ValueString() != "42" {
+			t.Errorf("session %d: Add = %s", i+1, results[0].ValueString())
+		}
+	}
+
+	md, ok := dep.(*starlink.MediatorDeployment)
+	if !ok {
+		t.Fatalf("deployment type = %T", dep)
+	}
+	var snaps []starlink.BackendSetSnapshot = md.Mediator.Backends()
+	if len(snaps) != 1 || snaps[0].Name != "plus" || len(snaps[0].Replicas) != 2 {
+		t.Fatalf("Backends() = %+v", snaps)
+	}
+	for _, rs := range snaps[0].Replicas {
+		var _ starlink.BackendReplicaSnapshot = rs
+		if !rs.Live || rs.Picks != 1 {
+			t.Errorf("replica %s: live=%v picks=%d, want one session each", rs.Addr, rs.Live, rs.Picks)
+		}
+	}
+
+	// Backend validation failures surface as deploy-time spec errors.
+	bad, err := starlink.ParseMediatorSpec(`
+merged Add+Plus
+side 1 giop objectkey=calc defs=AAdd server
+side 2 soap path=/soap target=plus
+backend plus ` + a.Addr() + ` ` + a.Addr() + `
+`)
+	if err == nil || !errors.Is(err, starlink.ErrSpec) {
+		t.Errorf("duplicate replica parse err = %v (%+v), want ErrSpec", err, bad)
+	}
+}
