@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race race-alloc bench bench-translate bench-cache bench-balance fault-soak experiments fuzz fmt
+.PHONY: all build test check race race-alloc bench bench-translate bench-cache bench-balance bench-discover fault-soak experiments fuzz fmt
 
 all: check
 
@@ -14,11 +14,13 @@ test: build
 # Race-enabled pass over the subsystems with real concurrency: the
 # mediation engine (sessions, pooling, lifecycle, retry/redial), the
 # network layer (framers, fault injection, the shared connection pool),
-# the backend replica sets (balancer churn, prober, ejection), the
-# observability subsystem (lock-free rings, tracer, admin) and the
-# mediation gateway (sniffing, admission, hot swap).
+# the backend replica sets (balancer churn, prober, ejection, dynamic
+# membership), the discovery subsystem (sources, reconcilers and their
+# goroutine-leak tests), the observability subsystem (lock-free rings,
+# tracer, admin) and the mediation gateway (sniffing, admission, hot
+# swap).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/backend/... ./internal/harness/... ./internal/observe/... ./internal/gateway/... ./internal/rcache/...
+	$(GO) test -race ./internal/engine/... ./internal/network/... ./internal/backend/... ./internal/discovery/... ./internal/harness/... ./internal/observe/... ./internal/gateway/... ./internal/rcache/...
 
 # The allocation-budget tests under the race detector: AllocsPerRun is
 # meaningless with -race instrumentation, so the numeric budgets skip
@@ -63,6 +65,13 @@ bench-cache:
 bench-balance:
 	$(GO) run ./cmd/benchharness -balance BENCH_balance.json
 
+# Dynamic service discovery steady state: a static backend set vs the
+# same set driven by a file discovery source polling every 25ms, at
+# 1/8/64 sessions -> BENCH_discover.json (committed baseline; the
+# steady-state per-flow overhead bar is <2%, see EXPERIMENTS.md E18).
+bench-discover:
+	$(GO) run ./cmd/benchharness -discover BENCH_discover.json
+
 # The fault-path soak on its own: mediated flows while the service is
 # periodically killed and restarted (see BenchmarkE11FaultRecoverySoak).
 fault-soak:
@@ -71,17 +80,21 @@ fault-soak:
 experiments:
 	$(GO) run ./cmd/benchharness
 
-# Short coverage-guided fuzz passes: the two parsers that face
-# untrusted bytes (the MTL language parser and the gateway's wire
-# sniffer) plus the differential compile fuzzer, which asserts that the
-# compiled MTL fast path and the tree-walking interpreter produce
-# identical message trees, cache state and errors for every program the
-# fuzzer can parse. FUZZTIME can be raised for a longer local soak.
+# Short coverage-guided fuzz passes over everything that parses
+# untrusted bytes: the MTL language parser, the differential compile
+# fuzzer (compiled MTL fast path vs the tree-walking interpreter must
+# produce identical message trees, cache state and errors), the
+# gateway's wire sniffer, and the binary-MDL codecs — GIOP packet
+# parsing, repeated-group SLP replies, and the MDL document grammar
+# itself. FUZZTIME can be raised for a longer local soak.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/mtl -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mtl -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/gateway -run '^$$' -fuzz '^FuzzSniff$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mdl/binenc -run '^$$' -fuzz '^FuzzGIOPParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mdl/binenc -run '^$$' -fuzz '^FuzzSLPRepeatParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mdl/binenc -run '^$$' -fuzz '^FuzzMDLDocument$$' -fuzztime $(FUZZTIME)
 
 fmt:
 	gofmt -l -w .

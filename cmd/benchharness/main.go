@@ -1,5 +1,5 @@
 // Command benchharness runs the paper-reproduction experiment suite
-// (E1-E14 and E16-E17, see DESIGN.md §4 and EXPERIMENTS.md) and prints one
+// (E1-E14 and E16-E18, see DESIGN.md §4 and EXPERIMENTS.md) and prints one
 // report line per experiment. It exits non-zero if any experiment fails.
 //
 // With -observe <file>, it additionally measures the flow tracer's
@@ -28,6 +28,12 @@
 // address vs one routing every checkout through a single-replica p2c set
 // with the active prober running — at the same concurrency levels, and
 // writes the result as JSON (the committed BENCH_balance.json baseline).
+//
+// With -discover <file>, it measures the steady-state cost of dynamic
+// service discovery — a mediator balancing over a static backend set vs
+// one whose identical set is driven by a file discovery source polling
+// every 25ms — at the same concurrency levels, and writes the result as
+// JSON (the committed BENCH_discover.json baseline).
 package main
 
 import (
@@ -45,6 +51,7 @@ func main() {
 	translateOut := flag.String("translate", "", "write γ-translation interpreted-vs-compiled measurements (JSON) to this file")
 	cacheOut := flag.String("cache", "", "write response-cache off-vs-on measurements (JSON) to this file")
 	balanceOut := flag.String("balance", "", "write backend-balancer overhead measurements (JSON) to this file")
+	discoverOut := flag.String("discover", "", "write discovery steady-state overhead measurements (JSON) to this file")
 	flag.Parse()
 
 	fmt.Println("Starlink experiment harness — MIDDLEWARE 2011 reproduction")
@@ -178,6 +185,28 @@ func main() {
 		for _, p := range bench.Points {
 			fmt.Printf("  %2d session(s): direct %.0fns/flow, balanced %.0fns/flow (%+.1f%%)\n",
 				p.Sessions, p.DirectNsPerFlow, p.BalancedNsPerFlow, p.OverheadPct)
+		}
+	}
+
+	if *discoverOut != "" {
+		bench, err := harness.MeasureDiscoverOverhead([]int{1, 8, 64}, 400)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness: discover measurement:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*discoverOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("discovery-overhead measurements written to %s\n", *discoverOut)
+		for _, p := range bench.Points {
+			fmt.Printf("  %2d session(s): static %.0fns/flow, discovered %.0fns/flow (%+.1f%%)\n",
+				p.Sessions, p.StaticNsPerFlow, p.DiscoveredNsPerFlow, p.OverheadPct)
 		}
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	starlink run -models <dir> -mediator <name> [-listen addr] [-admin addr] [-backends]
+//	starlink run -models <dir> -mediator <name> [-listen addr] [-admin addr] [-backends] [-discover]
 //	starlink gateway -models <dir> -gateway <name> [-listen addr] [-admin addr]
 //	starlink export-models <dir>
 //	starlink list -models <dir>
@@ -65,6 +65,7 @@ func runMediator(args []string) error {
 	listen := fs.String("listen", "", "listen address override")
 	admin := fs.String("admin", "", "admin endpoint address (overrides the spec's admin directive)")
 	backends := fs.Bool("backends", false, "dump the spec's backend replica sets at startup")
+	discover := fs.Bool("discover", false, "dump the spec's discovery sources at startup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,10 +87,13 @@ func runMediator(args []string) error {
 	}
 	fmt.Printf("mediator %s listening on %s\n", *name, dep.Addr())
 	if med.Admin != nil {
-		fmt.Printf("admin endpoint on http://%s (/metrics /healthz /flows /automaton.dot /backends)\n", med.Admin.Addr())
+		fmt.Printf("admin endpoint on http://%s (/metrics /healthz /flows /automaton.dot /backends /discovery)\n", med.Admin.Addr())
 	}
 	if *backends {
 		dumpBackends(med.Mediator)
+	}
+	if *discover {
+		dumpDiscovery(med.Mediator)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -122,6 +126,26 @@ func dumpBackends(med *starlink.Mediator) {
 				state = "ejected"
 			}
 			fmt.Printf("  replica %s: %s\n", rs.Addr, state)
+		}
+	}
+}
+
+// dumpDiscovery prints every discovery source driving a backend set's
+// membership — source and hysteresis tuning per set, then the members.
+func dumpDiscovery(med *starlink.Mediator) {
+	snaps := med.Discovery()
+	if snaps == nil {
+		fmt.Println("no discovery sources declared")
+		return
+	}
+	for _, ds := range snaps {
+		fmt.Printf("discover %s: %s, refresh %s (debounce %s, min ttl %s, min live %d)\n",
+			ds.Set, ds.Source, ds.Refresh, ds.Debounce, ds.MinTTL, ds.MinLive)
+		for _, addr := range ds.Members {
+			fmt.Printf("  member %s\n", addr)
+		}
+		for _, addr := range ds.Pending {
+			fmt.Printf("  pending %s (inside debounce)\n", addr)
 		}
 	}
 }

@@ -26,6 +26,13 @@
 // A replica past its cooloff is in probation: it becomes pickable and
 // probeable again, one success re-admits it fully, and one failure
 // re-ejects it with a doubled cooloff.
+//
+// Membership is dynamic: AddReplica admits a new address (probed before
+// it takes traffic) and RemoveReplica retires one (draining its
+// in-flight exchanges first), so a discovery reconciler
+// (internal/discovery) can track live service membership at runtime.
+// Replicas are kept sorted by address, making Addrs and Snapshot
+// deterministic across calls regardless of announcement order.
 package backend
 
 import (
@@ -33,6 +40,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +70,12 @@ const (
 	DefaultMaxCooloff = 30 * time.Second
 	// DefaultProbeTimeout bounds each active health probe.
 	DefaultProbeTimeout = 1 * time.Second
+	// DefaultDrainTimeout bounds RemoveReplica's in-flight drain.
+	DefaultDrainTimeout = 3 * time.Second
+	// retiredCap bounds the carried health history of removed replicas:
+	// past it the entry longest-removed is dropped. Flap-backs are
+	// near-term by nature, so a small window is enough.
+	retiredCap = 128
 )
 
 // Options tune a replica set.
@@ -86,8 +100,12 @@ type Options struct {
 	Cooloff    time.Duration
 	MaxCooloff time.Duration
 	// MinLive is the floor of live replicas the set refuses to eject
-	// below (default 1, clamped to the set size).
+	// below (default 1, clamped to the initial set size).
 	MinLive int
+	// DrainTimeout bounds how long RemoveReplica waits for the retiring
+	// replica's in-flight exchanges to finish before letting go of it
+	// (default DefaultDrainTimeout).
+	DrainTimeout time.Duration
 }
 
 // replica is one address's balancing and health state. The atomics are
@@ -110,22 +128,85 @@ type replica struct {
 	ejections   int
 }
 
+// members is one immutable membership generation: the replica slice is
+// sorted by address and the map indexes it. Pick/Release/Report load it
+// lock-free through Set.mem; AddReplica and RemoveReplica install a
+// fresh generation under Set.mu (copy-on-write), so the hot paths never
+// observe a half-mutated collection.
+type members struct {
+	replicas []*replica
+	byAddr   map[string]*replica
+}
+
+// withReplica returns a new generation with r inserted in sorted
+// position.
+func (m *members) withReplica(r *replica) *members {
+	next := &members{
+		replicas: make([]*replica, 0, len(m.replicas)+1),
+		byAddr:   make(map[string]*replica, len(m.replicas)+1),
+	}
+	next.replicas = append(next.replicas, m.replicas...)
+	i := sort.Search(len(next.replicas), func(i int) bool { return next.replicas[i].addr >= r.addr })
+	next.replicas = append(next.replicas, nil)
+	copy(next.replicas[i+1:], next.replicas[i:])
+	next.replicas[i] = r
+	for _, rr := range next.replicas {
+		next.byAddr[rr.addr] = rr
+	}
+	return next
+}
+
+// withoutAddr returns a new generation with addr removed.
+func (m *members) withoutAddr(addr string) *members {
+	next := &members{
+		replicas: make([]*replica, 0, len(m.replicas)-1),
+		byAddr:   make(map[string]*replica, len(m.replicas)-1),
+	}
+	for _, r := range m.replicas {
+		if r.addr == addr {
+			continue
+		}
+		next.replicas = append(next.replicas, r)
+		next.byAddr[r.addr] = r
+	}
+	return next
+}
+
+// retiredHealth is the health history RemoveReplica keeps for an
+// address, restored by a flap-back AddReplica so a sick endpoint that
+// bounces out of and back into discovery does not reset to trusted.
+type retiredHealth struct {
+	ejected     bool
+	until       time.Time
+	consecFails int
+	ejections   int
+	ewmaNs      int64
+	retiredAt   time.Time
+}
+
 // Set is a named replica set. All methods are safe for concurrent use.
 type Set struct {
 	name     string
 	opts     Options
-	replicas []*replica
-	byAddr   map[string]*replica
+	mem      atomic.Pointer[members]
 	rr       atomic.Uint64
 	ejects   atomic.Uint64
 	readmits atomic.Uint64
+	adds     atomic.Uint64
+	removes  atomic.Uint64
 
 	mu        sync.Mutex
 	onEject   []func(addr string)
 	onReadmit []func(addr string)
+	onRemove  []func(addr string)
+	retired   map[string]retiredHealth
+	draining  map[string]*replica
 	started   bool
 	closed    bool
 
+	// aux tracks the side goroutines membership changes spawn (admission
+	// probes); Close waits for them like it waits for the prober.
+	aux  sync.WaitGroup
 	stop chan struct{}
 	done chan struct{}
 }
@@ -170,24 +251,31 @@ func New(name string, addrs []string, opts Options) (*Set, error) {
 	if opts.Probe == nil {
 		opts.Probe = DialProbe(opts.ProbeTimeout)
 	}
-	s := &Set{
-		name:   name,
-		opts:   opts,
-		byAddr: make(map[string]*replica, len(addrs)),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = DefaultDrainTimeout
 	}
+	s := &Set{
+		name:     name,
+		opts:     opts,
+		retired:  make(map[string]retiredHealth),
+		draining: make(map[string]*replica),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	m := &members{byAddr: make(map[string]*replica, len(addrs))}
 	for _, addr := range addrs {
 		if addr == "" {
 			return nil, fmt.Errorf("backend: set %q has an empty replica address", name)
 		}
-		if _, dup := s.byAddr[addr]; dup {
+		if _, dup := m.byAddr[addr]; dup {
 			return nil, fmt.Errorf("backend: set %q declares replica %q twice", name, addr)
 		}
 		r := &replica{addr: addr}
-		s.replicas = append(s.replicas, r)
-		s.byAddr[addr] = r
+		m.replicas = append(m.replicas, r)
+		m.byAddr[addr] = r
 	}
+	sort.Slice(m.replicas, func(i, j int) bool { return m.replicas[i].addr < m.replicas[j].addr })
+	s.mem.Store(m)
 	return s, nil
 }
 
@@ -209,10 +297,13 @@ func (s *Set) Name() string { return s.name }
 // Policy is the set's balancing policy.
 func (s *Set) Policy() Policy { return s.opts.Policy }
 
-// Addrs lists the replica addresses in declaration order.
+// Addrs lists the current replica addresses, sorted — the order is
+// deterministic across calls, so views built on it (the admin
+// /backends and /discovery JSON) are stable.
 func (s *Set) Addrs() []string {
-	out := make([]string, len(s.replicas))
-	for i, r := range s.replicas {
+	m := s.mem.Load()
+	out := make([]string, len(m.replicas))
+	for i, r := range m.replicas {
 		out[i] = r.addr
 	}
 	return out
@@ -235,6 +326,147 @@ func (s *Set) OnReadmit(fn func(addr string)) {
 	s.mu.Unlock()
 }
 
+// OnRemove registers a hook fired (outside the set lock) after
+// RemoveReplica has drained a replica; the engine uses it to flush the
+// retired address's pooled connections for every client color.
+func (s *Set) OnRemove(fn func(addr string)) {
+	s.mu.Lock()
+	s.onRemove = append(s.onRemove, fn)
+	s.mu.Unlock()
+}
+
+// AddReplica admits a new address into the set. The replica does not
+// take traffic immediately: it enters the set pending, an immediate
+// asynchronous health probe is launched, and the first probe (or
+// probation) success makes it pickable — so a freshly announced
+// endpoint is verified before the balancer gambles a flow on it. If the
+// address was removed earlier, its retired health history (ejection
+// count, cooloff progress, latency EWMA) is restored first: a flapping
+// endpoint re-announced by discovery keeps its doubled cooloffs instead
+// of resetting to trusted. Adding an address already in the set is an
+// error.
+func (s *Set) AddReplica(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("backend: set %q: empty replica address", s.name)
+	}
+	r := &replica{addr: addr}
+	now := time.Now()
+	s.mu.Lock()
+	m := s.mem.Load()
+	if _, dup := m.byAddr[addr]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("backend: set %q already has replica %q", s.name, addr)
+	}
+	cooling := false
+	if h, ok := s.retired[addr]; ok {
+		r.consecFails = h.consecFails
+		r.ejections = h.ejections
+		r.ewmaNs.Store(h.ewmaNs)
+		if h.ejected && now.Before(h.until) {
+			r.until = h.until
+			cooling = true
+		}
+		delete(s.retired, addr)
+	}
+	// Pending admission rides the ejection machinery: the replica starts
+	// ejected, so picks skip it, and the admission probe's success (or
+	// any later probe/probation success) re-admits it. A replica restored
+	// mid-cooloff keeps its original deadline instead.
+	r.ejected = true
+	if !cooling {
+		r.until = now.Add(s.opts.Cooloff)
+	}
+	s.mem.Store(m.withReplica(r))
+	s.adds.Add(1)
+	closed := s.closed
+	s.mu.Unlock()
+	if !cooling && !closed {
+		s.aux.Add(1)
+		go func() {
+			defer s.aux.Done()
+			r.probes.Add(1)
+			err := s.opts.Probe(addr)
+			if err != nil {
+				r.probeNGs.Add(1)
+			}
+			// Only apply if the replica is still the member for this addr:
+			// a remove/re-add racing the probe must not have a stale probe
+			// outcome resurrect or condemn the new incarnation.
+			if s.mem.Load().byAddr[addr] == r {
+				s.applyOutcome(r, err == nil)
+			}
+		}()
+	}
+	return nil
+}
+
+// RemoveReplica retires an address from the set: it leaves the
+// balancing rotation immediately (no new picks), its in-flight
+// exchanges are drained (bounded by DrainTimeout), its health history
+// is kept for a flap-back AddReplica, and the OnRemove hooks fire so
+// the engine can flush the address's pooled connections. Removing the
+// last replica is refused — a set always resolves to something.
+func (s *Set) RemoveReplica(addr string) error {
+	s.mu.Lock()
+	m := s.mem.Load()
+	r := m.byAddr[addr]
+	if r == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("backend: set %q has no replica %q", s.name, addr)
+	}
+	if len(m.replicas) == 1 {
+		s.mu.Unlock()
+		return fmt.Errorf("backend: set %q: refusing to remove last replica %q", s.name, addr)
+	}
+	s.mem.Store(m.withoutAddr(addr))
+	if len(s.retired) >= retiredCap {
+		oldest, at := "", time.Time{}
+		for a, h := range s.retired {
+			if oldest == "" || h.retiredAt.Before(at) {
+				oldest, at = a, h.retiredAt
+			}
+		}
+		delete(s.retired, oldest)
+	}
+	s.retired[addr] = retiredHealth{
+		ejected:     r.ejected,
+		until:       r.until,
+		consecFails: r.consecFails,
+		ejections:   r.ejections,
+		ewmaNs:      r.ewmaNs.Load(),
+		retiredAt:   time.Now(),
+	}
+	s.removes.Add(1)
+	s.draining[addr] = r
+	fire := append([]func(string){}, s.onRemove...)
+	s.mu.Unlock()
+	s.drain(r)
+	s.mu.Lock()
+	if s.draining[addr] == r {
+		delete(s.draining, addr)
+	}
+	s.mu.Unlock()
+	for _, fn := range fire {
+		fn(addr)
+	}
+	return nil
+}
+
+// drain waits (bounded by DrainTimeout, cut short by Close) for a
+// retired replica's in-flight exchanges to finish; the draining map
+// keeps Release resolving the address meanwhile, so the slot count can
+// still fall to zero through the exchanges that hold slots.
+func (s *Set) drain(r *replica) {
+	deadline := time.Now().Add(s.opts.DrainTimeout)
+	for r.inFlight.Load() > 0 && time.Now().Before(deadline) {
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
 // Pick resolves the set to one replica address and accounts one
 // in-flight exchange against it; the caller must pair it with Release.
 // Candidates are the live replicas plus any whose cooloff has expired
@@ -244,23 +476,24 @@ func (s *Set) OnReadmit(fn func(addr string)) {
 // every replica is cooling (only reachable through adopted state), the
 // one closest to probation is returned rather than failing the flow.
 func (s *Set) Pick(avoid string) string {
+	m := s.mem.Load()
 	var r *replica
-	if len(s.replicas) == 1 {
-		r = s.replicas[0]
+	if len(m.replicas) == 1 {
+		r = m.replicas[0]
 	} else {
-		r = s.pickMulti(avoid)
+		r = s.pickMulti(m, avoid)
 	}
 	r.picks.Add(1)
 	r.inFlight.Add(1)
 	return r.addr
 }
 
-func (s *Set) pickMulti(avoid string) *replica {
+func (s *Set) pickMulti(m *members, avoid string) *replica {
 	now := time.Now()
-	cands := make([]*replica, 0, len(s.replicas))
+	cands := make([]*replica, 0, len(m.replicas))
 	var soonest *replica
 	s.mu.Lock()
-	for _, r := range s.replicas {
+	for _, r := range m.replicas {
 		if r.ejected && now.Before(r.until) {
 			if soonest == nil || r.until.Before(soonest.until) {
 				soonest = r
@@ -314,10 +547,18 @@ func better(a, b *replica) *replica {
 	return a
 }
 
-// Release returns a Pick's in-flight slot. Unknown addresses are
+// Release returns a Pick's in-flight slot. A replica mid-removal still
+// resolves (so its drain can complete); genuinely unknown addresses are
 // ignored so callers can release unconditionally.
 func (s *Set) Release(addr string) {
-	if r := s.byAddr[addr]; r != nil {
+	if r := s.mem.Load().byAddr[addr]; r != nil {
+		r.inFlight.Add(-1)
+		return
+	}
+	s.mu.Lock()
+	r := s.draining[addr]
+	s.mu.Unlock()
+	if r != nil {
 		r.inFlight.Add(-1)
 	}
 }
@@ -329,8 +570,10 @@ func (s *Set) Release(addr string) {
 // FailThreshold — unless that would drop the live count to MinLive — or
 // re-ejects a probation replica immediately with a doubled cooloff.
 func (s *Set) Report(addr string, latency time.Duration, err error) {
-	r := s.byAddr[addr]
+	r := s.mem.Load().byAddr[addr]
 	if r == nil {
+		// A replica mid-removal takes no further health transitions: its
+		// history was captured at removal time.
 		return
 	}
 	if err == nil {
@@ -401,7 +644,7 @@ func (s *Set) ejectLocked(r *replica) {
 // s.mu.
 func (s *Set) liveCountLocked() int {
 	n := 0
-	for _, r := range s.replicas {
+	for _, r := range s.mem.Load().replicas {
 		if !r.ejected {
 			n++
 		}
@@ -437,8 +680,10 @@ func (s *Set) Start() {
 	go s.probeLoop()
 }
 
-// Close stops the prober. Idempotent; the set's picking and reporting
-// surfaces keep working (a closed set is merely unprobed).
+// Close stops the prober, cuts short any in-progress removal drains and
+// waits for outstanding admission probes. Idempotent; the set's picking
+// and reporting surfaces keep working (a closed set is merely
+// unprobed).
 func (s *Set) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -452,6 +697,7 @@ func (s *Set) Close() {
 	if started {
 		<-s.done
 	}
+	s.aux.Wait()
 }
 
 func (s *Set) probeLoop() {
@@ -473,7 +719,7 @@ func (s *Set) probeLoop() {
 // function itself (DialProbe honours ProbeTimeout).
 func (s *Set) probeAll() {
 	var wg sync.WaitGroup
-	for _, r := range s.replicas {
+	for _, r := range s.mem.Load().replicas {
 		wg.Add(1)
 		go func(r *replica) {
 			defer wg.Done()
@@ -505,14 +751,19 @@ func (s *Set) Adopt(old *Set) {
 		ejections   int
 		ewmaNs      int64
 	}
-	carried := make(map[string]health, len(old.replicas))
+	oldMem := old.mem.Load()
+	carried := make(map[string]health, len(oldMem.replicas))
 	old.mu.Lock()
-	for _, r := range old.replicas {
+	for _, r := range oldMem.replicas {
 		carried[r.addr] = health{r.ejected, r.until, r.consecFails, r.ejections, r.ewmaNs.Load()}
+	}
+	retired := make(map[string]retiredHealth, len(old.retired))
+	for addr, h := range old.retired {
+		retired[addr] = h
 	}
 	old.mu.Unlock()
 	s.mu.Lock()
-	for _, r := range s.replicas {
+	for _, r := range s.mem.Load().replicas {
 		h, ok := carried[r.addr]
 		if !ok {
 			continue
@@ -522,6 +773,16 @@ func (s *Set) Adopt(old *Set) {
 		r.consecFails = h.consecFails
 		r.ejections = h.ejections
 		r.ewmaNs.Store(h.ewmaNs)
+	}
+	// The removed-replica history crosses the swap too, so a flap-back
+	// re-add shortly after a hot reload still sees its record.
+	for addr, h := range retired {
+		if _, member := s.mem.Load().byAddr[addr]; member {
+			continue
+		}
+		if _, have := s.retired[addr]; !have {
+			s.retired[addr] = h
+		}
 	}
 	s.mu.Unlock()
 }
@@ -565,31 +826,38 @@ type SetSnapshot struct {
 	Cooloff       time.Duration `json:"cooloff_ns"`
 	MaxCooloff    time.Duration `json:"max_cooloff_ns"`
 	MinLive       int           `json:"min_live"`
-	// Ejections/Readmissions are set-lifetime totals.
-	Ejections    uint64            `json:"ejections_total"`
-	Readmissions uint64            `json:"readmissions_total"`
-	Replicas     []ReplicaSnapshot `json:"replicas"`
+	// Ejections/Readmissions are set-lifetime totals;
+	// MembershipAdds/MembershipRemoves count dynamic AddReplica and
+	// RemoveReplica applications.
+	Ejections         uint64            `json:"ejections_total"`
+	Readmissions      uint64            `json:"readmissions_total"`
+	MembershipAdds    uint64            `json:"membership_adds_total"`
+	MembershipRemoves uint64            `json:"membership_removes_total"`
+	Replicas          []ReplicaSnapshot `json:"replicas"`
 }
 
 // Snapshot captures the set's configuration, totals and every
-// replica's state.
+// replica's state, replicas sorted by address.
 func (s *Set) Snapshot() SetSnapshot {
+	m := s.mem.Load()
 	snap := SetSnapshot{
-		Name:          s.name,
-		Policy:        s.opts.Policy,
-		ProbeInterval: s.opts.ProbeInterval,
-		ProbeTimeout:  s.opts.ProbeTimeout,
-		FailThreshold: s.opts.FailThreshold,
-		Cooloff:       s.opts.Cooloff,
-		MaxCooloff:    s.opts.MaxCooloff,
-		MinLive:       s.opts.MinLive,
-		Ejections:     s.ejects.Load(),
-		Readmissions:  s.readmits.Load(),
-		Replicas:      make([]ReplicaSnapshot, 0, len(s.replicas)),
+		Name:              s.name,
+		Policy:            s.opts.Policy,
+		ProbeInterval:     s.opts.ProbeInterval,
+		ProbeTimeout:      s.opts.ProbeTimeout,
+		FailThreshold:     s.opts.FailThreshold,
+		Cooloff:           s.opts.Cooloff,
+		MaxCooloff:        s.opts.MaxCooloff,
+		MinLive:           s.opts.MinLive,
+		Ejections:         s.ejects.Load(),
+		Readmissions:      s.readmits.Load(),
+		MembershipAdds:    s.adds.Load(),
+		MembershipRemoves: s.removes.Load(),
+		Replicas:          make([]ReplicaSnapshot, 0, len(m.replicas)),
 	}
 	now := time.Now()
 	s.mu.Lock()
-	for _, r := range s.replicas {
+	for _, r := range m.replicas {
 		snap.Replicas = append(snap.Replicas, ReplicaSnapshot{
 			Addr:          r.addr,
 			Live:          !r.ejected,

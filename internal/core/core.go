@@ -19,6 +19,7 @@ import (
 	"starlink/internal/automata"
 	"starlink/internal/backend"
 	"starlink/internal/bind"
+	"starlink/internal/discovery"
 	"starlink/internal/engine"
 	"starlink/internal/gateway"
 	"starlink/internal/mdl"
@@ -260,6 +261,40 @@ type BackendSpec struct {
 	MinLive             int
 }
 
+// DiscoverSpec is one `discover` directive: a discovery source driving
+// a backend set's membership at runtime.
+//
+//	discover <backend> via=slp agent=<addr> type=<service-type> [scope=<scope>]
+//	discover <backend> via=ssdp search=<addr> st=<target> [listen=<addr>] [mx=<seconds>]
+//	discover <backend> via=dns name=<host:port | _svc._proto.domain>
+//	discover <backend> via=file path=<hosts-file>
+//
+// every form also takes [refresh=<duration>] [debounce=<duration>]
+// [min_ttl=<duration>] [max_churn=<n>].
+type DiscoverSpec struct {
+	// Backend names the replica set this source drives.
+	Backend string
+	// Via selects the source kind: "slp", "ssdp", "dns" or "file".
+	Via string
+	// Agent, Type and Scope configure via=slp (the Directory Agent
+	// address, service type, and optional scope).
+	Agent, Type, Scope string
+	// Search, ST, Listen and MX configure via=ssdp (the M-SEARCH
+	// address, search target, optional NOTIFY listen address, and
+	// response window in seconds).
+	Search, ST, Listen string
+	MX                 int
+	// Name configures via=dns: "host:port" (A/AAAA) or a full
+	// "_svc._proto.domain" SRV name.
+	Name string
+	// Path configures via=file: the watched hosts file.
+	Path string
+	// Refresh, Debounce, MinTTL and MaxChurn tune the reconciler (zero
+	// values = discovery package defaults).
+	Refresh, Debounce, MinTTL time.Duration
+	MaxChurn                  int
+}
+
 // MediatorSpec is a parsed deployment spec:
 //
 //	merged <name>
@@ -270,6 +305,7 @@ type BackendSpec struct {
 //	balance <backend> roundrobin|p2c
 //	probe <backend> <interval> [timeout=<duration>]
 //	eject <backend> [fails=<n>] [cooloff=<duration>] [max_cooloff=<duration>] [min_live=<n>]
+//	discover <backend> via=slp|ssdp|dns|file [source options] [refresh=] [debounce=] [min_ttl=] [max_churn=]
 //	typemap <name>
 //	retries <n>
 //	backoff <duration>
@@ -293,6 +329,9 @@ type MediatorSpec struct {
 	// Backends are the named service replica sets (`backend` directives)
 	// with their balance/probe/eject tuning, in declaration order.
 	Backends []BackendSpec
+	// Discover are the discovery sources (`discover` directives) that
+	// drive backend membership at runtime, in declaration order.
+	Discover []DiscoverSpec
 	// TypeMap names a loaded vocabulary map exposed as maptype().
 	TypeMap string
 	// Retries overrides the engine's service-retry count when non-nil
@@ -361,6 +400,7 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 	seen := map[string]int{}         // single-valued directive → first line (0-based)
 	backendLines := map[string]int{} // backend name → declaring line (0-based)
 	tunedLines := map[string]int{}   // "directive name" → first line (0-based)
+	discoverLines := map[string]int{} // backend name → discover line (0-based)
 	var tunes []backendTune
 	// tune records one balance/probe/eject directive, rejecting a repeat
 	// for the same backend with both lines named (the PR 4 duplicate
@@ -609,6 +649,96 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 			if err != nil {
 				return nil, err
 			}
+		case "discover":
+			if len(fields) < 3 {
+				return nil, specErr(lineNo, "discover", "want: discover <backend> via=slp|ssdp|dns|file [options]")
+			}
+			ds := DiscoverSpec{Backend: fields[1]}
+			if first, dup := discoverLines[ds.Backend]; dup {
+				return nil, specErr(lineNo, "discover", "duplicate discover for backend %q (first given on line %d)", ds.Backend, first+1)
+			}
+			discoverLines[ds.Backend] = lineNo
+			for _, kv := range fields[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || v == "" {
+					return nil, specErr(lineNo, "discover", "bad option %q (want key=value)", kv)
+				}
+				switch k {
+				case "via":
+					ds.Via = v
+				case "agent":
+					ds.Agent = v
+				case "type":
+					ds.Type = v
+				case "scope":
+					ds.Scope = v
+				case "search":
+					ds.Search = v
+				case "st":
+					ds.ST = v
+				case "listen":
+					ds.Listen = v
+				case "mx":
+					n, err := strconv.Atoi(v)
+					if err != nil || n <= 0 {
+						return nil, specErr(lineNo, "discover", "bad mx %q", v)
+					}
+					ds.MX = n
+				case "name":
+					ds.Name = v
+				case "path":
+					ds.Path = v
+				case "refresh":
+					d, err := time.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, specErr(lineNo, "discover", "bad refresh %q", v)
+					}
+					ds.Refresh = d
+				case "debounce":
+					d, err := time.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, specErr(lineNo, "discover", "bad debounce %q", v)
+					}
+					ds.Debounce = d
+				case "min_ttl":
+					d, err := time.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, specErr(lineNo, "discover", "bad min_ttl %q", v)
+					}
+					ds.MinTTL = d
+				case "max_churn":
+					n, err := strconv.Atoi(v)
+					if err != nil || n <= 0 {
+						return nil, specErr(lineNo, "discover", "bad max_churn %q", v)
+					}
+					ds.MaxChurn = n
+				default:
+					return nil, specErr(lineNo, "discover", "unknown option %q", k)
+				}
+			}
+			switch ds.Via {
+			case "slp":
+				if ds.Agent == "" || ds.Type == "" {
+					return nil, specErr(lineNo, "discover", "via=slp needs agent=<addr> and type=<service-type>")
+				}
+			case "ssdp":
+				if ds.Search == "" || ds.ST == "" {
+					return nil, specErr(lineNo, "discover", "via=ssdp needs search=<addr> and st=<target>")
+				}
+			case "dns":
+				if ds.Name == "" {
+					return nil, specErr(lineNo, "discover", "via=dns needs name=<host:port or SRV name>")
+				}
+			case "file":
+				if ds.Path == "" {
+					return nil, specErr(lineNo, "discover", "via=file needs path=<hosts-file>")
+				}
+			case "":
+				return nil, specErr(lineNo, "discover", "missing via=slp|ssdp|dns|file")
+			default:
+				return nil, specErr(lineNo, "discover", "unknown source %q (want slp, ssdp, dns or file)", ds.Via)
+			}
+			spec.Discover = append(spec.Discover, ds)
 		case "cacheable":
 			if len(fields) < 3 {
 				return nil, specErr(lineNo, "cacheable", "want: cacheable <operation> ttl=<duration> [vary=<path,...>]")
@@ -719,6 +849,13 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 			return nil, specErr(tn.lineNo, tn.directive, "references undeclared backend %q", tn.name)
 		}
 	}
+	// Discover directives may precede the backend they drive, so the
+	// dangling-reference check is deferred like the tuning directives'.
+	for _, ds := range spec.Discover {
+		if _, ok := backendLines[ds.Backend]; !ok {
+			return nil, specErr(discoverLines[ds.Backend], "discover", "references undeclared backend %q", ds.Backend)
+		}
+	}
 	return spec, nil
 }
 
@@ -762,7 +899,38 @@ func (m *Models) BuildMediator(spec *MediatorSpec) (*engine.Mediator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.New(cfg)
+	med, err := engine.New(cfg)
+	if err != nil {
+		closeDiscovery(cfg.Discovery)
+		return nil, err
+	}
+	return med, nil
+}
+
+// buildSource constructs the discovery source a `discover` directive
+// describes.
+func buildSource(ds DiscoverSpec) (discovery.Source, error) {
+	switch ds.Via {
+	case "slp":
+		return discovery.NewSLPSource(ds.Agent, ds.Type, ds.Scope)
+	case "ssdp":
+		return discovery.NewSSDPSource(ds.Search, ds.ST, discovery.SSDPOptions{MX: ds.MX, Listen: ds.Listen})
+	case "dns":
+		return discovery.NewDNSSource(ds.Name)
+	case "file":
+		return discovery.NewFileSource(ds.Path)
+	default:
+		return nil, fmt.Errorf("unknown source %q", ds.Via)
+	}
+}
+
+// closeDiscovery releases reconcilers (and their sources) built before
+// a construction failure; once engine.New succeeds the engine owns
+// them.
+func closeDiscovery(recs []*discovery.Reconciler) {
+	for _, r := range recs {
+		r.Close()
+	}
 }
 
 // buildConfig translates a spec into an engine configuration; Deploy
@@ -824,6 +992,38 @@ func (m *Models) buildConfig(spec *MediatorSpec) (engine.Config, error) {
 			}
 			cfg.Backends[bs.Name] = set
 		}
+	}
+	for _, ds := range spec.Discover {
+		set, ok := cfg.Backends[ds.Backend]
+		if !ok { // the parser already rejects this; keep buildConfig safe for hand-built specs
+			closeDiscovery(cfg.Discovery)
+			return engine.Config{}, fmt.Errorf("%w: discover references undeclared backend %q", ErrSpec, ds.Backend)
+		}
+		src, err := buildSource(ds)
+		if err != nil {
+			closeDiscovery(cfg.Discovery)
+			return engine.Config{}, fmt.Errorf("%w: discover %s: %v", ErrSpec, ds.Backend, err)
+		}
+		minLive := 1
+		for _, bs := range spec.Backends {
+			if bs.Name == ds.Backend && bs.MinLive > 0 {
+				minLive = bs.MinLive
+			}
+		}
+		rec, err := discovery.New(set, discovery.Options{
+			Source:   src,
+			Refresh:  ds.Refresh,
+			Debounce: ds.Debounce,
+			MinTTL:   ds.MinTTL,
+			MaxChurn: ds.MaxChurn,
+			MinLive:  minLive,
+		})
+		if err != nil {
+			src.Close()
+			closeDiscovery(cfg.Discovery)
+			return engine.Config{}, fmt.Errorf("%w: discover %s: %v", ErrSpec, ds.Backend, err)
+		}
+		cfg.Discovery = append(cfg.Discovery, rec)
 	}
 	for _, ss := range spec.Sides {
 		binder, err := m.BuildBinder(ss)
@@ -974,6 +1174,7 @@ func (m *Models) Deploy(name, listenOverride, adminOverride string) (*Deployment
 	}
 	med, err := engine.New(cfg)
 	if err != nil {
+		closeDiscovery(cfg.Discovery)
 		return nil, err
 	}
 	listen := spec.Listen

@@ -289,6 +289,7 @@ func (m *Models) buildRoute(rs GatewayRouteSpec) (gateway.RouteConfig, *engine.M
 	}
 	med, err := engine.New(cfg)
 	if err != nil {
+		closeDiscovery(cfg.Discovery)
 		return gateway.RouteConfig{}, nil, fmt.Errorf("route %q: %w", rs.Name, err)
 	}
 	if err := med.StartDetached(); err != nil {
@@ -457,7 +458,10 @@ func (d *GatewayDeployment) Reload(ctx context.Context, models *Models) error {
 		// Carry live backend health across the swap: a replica the old
 		// mediator ejected stays ejected (with its cooloff clock intact)
 		// instead of taking fresh traffic the moment the reload lands.
+		// Discovery counters ride along the same way, so /metrics rates
+		// stay continuous across the reload.
 		med.AdoptBackendHealth(d.mediators[rs.Name])
+		med.AdoptDiscovery(d.mediators[rs.Name])
 		fresh[rs.Name] = med
 	}
 	var (

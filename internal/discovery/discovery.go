@@ -1,0 +1,79 @@
+// Package discovery tracks live service membership for the mediation
+// engine's backend replica sets. The paper's mediators assume the
+// service endpoint is known a priori; its discovery companion (the
+// SSDP/SLP substrates under internal/protocol) treats *finding*
+// services as part of the interoperability problem. This package closes
+// the loop: pluggable Sources resolve a logical service to its current
+// endpoints — an SLP Directory Agent, SSDP search plus NOTIFY
+// listening, DNS A/SRV records, or a watched hosts file — and a
+// per-set Reconciler diffs each resolution against the set's current
+// membership, applying adds and removes through backend.Set's dynamic
+// membership APIs with hysteresis so a flapping endpoint cannot churn
+// the balancer.
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// ErrSource is wrapped by source construction and resolution failures.
+var ErrSource = errors.New("discovery: source error")
+
+// Endpoint is one discovered service endpoint.
+type Endpoint struct {
+	// Addr is the dialable "host:port" address.
+	Addr string
+	// TTL is how long the advertisement claims to stay valid; while it
+	// lasts, the reconciler keeps treating the endpoint as present even
+	// if a poll misses it. Zero means "present only while resolved".
+	TTL time.Duration
+}
+
+// Source resolves a logical service to its current endpoints. A Source
+// is polled by one Reconciler on its refresh interval; each Resolve
+// must return the *complete* current endpoint set (the reconciler
+// diffs, it does not accumulate). Implementations must be safe for
+// concurrent use with Close.
+type Source interface {
+	// Resolve returns the current full endpoint set. An error means
+	// "resolution unavailable" — the reconciler keeps the existing
+	// membership rather than treating it as an empty result.
+	Resolve() ([]Endpoint, error)
+	// String describes the source for snapshots and logs, e.g.
+	// "slp://127.0.0.1:427/service:plus".
+	String() string
+	// Close releases any held resources (sockets, listeners).
+	Close() error
+}
+
+// Notifier is an optional Source extension: Updates delivers a nudge
+// whenever the source learns of a membership change out of band (an
+// SSDP NOTIFY alive/byebye), letting the reconciler resolve ahead of
+// its next refresh tick instead of waiting the interval out.
+type Notifier interface {
+	Updates() <-chan struct{}
+}
+
+// HostPort extracts the dialable "host:port" from a service URL as the
+// discovery protocols advertise them: "service:printer:lpr://h:p"
+// (SLP), "http://h:p/desc.xml" (SSDP LOCATION) or a bare "h:p". An
+// entry without an explicit port is rejected — Starlink backends need
+// complete dial addresses.
+func HostPort(u string) (string, error) {
+	s := u
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if j := strings.IndexAny(s, "/?#"); j >= 0 {
+		s = s[:j]
+	}
+	host, port, err := net.SplitHostPort(s)
+	if err != nil || host == "" || port == "" {
+		return "", fmt.Errorf("%w: no host:port in %q", ErrSource, u)
+	}
+	return net.JoinHostPort(host, port), nil
+}

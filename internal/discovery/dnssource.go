@@ -1,0 +1,116 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DNSSource re-resolves a name on every poll. Two shapes are
+// supported: "host:port" resolves the host's A/AAAA records and pairs
+// every address with the fixed port, while a bare name starting with
+// "_" (e.g. "_plus._tcp.example.org") is treated as a full SRV name
+// whose records carry their own ports. DNS gives no TTL through the
+// stdlib resolver, so endpoints carry TTL 0 — presence is purely
+// "still in the answer".
+type DNSSource struct {
+	name string
+	port string // empty for SRV names
+	srv  bool
+
+	// injectable for tests; default to net.DefaultResolver.
+	lookupHost func(ctx context.Context, host string) ([]string, error)
+	lookupSRV  func(ctx context.Context, name string) ([]*net.SRV, error)
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DNSTimeout bounds each resolution round.
+const DNSTimeout = 2 * time.Second
+
+// NewDNSSource parses name as "host:port" or a "_service._proto.*"
+// SRV name.
+func NewDNSSource(name string) (*DNSSource, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: dns source needs a name", ErrSource)
+	}
+	s := &DNSSource{
+		lookupHost: func(ctx context.Context, host string) ([]string, error) {
+			return net.DefaultResolver.LookupHost(ctx, host)
+		},
+		lookupSRV: func(ctx context.Context, n string) ([]*net.SRV, error) {
+			_, recs, err := net.DefaultResolver.LookupSRV(ctx, "", "", n)
+			return recs, err
+		},
+	}
+	if strings.HasPrefix(name, "_") {
+		s.name, s.srv = name, true
+		return s, nil
+	}
+	host, port, err := net.SplitHostPort(name)
+	if err != nil || host == "" || port == "" {
+		return nil, fmt.Errorf("%w: dns source needs host:port or an SRV name (_svc._tcp...), got %q", ErrSource, name)
+	}
+	s.name, s.port = host, port
+	return s, nil
+}
+
+// Resolve runs one lookup round. Answers are sorted so equal DNS
+// responses produce identical snapshots regardless of resolver
+// ordering.
+func (s *DNSSource) Resolve() ([]Endpoint, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: dns source closed", ErrSource)
+	}
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), DNSTimeout)
+	defer cancel()
+	var eps []Endpoint
+	if s.srv {
+		recs, err := s.lookupSRV(ctx, s.name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: SRV %s: %v", ErrSource, s.name, err)
+		}
+		for _, r := range recs {
+			host := strings.TrimSuffix(r.Target, ".")
+			if host == "" || r.Port == 0 {
+				continue
+			}
+			eps = append(eps, Endpoint{Addr: net.JoinHostPort(host, strconv.Itoa(int(r.Port)))})
+		}
+	} else {
+		addrs, err := s.lookupHost(ctx, s.name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: lookup %s: %v", ErrSource, s.name, err)
+		}
+		for _, a := range addrs {
+			eps = append(eps, Endpoint{Addr: net.JoinHostPort(a, s.port)})
+		}
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].Addr < eps[j].Addr })
+	return eps, nil
+}
+
+func (s *DNSSource) String() string {
+	if s.srv {
+		return "dns+srv://" + s.name
+	}
+	return "dns://" + net.JoinHostPort(s.name, s.port)
+}
+
+// Close marks the source unusable; there is nothing live to release.
+func (s *DNSSource) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,83 @@
+package discovery
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FileSource reads a static hosts file on every poll: one "host:port"
+// per line, blank lines and #-comments ignored. It is the zero-infra
+// source — operators edit the file, the reconciler applies the diff —
+// and the deterministic workhorse for tests and the E18 churn soak.
+// A file that disappears mid-run is a resolution error (membership is
+// kept), not an instruction to drop every replica.
+type FileSource struct {
+	path string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewFileSource watches path; the file must exist and parse now so
+// typos fail deployment rather than first refresh.
+func NewFileSource(path string) (*FileSource, error) {
+	if path == "" {
+		return nil, fmt.Errorf("%w: file source needs a path", ErrSource)
+	}
+	s := &FileSource{path: path}
+	if _, err := s.Resolve(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Resolve re-reads the file and returns its current endpoints.
+func (s *FileSource) Resolve() ([]Endpoint, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: file source closed", ErrSource)
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read %s: %v", ErrSource, s.path, err)
+	}
+	var eps []Endpoint
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Optional "host:port ttl" — a per-line advertisement lifetime.
+		addr, rest, _ := strings.Cut(line, " ")
+		var ttl time.Duration
+		if rest = strings.TrimSpace(rest); rest != "" {
+			ttl, err = time.ParseDuration(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s:%d: bad ttl %q", ErrSource, s.path, i+1, rest)
+			}
+		}
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil || host == "" || port == "" {
+			return nil, fmt.Errorf("%w: %s:%d: not host:port: %q", ErrSource, s.path, i+1, addr)
+		}
+		eps = append(eps, Endpoint{Addr: net.JoinHostPort(host, port), TTL: ttl})
+	}
+	return eps, nil
+}
+
+func (s *FileSource) String() string { return "file://" + s.path }
+
+// Close marks the source unusable; there is nothing live to release.
+func (s *FileSource) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

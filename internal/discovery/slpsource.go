@@ -1,0 +1,101 @@
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"starlink/internal/protocol/slp"
+)
+
+// SLPSource polls an SLP Directory Agent for a service type, turning
+// each advertised URL entry into an endpoint. The DA connection is
+// dialed lazily and redialed after any transport error, so a DA that
+// restarts mid-run is picked back up on the next poll.
+type SLPSource struct {
+	addr        string
+	serviceType string
+	scope       string
+
+	mu     sync.Mutex
+	client *slp.Client
+	closed bool
+}
+
+// NewSLPSource resolves serviceType (scope optional, DEFAULT when
+// empty) against the Directory Agent at addr.
+func NewSLPSource(addr, serviceType, scope string) (*SLPSource, error) {
+	if addr == "" || serviceType == "" {
+		return nil, fmt.Errorf("%w: slp source needs agent address and service type", ErrSource)
+	}
+	if scope == "" {
+		scope = "DEFAULT"
+	}
+	return &SLPSource{addr: addr, serviceType: serviceType, scope: scope}, nil
+}
+
+// Resolve issues one ServiceRequest to the DA. A remote "no results"
+// is an empty set, not an error; transport errors drop the cached
+// connection so the next poll redials.
+func (s *SLPSource) Resolve() ([]Endpoint, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: slp source closed", ErrSource)
+	}
+	if s.client == nil {
+		c, err := slp.Dial(s.addr)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: dial DA %s: %v", ErrSource, s.addr, err)
+		}
+		s.client = c
+	}
+	c := s.client
+	s.mu.Unlock()
+
+	entries, err := c.Find(s.serviceType, s.scope)
+	if err != nil {
+		if errors.Is(err, slp.ErrRemote) {
+			return nil, nil // DA answered: nothing registered
+		}
+		s.mu.Lock()
+		if s.client == c {
+			c.Close()
+			s.client = nil
+		}
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: find %s: %v", ErrSource, s.serviceType, err)
+	}
+	eps := make([]Endpoint, 0, len(entries))
+	for _, e := range entries {
+		addr, err := HostPort(e.URL)
+		if err != nil {
+			continue // advertisement without a dialable address
+		}
+		eps = append(eps, Endpoint{Addr: addr, TTL: time.Duration(e.Lifetime) * time.Second})
+	}
+	return eps, nil
+}
+
+func (s *SLPSource) String() string {
+	return fmt.Sprintf("slp://%s/%s", s.addr, s.serviceType)
+}
+
+// Close drops the DA connection; a Resolve already in flight may still
+// return one final result.
+func (s *SLPSource) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.client != nil {
+		err := s.client.Close()
+		s.client = nil
+		return err
+	}
+	return nil
+}

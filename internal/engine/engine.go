@@ -40,6 +40,7 @@ import (
 
 	"starlink/internal/automata"
 	"starlink/internal/backend"
+	"starlink/internal/discovery"
 	"starlink/internal/bind"
 	"starlink/internal/message"
 	"starlink/internal/mtl"
@@ -124,6 +125,13 @@ type Config struct {
 	// connections are flushed. The mediator owns the sets: Start starts
 	// their health probers, Close/Shutdown stop them.
 	Backends map[string]*backend.Set
+	// Discovery holds the reconcilers (internal/discovery) that drive
+	// Backends membership from live sources. The mediator owns them
+	// like it owns the sets: Start launches their reconcile loops,
+	// Close/Shutdown stops them (closing their sources), and a gateway
+	// hot swap adopts their counters via AdoptDiscovery. Every
+	// reconciler must drive a set present in Backends.
+	Discovery []*discovery.Reconciler
 	// Funcs adds extra MTL functions.
 	Funcs map[string]mtl.Func
 	// ExchangeTimeout bounds each network exchange (default 10s).
@@ -524,6 +532,14 @@ func New(cfg Config) (*Mediator, error) {
 			return nil, fmt.Errorf("%w: backend set %q is nil", ErrConfig, name)
 		}
 	}
+	for i, rec := range cfg.Discovery {
+		if rec == nil {
+			return nil, fmt.Errorf("%w: discovery reconciler %d is nil", ErrConfig, i)
+		}
+		if cfg.Backends[rec.SetName()] != rec.Backend() {
+			return nil, fmt.Errorf("%w: discovery reconciler %d drives set %q, which is not in Backends", ErrConfig, i, rec.SetName())
+		}
+	}
 	if cfg.Cache != nil {
 		if cfg.Cache.MaxEntries < 0 {
 			return nil, fmt.Errorf("%w: negative CachePolicy.MaxEntries %d", ErrConfig, cfg.Cache.MaxEntries)
@@ -673,29 +689,40 @@ func (m *Mediator) Start(listenAddr string) error {
 	return nil
 }
 
-// startBackends hooks every replica set into the pool — an ejection
-// flushes the replica's idle connections for every client color, since
-// they were dialled to an endpoint now presumed sick — and starts the
-// sets' health probers.
+// startBackends hooks every replica set into the pool — an ejection or
+// a discovery-driven removal flushes the replica's idle connections for
+// every client color, since they were dialled to an endpoint now
+// presumed sick (or gone) — then starts the sets' health probers and
+// the discovery reconcile loops.
 func (m *Mediator) startBackends() {
+	flush := func(addr string) {
+		m.mu.Lock()
+		p := m.pool
+		m.mu.Unlock()
+		if p == nil {
+			return
+		}
+		for _, color := range m.clientColors {
+			p.Flush(pool.Key{Color: color, Addr: addr})
+		}
+	}
 	for _, set := range m.cfg.Backends {
-		set.OnEject(func(addr string) {
-			m.mu.Lock()
-			p := m.pool
-			m.mu.Unlock()
-			if p == nil {
-				return
-			}
-			for _, color := range m.clientColors {
-				p.Flush(pool.Key{Color: color, Addr: addr})
-			}
-		})
+		set.OnEject(flush)
+		set.OnRemove(flush)
 		set.Start()
+	}
+	for _, rec := range m.cfg.Discovery {
+		rec.Start()
 	}
 }
 
-// closeBackends stops every replica set's health prober (idempotent).
+// closeBackends stops the discovery reconcilers (so membership stops
+// churning first) and then every replica set's health prober
+// (idempotent).
 func (m *Mediator) closeBackends() {
+	for _, rec := range m.cfg.Discovery {
+		rec.Close()
+	}
 	for _, set := range m.cfg.Backends {
 		set.Close()
 	}
@@ -731,6 +758,38 @@ func (m *Mediator) AdoptBackendHealth(prev *Mediator) {
 	for name, set := range m.cfg.Backends {
 		if old := prev.cfg.Backends[name]; old != nil {
 			set.Adopt(old)
+		}
+	}
+}
+
+// Discovery snapshots the mediator's discovery reconcilers, sorted by
+// the set they drive, for the admin /discovery view and the -discover
+// startup dump. Nil when the mediator has none.
+func (m *Mediator) Discovery() []discovery.Snapshot {
+	if len(m.cfg.Discovery) == 0 {
+		return nil
+	}
+	snaps := make([]discovery.Snapshot, len(m.cfg.Discovery))
+	for i, rec := range m.cfg.Discovery {
+		snaps[i] = rec.Snapshot()
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Set < snaps[j].Set })
+	return snaps
+}
+
+// AdoptDiscovery carries the cumulative discovery counters from a
+// previous mediator's reconcilers into this one's (matched by the set
+// they drive), so a gateway hot swap keeps /metrics rates continuous —
+// the discovery analogue of AdoptBackendHealth.
+func (m *Mediator) AdoptDiscovery(prev *Mediator) {
+	if prev == nil {
+		return
+	}
+	for _, rec := range m.cfg.Discovery {
+		for _, old := range prev.cfg.Discovery {
+			if old.SetName() == rec.SetName() {
+				rec.Adopt(old)
+			}
 		}
 	}
 }

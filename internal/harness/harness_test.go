@@ -7,12 +7,12 @@ import (
 	"starlink/internal/harness"
 )
 
-// TestAllExperimentsPass runs the full E1-E14 + E16-E17 reproduction
+// TestAllExperimentsPass runs the full E1-E14 + E16-E18 reproduction
 // suite — the same entry point as cmd/benchharness.
 func TestAllExperimentsPass(t *testing.T) {
 	results := harness.RunAll()
-	if len(results) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(results))
+	if len(results) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(results))
 	}
 	for _, r := range results {
 		if !r.OK() {

@@ -33,6 +33,8 @@ type AdminConfig struct {
 //	                    with per-transition hit counts
 //	GET /backends       the mediator's replica sets: policy, probe and
 //	                    ejection config, per-replica health (JSON)
+//	GET /discovery      the mediator's discovery reconcilers: source,
+//	                    hysteresis tuning, members and churn (JSON)
 type Admin struct {
 	cfg    AdminConfig
 	srv    *httpwire.Server
@@ -78,6 +80,8 @@ func (a *Admin) handle(req *httpwire.Request) *httpwire.Response {
 		return a.automatonDOT()
 	case "/backends":
 		return a.backends()
+	case "/discovery":
+		return a.discovery()
 	default:
 		return &httpwire.Response{Status: 404, Body: []byte("not found\n")}
 	}
@@ -158,6 +162,17 @@ func (a *Admin) backends() *httpwire.Response {
 	snaps := a.cfg.Mediator.Backends()
 	if snaps == nil {
 		return &httpwire.Response{Status: 404, Body: []byte("mediator has no backend replica sets\n")}
+	}
+	return jsonResponse(snaps)
+}
+
+func (a *Admin) discovery() *httpwire.Response {
+	if a.cfg.Mediator == nil {
+		return &httpwire.Response{Status: 404, Body: []byte("no mediator attached\n")}
+	}
+	snaps := a.cfg.Mediator.Discovery()
+	if snaps == nil {
+		return &httpwire.Response{Status: 404, Body: []byte("mediator has no discovery sources\n")}
 	}
 	return jsonResponse(snaps)
 }

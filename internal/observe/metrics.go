@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"starlink/internal/backend"
+	"starlink/internal/discovery"
 	"starlink/internal/engine"
 	"starlink/internal/network/pool"
 )
@@ -238,6 +239,9 @@ func RegisterMediator(r *Registry, med *engine.Mediator) {
 	if med.Backends() != nil {
 		registerBackends(r, med)
 	}
+	if med.Discovery() != nil {
+		registerDiscovery(r, med)
+	}
 }
 
 // registerBackends exports the mediator's replica sets: per-replica
@@ -294,6 +298,50 @@ func registerBackends(r *Registry, med *engine.Mediator) {
 	r.CounterVec("starlink_backend_readmissions_total", "set",
 		"Ejected replicas re-admitted after a probation success.",
 		perSet(func(s backend.SetSnapshot) uint64 { return s.Readmissions }))
+}
+
+// registerDiscovery exports the mediator's discovery reconcilers:
+// per-set resolution/churn counters and a last-resolution-age gauge.
+// Registered only for mediators deployed with `discover` directives.
+func registerDiscovery(r *Registry, med *engine.Mediator) {
+	perSet := func(f func(discovery.Snapshot) uint64) func() map[string]uint64 {
+		return func() map[string]uint64 {
+			out := map[string]uint64{}
+			for _, ds := range med.Discovery() {
+				out[ds.Set] = f(ds)
+			}
+			return out
+		}
+	}
+	r.CounterVec("starlink_discovery_resolutions_total", "set",
+		"Source resolution rounds attempted for the set (including failed ones).",
+		perSet(func(ds discovery.Snapshot) uint64 { return ds.Resolutions }))
+	r.CounterVec("starlink_discovery_resolve_errors_total", "set",
+		"Resolution rounds that failed (membership kept as-is).",
+		perSet(func(ds discovery.Snapshot) uint64 { return ds.ResolveErrors }))
+	r.CounterVec("starlink_discovery_endpoints_total", "set",
+		"Endpoints returned across all successful resolutions.",
+		perSet(func(ds discovery.Snapshot) uint64 { return ds.Endpoints }))
+	r.CounterVec("starlink_discovery_adds_total", "set",
+		"Replicas admitted into the set by discovery.",
+		perSet(func(ds discovery.Snapshot) uint64 { return ds.Adds }))
+	r.CounterVec("starlink_discovery_removes_total", "set",
+		"Replicas drained and removed from the set by discovery.",
+		perSet(func(ds discovery.Snapshot) uint64 { return ds.Removes }))
+	r.CounterVec("starlink_discovery_flaps_suppressed_total", "set",
+		"Endpoint flaps absorbed by the debounce window before admission.",
+		perSet(func(ds discovery.Snapshot) uint64 { return ds.FlapsSuppressed }))
+	r.GaugeVec("starlink_discovery_last_resolution_age_seconds", "set",
+		"Seconds since the set's source last resolved successfully (absent until the first success).",
+		func() map[string]uint64 {
+			out := map[string]uint64{}
+			for _, ds := range med.Discovery() {
+				if ds.LastResolution >= 0 {
+					out[ds.Set] = uint64(ds.LastResolution)
+				}
+			}
+			return out
+		})
 }
 
 // RegisterObserver wires the tracer's and flight recorder's own

@@ -39,6 +39,7 @@ import (
 	"starlink/internal/backend"
 	"starlink/internal/bind"
 	"starlink/internal/core"
+	"starlink/internal/discovery"
 	"starlink/internal/engine"
 	"starlink/internal/gateway"
 	"starlink/internal/mdl"
@@ -104,6 +105,30 @@ type (
 	// BackendReplicaSnapshot is one replica's slice of a
 	// BackendSetSnapshot.
 	BackendReplicaSnapshot = backend.ReplicaSnapshot
+	// DiscoverSpec is one `discover` directive of a MediatorSpec: a
+	// discovery source (SLP/SSDP/DNS/file) driving a backend set's
+	// membership at runtime.
+	DiscoverSpec = core.DiscoverSpec
+	// DiscoverySource resolves a logical service to its current
+	// endpoints; see NewSLPSource, NewSSDPSource, NewDNSSource and
+	// NewFileSource.
+	DiscoverySource = discovery.Source
+	// DiscoveryEndpoint is one discovered service endpoint (dialable
+	// address plus advertised lifetime).
+	DiscoveryEndpoint = discovery.Endpoint
+	// DiscoveryReconciler diffs a source's endpoint snapshots against a
+	// BackendSet's membership and applies adds/removes with hysteresis;
+	// see EngineConfig.Discovery.
+	DiscoveryReconciler = discovery.Reconciler
+	// DiscoveryOptions tune a DiscoveryReconciler: refresh cadence,
+	// debounce window, min-TTL and churn caps.
+	DiscoveryOptions = discovery.Options
+	// DiscoverySnapshot is one reconciler's point-in-time view, as
+	// served by the admin /discovery route.
+	DiscoverySnapshot = discovery.Snapshot
+	// SSDPSourceOptions tune an SSDP discovery source (M-SEARCH window,
+	// NOTIFY listen address).
+	SSDPSourceOptions = discovery.SSDPOptions
 	// Mediator is a running (or startable) mediator.
 	Mediator = engine.Mediator
 	// EngineConfig assembles a mediator programmatically.
@@ -406,6 +431,50 @@ func GatewayRegistry(gw *Gateway) *Registry { return observe.GatewayRegistry(gw)
 // Shutdown(ctx) stops accepting, drains in-flight sessions until ctx
 // expires, and closes the shared service pool; Close is the abrupt path.
 func NewMediator(cfg EngineConfig) (*Mediator, error) { return engine.New(cfg) }
+
+// NewBackendSet builds a named, health-checked, load-balanced replica
+// set for EngineConfig.Backends.
+func NewBackendSet(name string, addrs []string, opts BackendOptions) (*BackendSet, error) {
+	return backend.New(name, addrs, opts)
+}
+
+// Service discovery
+//
+// The discovery subsystem keeps BackendSet membership synchronized
+// with the world: a Source (SLP Directory Agent, SSDP search + NOTIFY,
+// DNS A/SRV, or a watched hosts file) resolves the service's current
+// endpoints, and a DiscoveryReconciler applies the diff with
+// hysteresis. Spec-file deployments use `discover` directives;
+// programmatic ones build a source, wrap it in NewDiscoveryReconciler
+// and hand it to EngineConfig.Discovery.
+
+// NewDiscoveryReconciler binds a discovery source to a backend set for
+// EngineConfig.Discovery.
+func NewDiscoveryReconciler(set *BackendSet, opts DiscoveryOptions) (*DiscoveryReconciler, error) {
+	return discovery.New(set, opts)
+}
+
+// NewSLPSource polls an SLP Directory Agent for a service type.
+func NewSLPSource(agent, serviceType, scope string) (DiscoverySource, error) {
+	return discovery.NewSLPSource(agent, serviceType, scope)
+}
+
+// NewSSDPSource discovers endpoints by SSDP M-SEARCH, optionally also
+// listening for NOTIFY alive/byebye announcements.
+func NewSSDPSource(addr, st string, opts SSDPSourceOptions) (DiscoverySource, error) {
+	return discovery.NewSSDPSource(addr, st, opts)
+}
+
+// NewDNSSource re-resolves "host:port" A/AAAA records or a full
+// "_svc._proto.domain" SRV name on every poll.
+func NewDNSSource(name string) (DiscoverySource, error) {
+	return discovery.NewDNSSource(name)
+}
+
+// NewFileSource watches a static hosts file (one host:port per line).
+func NewFileSource(path string) (DiscoverySource, error) {
+	return discovery.NewFileSource(path)
+}
 
 // Observability
 //
