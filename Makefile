@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race race-alloc bench bench-translate bench-cache bench-balance bench-discover fault-soak experiments fuzz fmt
+.PHONY: all build test check race race-alloc bench bench-translate bench-cache bench-balance bench-discover bench-deadline fault-soak experiments fuzz fmt
 
 all: check
 
@@ -71,6 +71,14 @@ bench-balance:
 # steady-state per-flow overhead bar is <2%, see EXPERIMENTS.md E18).
 bench-discover:
 	$(GO) run ./cmd/benchharness -discover BENCH_discover.json
+
+# Flow-deadline budgets on the healthy path: budgets disabled vs a
+# generous budget armed (every SetDeadline clamp and remaining-budget
+# check runs, nothing trips), at 1/8/64 sessions -> BENCH_deadline.json
+# (committed baseline; the per-flow overhead bar is <2%, see
+# EXPERIMENTS.md E19).
+bench-deadline:
+	$(GO) run ./cmd/benchharness -deadline BENCH_deadline.json
 
 # The fault-path soak on its own: mediated flows while the service is
 # periodically killed and restarted (see BenchmarkE11FaultRecoverySoak).

@@ -1,5 +1,5 @@
 // Command benchharness runs the paper-reproduction experiment suite
-// (E1-E14 and E16-E18, see DESIGN.md §4 and EXPERIMENTS.md) and prints one
+// (E1-E14 and E16-E19, see DESIGN.md §4 and EXPERIMENTS.md) and prints one
 // report line per experiment. It exits non-zero if any experiment fails.
 //
 // With -observe <file>, it additionally measures the flow tracer's
@@ -34,6 +34,13 @@
 // one whose identical set is driven by a file discovery source polling
 // every 25ms — at the same concurrency levels, and writes the result as
 // JSON (the committed BENCH_discover.json baseline).
+//
+// With -deadline <file>, it measures the per-flow cost of flow-deadline
+// budgets on the healthy path — a mediator with budgets disabled vs one
+// with a generous budget armed, so every SetDeadline clamp and
+// remaining-budget check runs but nothing trips — at the same
+// concurrency levels, and writes the result as JSON (the committed
+// BENCH_deadline.json baseline).
 package main
 
 import (
@@ -52,6 +59,7 @@ func main() {
 	cacheOut := flag.String("cache", "", "write response-cache off-vs-on measurements (JSON) to this file")
 	balanceOut := flag.String("balance", "", "write backend-balancer overhead measurements (JSON) to this file")
 	discoverOut := flag.String("discover", "", "write discovery steady-state overhead measurements (JSON) to this file")
+	deadlineOut := flag.String("deadline", "", "write flow-deadline budget overhead measurements (JSON) to this file")
 	flag.Parse()
 
 	fmt.Println("Starlink experiment harness — MIDDLEWARE 2011 reproduction")
@@ -207,6 +215,28 @@ func main() {
 		for _, p := range bench.Points {
 			fmt.Printf("  %2d session(s): static %.0fns/flow, discovered %.0fns/flow (%+.1f%%)\n",
 				p.Sessions, p.StaticNsPerFlow, p.DiscoveredNsPerFlow, p.OverheadPct)
+		}
+	}
+
+	if *deadlineOut != "" {
+		bench, err := harness.MeasureDeadlineOverhead([]int{1, 8, 64}, 400)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness: deadline measurement:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*deadlineOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("deadline-overhead measurements written to %s\n", *deadlineOut)
+		for _, p := range bench.Points {
+			fmt.Printf("  %2d session(s): off %.0fns/flow, on %.0fns/flow (%+.1f%%)\n",
+				p.Sessions, p.OffNsPerFlow, p.OnNsPerFlow, p.OverheadPct)
 		}
 	}
 }

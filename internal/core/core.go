@@ -309,6 +309,8 @@ type DiscoverSpec struct {
 //	typemap <name>
 //	retries <n>
 //	backoff <duration>
+//	max_backoff <duration>
+//	flow_deadline <duration>|off
 //	dialtimeout <duration>
 //	pool_size <n>
 //	pool_idle <duration>|off
@@ -339,6 +341,13 @@ type MediatorSpec struct {
 	Retries *int
 	// Backoff overrides the engine's retry backoff when non-zero.
 	Backoff time.Duration
+	// MaxBackoff overrides the engine's retry backoff cap when
+	// non-zero (`max_backoff`).
+	MaxBackoff time.Duration
+	// FlowDeadline overrides the engine's per-flow deadline budget:
+	// positive is a budget, negative ("flow_deadline off") disables
+	// budgets, zero leaves the engine default (2 × ExchangeTimeout).
+	FlowDeadline time.Duration
 	// DialTimeout overrides the engine's service dial timeout when
 	// non-zero.
 	DialTimeout time.Duration
@@ -378,7 +387,8 @@ func specErr(lineNo int, directive, format string, args ...any) error {
 // hid typos, so a repeat is now rejected with both lines named.
 var singleValued = map[string]bool{
 	"merged": true, "listen": true, "typemap": true, "retries": true,
-	"backoff": true, "dialtimeout": true, "pool_size": true,
+	"backoff": true, "max_backoff": true, "flow_deadline": true,
+	"dialtimeout": true, "pool_size": true,
 	"pool_idle": true, "admin": true, "cache_size": true,
 	"cache_shards": true,
 }
@@ -397,9 +407,9 @@ type backendTune struct {
 // ParseMediatorSpec reads a deployment spec document.
 func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 	spec := &MediatorSpec{HostMap: map[string]string{}}
-	seen := map[string]int{}         // single-valued directive → first line (0-based)
-	backendLines := map[string]int{} // backend name → declaring line (0-based)
-	tunedLines := map[string]int{}   // "directive name" → first line (0-based)
+	seen := map[string]int{}          // single-valued directive → first line (0-based)
+	backendLines := map[string]int{}  // backend name → declaring line (0-based)
+	tunedLines := map[string]int{}    // "directive name" → first line (0-based)
 	discoverLines := map[string]int{} // backend name → discover line (0-based)
 	var tunes []backendTune
 	// tune records one balance/probe/eject directive, rejecting a repeat
@@ -499,6 +509,28 @@ func ParseMediatorSpec(doc string) (*MediatorSpec, error) {
 				return nil, specErr(lineNo, "backoff", "bad backoff %q", fields[1])
 			}
 			spec.Backoff = d
+		case "max_backoff":
+			if len(fields) != 2 {
+				return nil, specErr(lineNo, "max_backoff", "want: max_backoff <duration>")
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				return nil, specErr(lineNo, "max_backoff", "bad backoff cap %q", fields[1])
+			}
+			spec.MaxBackoff = d
+		case "flow_deadline":
+			if len(fields) != 2 {
+				return nil, specErr(lineNo, "flow_deadline", "want: flow_deadline <duration>|off")
+			}
+			if fields[1] == "off" {
+				spec.FlowDeadline = -1
+				break
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				return nil, specErr(lineNo, "flow_deadline", "bad flow deadline %q (or \"off\")", fields[1])
+			}
+			spec.FlowDeadline = d
 		case "dialtimeout":
 			if len(fields) != 2 {
 				return nil, specErr(lineNo, "dialtimeout", "want: dialtimeout <duration>")
@@ -942,12 +974,13 @@ func (m *Models) buildConfig(spec *MediatorSpec) (engine.Config, error) {
 		return engine.Config{}, fmt.Errorf("%w: merged automaton %q not loaded", ErrSpec, spec.MergedName)
 	}
 	cfg := engine.Config{
-		Merged:      merged,
-		Sides:       make(map[int]*engine.Side, len(spec.Sides)),
-		HostMap:     spec.HostMap,
-		DialTimeout: spec.DialTimeout,
-		PoolSize:    spec.PoolSize,
-		PoolIdle:    spec.PoolIdle,
+		Merged:       merged,
+		Sides:        make(map[int]*engine.Side, len(spec.Sides)),
+		HostMap:      spec.HostMap,
+		DialTimeout:  spec.DialTimeout,
+		PoolSize:     spec.PoolSize,
+		PoolIdle:     spec.PoolIdle,
+		FlowDeadline: spec.FlowDeadline,
 	}
 	// The spec's optional knobs translate into an explicit RetryPolicy;
 	// "retries 0" simply allows zero attempts — no sentinel needed.
@@ -957,6 +990,9 @@ func (m *Models) buildConfig(spec *MediatorSpec) (engine.Config, error) {
 	}
 	if spec.Backoff > 0 {
 		retry.Backoff = spec.Backoff
+	}
+	if spec.MaxBackoff > 0 {
+		retry.MaxBackoff = spec.MaxBackoff
 	}
 	cfg.Retry = &retry
 	if len(spec.Cacheable) > 0 || len(spec.Invalidates) > 0 ||

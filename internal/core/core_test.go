@@ -132,24 +132,31 @@ func TestParseEquivalence(t *testing.T) {
 func TestParseMediatorSpecErrors(t *testing.T) {
 	cases := []string{
 		"",
-		"merged x",                                // no sides
-		"side 1 xmlrpc server",                    // no merged
-		"merged x\nside one xmlrpc",               // bad color
-		"merged x\nside 1 xmlrpc foo",             // bad option
-		"merged x\nside 1 xmlrpc a=b",             // unknown option
-		"merged x\nside 1 xmlrpc\nwat 1",          // unknown directive
-		"merged x\nmerged",                        // malformed merged
-		"merged x\nlisten",                        // malformed listen
-		"merged x\nside 1",                        // short side
-		"merged x\nside 1 xmlrpc\nhostmap nope",   // malformed hostmap
-		"merged x\nside 1 xmlrpc\nretries",        // malformed retries
-		"merged x\nside 1 xmlrpc\nretries -1",     // negative retries
-		"merged x\nside 1 xmlrpc\nretries two",    // non-numeric retries
-		"merged x\nside 1 xmlrpc\nbackoff",        // malformed backoff
-		"merged x\nside 1 xmlrpc\nbackoff -5ms",   // negative backoff
-		"merged x\nside 1 xmlrpc\nbackoff fast",   // unparseable backoff
-		"merged x\nside 1 xmlrpc\ndialtimeout",    // malformed dialtimeout
-		"merged x\nside 1 xmlrpc\ndialtimeout 0s", // zero dialtimeout
+		"merged x",                                       // no sides
+		"side 1 xmlrpc server",                           // no merged
+		"merged x\nside one xmlrpc",                      // bad color
+		"merged x\nside 1 xmlrpc foo",                    // bad option
+		"merged x\nside 1 xmlrpc a=b",                    // unknown option
+		"merged x\nside 1 xmlrpc\nwat 1",                 // unknown directive
+		"merged x\nmerged",                               // malformed merged
+		"merged x\nlisten",                               // malformed listen
+		"merged x\nside 1",                               // short side
+		"merged x\nside 1 xmlrpc\nhostmap nope",          // malformed hostmap
+		"merged x\nside 1 xmlrpc\nretries",               // malformed retries
+		"merged x\nside 1 xmlrpc\nretries -1",            // negative retries
+		"merged x\nside 1 xmlrpc\nretries two",           // non-numeric retries
+		"merged x\nside 1 xmlrpc\nbackoff",               // malformed backoff
+		"merged x\nside 1 xmlrpc\nbackoff -5ms",          // negative backoff
+		"merged x\nside 1 xmlrpc\nbackoff fast",          // unparseable backoff
+		"merged x\nside 1 xmlrpc\ndialtimeout",           // malformed dialtimeout
+		"merged x\nside 1 xmlrpc\ndialtimeout 0s",        // zero dialtimeout
+		"merged x\nside 1 xmlrpc\nmax_backoff",           // malformed max_backoff
+		"merged x\nside 1 xmlrpc\nmax_backoff 0s",        // zero max_backoff
+		"merged x\nside 1 xmlrpc\nmax_backoff -1s",       // negative max_backoff
+		"merged x\nside 1 xmlrpc\nflow_deadline",         // malformed flow_deadline
+		"merged x\nside 1 xmlrpc\nflow_deadline 0s",      // zero flow_deadline
+		"merged x\nside 1 xmlrpc\nflow_deadline -200ms",  // negative flow_deadline
+		"merged x\nside 1 xmlrpc\nflow_deadline soonish", // unparseable flow_deadline
 	}
 	for _, doc := range cases {
 		if _, err := core.ParseMediatorSpec(doc); !errors.Is(err, core.ErrSpec) {
@@ -165,7 +172,9 @@ side 1 giop defs=AAdd server
 side 2 soap path=/soap target=127.0.0.1:9999
 retries 4
 backoff 25ms
+max_backoff 800ms
 dialtimeout 3s
+flow_deadline 1500ms
 `)
 	if err != nil {
 		t.Fatal(err)
@@ -178,6 +187,21 @@ dialtimeout 3s
 	}
 	if spec.DialTimeout != 3*time.Second {
 		t.Errorf("DialTimeout = %v", spec.DialTimeout)
+	}
+	if spec.MaxBackoff != 800*time.Millisecond {
+		t.Errorf("MaxBackoff = %v", spec.MaxBackoff)
+	}
+	if spec.FlowDeadline != 1500*time.Millisecond {
+		t.Errorf("FlowDeadline = %v", spec.FlowDeadline)
+	}
+
+	// flow_deadline off disables budgets explicitly (negative sentinel).
+	spec, err = core.ParseMediatorSpec("merged x\nside 1 xmlrpc path=/x server\nflow_deadline off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.FlowDeadline >= 0 {
+		t.Errorf("FlowDeadline = %v, want negative sentinel for off", spec.FlowDeadline)
 	}
 
 	// retries 0 is valid and means "disable recovery".
@@ -194,7 +218,8 @@ dialtimeout 3s
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spec.Retries != nil || spec.Backoff != 0 || spec.DialTimeout != 0 {
+	if spec.Retries != nil || spec.Backoff != 0 || spec.DialTimeout != 0 ||
+		spec.MaxBackoff != 0 || spec.FlowDeadline != 0 {
 		t.Errorf("defaults polluted: %+v", spec)
 	}
 }

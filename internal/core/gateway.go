@@ -38,6 +38,12 @@ type GatewayRouteSpec struct {
 	Rate     float64
 	Burst    int
 	MaxFlows int
+	// Deadline overrides the hosted mediator's per-flow deadline budget
+	// (`deadline=` option): a flow that would outlive it is failed fast
+	// with a protocol-correct fault, the deadline-budget analogue of
+	// shed-style admission rejection. Zero keeps the mediator spec's
+	// flow_deadline (or the engine default).
+	Deadline time.Duration
 }
 
 // GatewaySpec is a parsed *.gateway deployment spec:
@@ -48,6 +54,7 @@ type GatewayRouteSpec struct {
 //	sniff_timeout <duration>
 //	route <name> <mediator-spec> [match=giop|http|xml|json] [path=<prefix>]
 //	      [payload=xml|json] [rate=<n>] [burst=<n>] [maxflows=<n>]
+//	      [deadline=<duration>]
 //	default <route-name>
 type GatewaySpec struct {
 	// Listen is the front-door address.
@@ -199,6 +206,12 @@ func parseGatewayRoute(lineNo int, fields []string) (GatewayRouteSpec, error) {
 				return GatewayRouteSpec{}, gwErr(lineNo, "route", "bad maxflows %q", v)
 			}
 			rs.MaxFlows = n
+		case "deadline":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return GatewayRouteSpec{}, gwErr(lineNo, "route", "bad deadline %q", v)
+			}
+			rs.Deadline = d
 		default:
 			return GatewayRouteSpec{}, gwErr(lineNo, "route", "unknown option %q", k)
 		}
@@ -286,6 +299,11 @@ func (m *Models) buildRoute(rs GatewayRouteSpec) (gateway.RouteConfig, *engine.M
 	cfg, err := m.buildConfig(spec)
 	if err != nil {
 		return gateway.RouteConfig{}, nil, fmt.Errorf("route %q: %w", rs.Name, err)
+	}
+	if rs.Deadline > 0 {
+		// Per-route deadline: the gateway operator's budget beats the
+		// mediator spec's own flow_deadline for flows admitted here.
+		cfg.FlowDeadline = rs.Deadline
 	}
 	med, err := engine.New(cfg)
 	if err != nil {

@@ -26,7 +26,7 @@ listen 127.0.0.1:9000
 admin 127.0.0.1:9090
 sniff_bytes 128
 sniff_timeout 250ms
-route xmlrpc flickr-xmlrpc path=/services/xmlrpc payload=xml rate=100 burst=10 maxflows=32
+route xmlrpc flickr-xmlrpc path=/services/xmlrpc payload=xml rate=100 burst=10 maxflows=32 deadline=750ms
 route soap flickr-soap match=http path=/services/soap
 route iiop add-giop match=giop
 default soap
@@ -45,7 +45,8 @@ default soap
 	}
 	r := spec.Routes[0]
 	if r.Name != "xmlrpc" || r.Mediator != "flickr-xmlrpc" || r.PathPrefix != "/services/xmlrpc" ||
-		r.Payload != "xml" || r.Rate != 100 || r.Burst != 10 || r.MaxFlows != 32 {
+		r.Payload != "xml" || r.Rate != 100 || r.Burst != 10 || r.MaxFlows != 32 ||
+		r.Deadline != 750*time.Millisecond {
 		t.Errorf("route[0] = %+v", r)
 	}
 	if spec.Routes[2].Match != "giop" {
@@ -69,6 +70,8 @@ func TestParseGatewaySpecErrors(t *testing.T) {
 		"bad rate":           "route a b rate=-1\n",
 		"bad burst":          "route a b burst=zero\n",
 		"bad maxflows":       "route a b maxflows=0\n",
+		"bad deadline":       "route a b deadline=whenever\n",
+		"zero deadline":      "route a b deadline=0s\n",
 		"bad route option":   "route a b color=7\n",
 		"bad sniff timeout":  "sniff_timeout soon\nroute a b\n",
 		"undeclared default": "route a b\ndefault c\n",
@@ -97,6 +100,8 @@ func TestParseMediatorSpecDuplicateDirectives(t *testing.T) {
 		"typemap a\ntypemap b\n",
 		"retries 1\nretries 2\n",
 		"backoff 1ms\nbackoff 2ms\n",
+		"max_backoff 1s\nmax_backoff 2s\n",
+		"flow_deadline 1s\nflow_deadline off\n",
 		"dialtimeout 1s\ndialtimeout 2s\n",
 		"pool_size 1\npool_size 2\n",
 		"pool_idle 1s\npool_idle off\n",

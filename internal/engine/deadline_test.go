@@ -1,0 +1,282 @@
+package engine_test
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/bind"
+	"starlink/internal/casestudy"
+	"starlink/internal/engine"
+	"starlink/internal/network"
+	"starlink/internal/protocol/giop"
+	"starlink/internal/protocol/soap"
+)
+
+// startStallAddPlus wires the Add->Plus mediator against a SOAP service
+// whose Plus handler stalls for the given duration before answering —
+// the slow-service scenario every flow-deadline test drives.
+func startStallAddPlus(t *testing.T, stall time.Duration, tweak func(*engine.Config)) *engine.Mediator {
+	t.Helper()
+	srv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+		"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+			time.Sleep(stall)
+			x, _ := strconv.Atoi(params[0].Value)
+			y, _ := strconv.Atoi(params[1].Value)
+			return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: srv.Addr()},
+		},
+		ExchangeTimeout: 2 * time.Second,
+		Retry:           &engine.RetryPolicy{Attempts: 3, Backoff: 5 * time.Millisecond},
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	med, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { med.Close() })
+	return med
+}
+
+// TestFlowDeadlineBoundsStalledService: a service stalling past the
+// flow budget fails the flow at roughly the budget — not at
+// attempts × ExchangeTimeout — and the exhaustion is typed and counted.
+func TestFlowDeadlineBoundsStalledService(t *testing.T) {
+	const budget = 250 * time.Millisecond
+	med := startStallAddPlus(t, 2*time.Second, func(cfg *engine.Config) {
+		cfg.FlowDeadline = budget
+	})
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	if _, err := client.Invoke("Add", giop.IntParam(1), giop.IntParam(2)); err == nil {
+		t.Fatal("invoke succeeded against a stalled service")
+	}
+	// Without budgets the flow would take (1+3 attempts) × 2s; with them
+	// the first recv deadline is clamped to the budget and the retry
+	// loop fails fast. Allow generous scheduler slack, but stay far
+	// under a single ExchangeTimeout.
+	if elapsed := time.Since(start); elapsed >= 1500*time.Millisecond {
+		t.Errorf("flow failed after %v, want < 1.5s (budget %v + slack)", elapsed, budget)
+	}
+	st := med.Stats()
+	if st.DeadlineExceeded == 0 {
+		t.Error("DeadlineExceeded = 0, want > 0")
+	}
+}
+
+// TestFlowDeadlineDisabled: a negative FlowDeadline restores the
+// pre-budget behavior — the stalled exchange runs to the exchange
+// timeout and through its retries, and nothing is counted as a
+// deadline exhaustion.
+func TestFlowDeadlineDisabled(t *testing.T) {
+	med := startStallAddPlus(t, 2*time.Second, func(cfg *engine.Config) {
+		cfg.FlowDeadline = -1
+		cfg.ExchangeTimeout = 150 * time.Millisecond
+		cfg.Retry = &engine.RetryPolicy{Attempts: 1, Backoff: time.Millisecond}
+	})
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	if _, err := client.Invoke("Add", giop.IntParam(1), giop.IntParam(2)); err == nil {
+		t.Fatal("invoke succeeded against a stalled service")
+	}
+	if elapsed := time.Since(start); elapsed < 2*150*time.Millisecond {
+		t.Errorf("flow failed after %v, want >= both exchange timeouts (budgets disabled)", elapsed)
+	}
+	if st := med.Stats(); st.DeadlineExceeded != 0 {
+		t.Errorf("DeadlineExceeded = %d, want 0 with budgets disabled", st.DeadlineExceeded)
+	}
+}
+
+// TestFlowDeadlineBoundsDial: time spent dialling counts against the
+// flow budget — a dialer slower than the budget fails the flow fast
+// instead of adding its latency on top.
+func TestFlowDeadlineBoundsDial(t *testing.T) {
+	slowDial := func(sem network.Semantics, addr string, framer network.Framer) (network.Conn, error) {
+		time.Sleep(600 * time.Millisecond)
+		var eng network.Engine
+		return eng.Dial(sem, addr, framer)
+	}
+	med := startStallAddPlus(t, 0, func(cfg *engine.Config) {
+		cfg.FlowDeadline = 150 * time.Millisecond
+		cfg.Sides[2].Dialer = slowDial
+	})
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	if _, err := client.Invoke("Add", giop.IntParam(1), giop.IntParam(2)); err == nil {
+		t.Fatal("invoke succeeded past a dial slower than the budget")
+	}
+	// One slow dial runs to completion (600ms), then the budget check
+	// fails the flow: no second dial, no exchange-timeout stacking.
+	if elapsed := time.Since(start); elapsed >= 2*600*time.Millisecond {
+		t.Errorf("flow failed after %v, want < two dial rounds", elapsed)
+	}
+	st := med.Stats()
+	if st.DeadlineExceeded == 0 {
+		t.Error("DeadlineExceeded = 0, want > 0")
+	}
+}
+
+// TestFlowDeadlineBoundsPoolWait: a checkout blocked on the pool's
+// MaxActive bound waits only as long as the flow budget allows; the
+// abandoned wait surfaces as both a typed deadline failure and a pool
+// WaitTimeouts count.
+func TestFlowDeadlineBoundsPoolWait(t *testing.T) {
+	const budget = 300 * time.Millisecond
+	med := startStallAddPlus(t, 0, func(cfg *engine.Config) {
+		cfg.FlowDeadline = budget
+		cfg.PoolSize = 1
+	})
+	// Session A completes a flow and stays connected: its service link
+	// is held for the session's lifetime, pinning the single pool slot.
+	holder, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	if _, err := holder.Invoke("Add", giop.IntParam(1), giop.IntParam(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Session B must wait for the slot; the wait is clipped to its flow
+	// budget, far below the 10s dial timeout that used to bound it.
+	waiter, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer waiter.Close()
+	start := time.Now()
+	if _, err := waiter.Invoke("Add", giop.IntParam(2), giop.IntParam(2)); err == nil {
+		t.Fatal("invoke succeeded with the pool slot held")
+	}
+	if elapsed := time.Since(start); elapsed >= 4*budget {
+		t.Errorf("pool-blocked flow failed after %v, want ~%v", elapsed, budget)
+	}
+	st := med.Stats()
+	if st.PoolWaitTimeouts == 0 {
+		t.Error("PoolWaitTimeouts = 0, want > 0")
+	}
+	if st.DeadlineExceeded == 0 {
+		t.Error("DeadlineExceeded = 0, want > 0")
+	}
+}
+
+// TestFlowDeadlineBoundsCoalescedWait: a cache follower's wait on the
+// leader's in-flight exchange is clipped to its own flow budget, so a
+// stalled leader cannot park followers past their deadlines.
+func TestFlowDeadlineBoundsCoalescedWait(t *testing.T) {
+	const budget = 400 * time.Millisecond
+	med := startStallAddPlus(t, 2*time.Second, func(cfg *engine.Config) {
+		cfg.FlowDeadline = budget
+		cfg.ExchangeTimeout = 10 * time.Second
+		cfg.Cache = &engine.CachePolicy{Rules: map[string]engine.CacheRule{
+			"Plus": {TTL: time.Minute},
+		}}
+	})
+	var wg sync.WaitGroup
+	elapsed := make([]time.Duration, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := giop.Dial(med.Addr(), "calc")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer client.Close()
+			if i == 1 {
+				// Let the leader's exchange take off first.
+				time.Sleep(50 * time.Millisecond)
+			}
+			start := time.Now()
+			if _, err := client.Invoke("Add", giop.IntParam(3), giop.IntParam(4)); err == nil {
+				t.Error("invoke succeeded against a stalled service")
+			}
+			elapsed[i] = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range elapsed {
+		if e >= 4*budget {
+			t.Errorf("flow %d failed after %v, want bounded by ~%v", i, e, budget)
+		}
+	}
+	if st := med.Stats(); st.DeadlineExceeded == 0 {
+		t.Error("DeadlineExceeded = 0, want > 0")
+	}
+}
+
+// TestFlowBudgetOnTraces: trace events of a budgeted flow carry the
+// remaining budget, so span trees show where the deadline went.
+func TestFlowBudgetOnTraces(t *testing.T) {
+	var mu sync.Mutex
+	budgets := []time.Duration{}
+	med := startStallAddPlus(t, 0, func(cfg *engine.Config) {
+		cfg.FlowDeadline = 5 * time.Second
+		cfg.Trace = func(ev engine.TraceEvent) {
+			if ev.Kind == engine.TraceFlowEnd {
+				mu.Lock()
+				budgets = append(budgets, ev.Budget)
+				mu.Unlock()
+			}
+		}
+	})
+	client, err := giop.Dial(med.Addr(), "calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Invoke("Add", giop.IntParam(20), giop.IntParam(22)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(budgets) != 1 {
+		t.Fatalf("flow-end traces = %d, want 1", len(budgets))
+	}
+	if budgets[0] <= 0 || budgets[0] > 5*time.Second {
+		t.Errorf("remaining budget at flow end = %v, want in (0, 5s]", budgets[0])
+	}
+	if errors.Is(nil, engine.ErrDeadline) {
+		t.Error("nil must not match ErrDeadline")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -40,8 +41,8 @@ import (
 
 	"starlink/internal/automata"
 	"starlink/internal/backend"
-	"starlink/internal/discovery"
 	"starlink/internal/bind"
+	"starlink/internal/discovery"
 	"starlink/internal/message"
 	"starlink/internal/mtl"
 	"starlink/internal/network"
@@ -58,6 +59,13 @@ var (
 	ErrUnexpectedAction = errors.New("engine: unexpected action")
 	// ErrStuck is returned when the automaton has no executable transition.
 	ErrStuck = errors.New("engine: automaton stuck")
+	// ErrDeadline is returned when a flow exhausts its deadline budget
+	// (Config.FlowDeadline / the flow_deadline directive): some blocking
+	// step — a dial, a pool wait, a retry backoff, a coalesced cache
+	// wait, an exchange — would run past the flow's wall-clock deadline.
+	// The flow fails fast instead; errors.Is(err, ErrDeadline) detects
+	// it, and Stats.DeadlineExceeded counts it.
+	ErrDeadline = errors.New("engine: flow deadline exceeded")
 	// errClosing aborts service exchanges when the mediator is being
 	// torn down (Close, or Shutdown past its deadline).
 	errClosing = errors.New("engine: mediator closing")
@@ -87,9 +95,14 @@ type RetryPolicy struct {
 	// a fresh connection before the session fails (0 = the first failure
 	// is final).
 	Attempts int
-	// Backoff is slept before the first retry and doubles with each
-	// further attempt (0 = retry immediately).
+	// Backoff seeds the backoff window: before retry n the session
+	// sleeps a full-jitter delay drawn uniformly from
+	// (0, min(Backoff<<n, MaxBackoff)] (0 = retry immediately).
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth of the backoff window
+	// (0 = DefaultMaxBackoff). The shifted window saturates at the cap,
+	// including when the shift itself overflows at high attempt counts.
+	MaxBackoff time.Duration
 	// Disabled turns fault recovery off entirely; the other fields are
 	// ignored.
 	Disabled bool
@@ -101,6 +114,30 @@ func (p RetryPolicy) attempts() int {
 		return 0
 	}
 	return p.Attempts
+}
+
+// delay computes the sleep before retry attempt+1: full jitter drawn
+// uniformly over an exponentially growing window, clamped to
+// MaxBackoff. The shift saturates at the cap — for attempt counts
+// large enough that Backoff<<attempt would overflow, the window is the
+// cap, never a skipped sleep (a signed-overflow result used to fail
+// the d > 0 guard and turn the retry loop hot).
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	if p.Disabled || p.Backoff <= 0 {
+		return 0
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	window := max
+	// Overflow-safe saturation: Backoff<<attempt fits below the cap iff
+	// Backoff <= max>>attempt (for attempt < 64; beyond that the window
+	// is certainly saturated).
+	if attempt < 64 && p.Backoff <= max>>uint(attempt) {
+		window = p.Backoff << uint(attempt)
+	}
+	return time.Duration(rand.Int64N(int64(window))) + 1
 }
 
 // Config assembles a mediator.
@@ -138,8 +175,20 @@ type Config struct {
 	ExchangeTimeout time.Duration
 	// Retry, when non-nil, is the service-side fault-recovery policy;
 	// nil means the defaults (DefaultRetryAttempts retries with
-	// DefaultBackoff initial backoff).
+	// DefaultBackoff initial backoff, capped at DefaultMaxBackoff).
 	Retry *RetryPolicy
+	// FlowDeadline is the per-flow deadline budget: the wall-clock
+	// ceiling, measured from the arrival of a flow's first client
+	// request, that every blocking step of the flow's mediation —
+	// service dials, pool checkout waits, retry backoffs, coalesced
+	// cache waits and the exchanges themselves — is charged against.
+	// Per-attempt network deadlines become min(ExchangeTimeout,
+	// remaining budget), so worst-case flow latency is bounded by the
+	// budget instead of stacking attempts × ExchangeTimeout + backoffs.
+	// An exhausted budget fails the flow fast with ErrDeadline.
+	// 0 means the default, 2 × ExchangeTimeout; a negative value
+	// disables flow budgets entirely (pre-budget behavior).
+	FlowDeadline time.Duration
 	// Cache, when non-nil, enables the shared cross-flow response cache
 	// (internal/rcache) for the declared service operations. All
 	// sessions of the mediator share one cache; a flow about to send a
@@ -199,14 +248,19 @@ func (c Config) retryPolicy() (RetryPolicy, error) {
 	if p.Backoff < 0 {
 		return RetryPolicy{}, fmt.Errorf("%w: negative RetryPolicy.Backoff %v", ErrConfig, p.Backoff)
 	}
+	if p.MaxBackoff < 0 {
+		return RetryPolicy{}, fmt.Errorf("%w: negative RetryPolicy.MaxBackoff %v", ErrConfig, p.MaxBackoff)
+	}
 	return p, nil
 }
 
-// DefaultRetryAttempts and DefaultBackoff are the fault-recovery
-// defaults applied when Config.Retry is nil.
+// DefaultRetryAttempts, DefaultBackoff and DefaultMaxBackoff are the
+// fault-recovery defaults applied when Config.Retry is nil (the cap
+// also applies whenever RetryPolicy.MaxBackoff is left zero).
 const (
 	DefaultRetryAttempts = 2
 	DefaultBackoff       = 50 * time.Millisecond
+	DefaultMaxBackoff    = 2 * time.Second
 )
 
 // CacheRule declares one cacheable service operation: replies to it
@@ -328,6 +382,10 @@ type TraceEvent struct {
 	// wire message received before a TraceError — the raw packet a parse
 	// or translate fault choked on, for post-hoc diagnosis.
 	Wire []byte
+	// Budget is the flow's remaining deadline budget when the event was
+	// emitted — negative once the deadline has passed, and zero when
+	// flow budgets are disabled or the flow has not started.
+	Budget time.Duration
 }
 
 // MaxTraceWire bounds the wire capture attached to TraceError events.
@@ -373,6 +431,13 @@ type Stats struct {
 	// PoolEvictions counts pooled connections closed early: idle
 	// timeout, health-check rejection, idle overflow, or fault discard.
 	PoolEvictions uint64
+	// PoolWaitTimeouts counts checkout waiters that gave up — their
+	// flow budget or dial timeout expired while the pool was at its
+	// bound with no connection checked back in.
+	PoolWaitTimeouts uint64
+	// DeadlineExceeded counts flows that failed fast because their
+	// deadline budget (Config.FlowDeadline) ran out mid-mediation.
+	DeadlineExceeded uint64
 	// HookPanics counts panics recovered from user Trace/Observer hooks.
 	// A non-zero value means an observability callback is buggy; the
 	// mediation flows themselves were unaffected.
@@ -397,6 +462,7 @@ type statCounters struct {
 	redials, retriesExhausted       atomic.Uint64
 	clientFailures, serviceFailures atomic.Uint64
 	hookPanics                      atomic.Uint64
+	deadlineExceeded                atomic.Uint64
 }
 
 // Mediator executes merged automata, one session per accepted client
@@ -404,12 +470,15 @@ type statCounters struct {
 // Shutdown is the graceful path (stop accepting, drain in-flight flows,
 // harvest idle sessions, close the pool); Close is the abrupt one.
 type Mediator struct {
-	cfg      Config
-	retry    RetryPolicy
-	programs map[int]*mtl.Program         // transition index -> parsed MTL
-	compiled map[int]*mtl.CompiledProgram // transition index -> compiled fast path
-	outs     map[string]outgoing          // state -> outgoing transitions, precomputed
-	stats    statCounters
+	cfg   Config
+	retry RetryPolicy
+	// flowBudget is the resolved per-flow deadline budget (0 = budgets
+	// disabled via a negative Config.FlowDeadline).
+	flowBudget time.Duration
+	programs   map[int]*mtl.Program         // transition index -> parsed MTL
+	compiled   map[int]*mtl.CompiledProgram // transition index -> compiled fast path
+	outs       map[string]outgoing          // state -> outgoing transitions, precomputed
+	stats      statCounters
 	// clientColors lists the colors the mediator plays the client role
 	// for — the colors whose pool keys a backend ejection must flush.
 	clientColors []int
@@ -460,6 +529,7 @@ func (m *Mediator) Stats() Stats {
 		ClientFailures:          m.stats.clientFailures.Load(),
 		ServiceFailures:         m.stats.serviceFailures.Load(),
 		HookPanics:              m.stats.hookPanics.Load(),
+		DeadlineExceeded:        m.stats.deadlineExceeded.Load(),
 	}
 	m.mu.Lock()
 	p := m.pool
@@ -467,6 +537,7 @@ func (m *Mediator) Stats() Stats {
 	if p != nil {
 		ps := p.Stats()
 		st.PoolHits, st.PoolDials, st.PoolEvictions = ps.Hits, ps.Dials, ps.Evictions()
+		st.PoolWaitTimeouts = ps.WaitTimeouts
 	}
 	if m.rcache != nil {
 		cs := m.rcache.Stats()
@@ -566,15 +637,26 @@ func New(cfg Config) (*Mediator, error) {
 			}
 		}
 	}
+	// Resolve the flow budget: explicit when positive, derived from the
+	// exchange timeout when left zero (one full exchange plus headroom
+	// for dial, retries and translation), disabled when negative.
+	var flowBudget time.Duration
+	switch {
+	case cfg.FlowDeadline > 0:
+		flowBudget = cfg.FlowDeadline
+	case cfg.FlowDeadline == 0:
+		flowBudget = 2 * cfg.ExchangeTimeout
+	}
 	m := &Mediator{
-		cfg:      cfg,
-		retry:    retry,
-		programs: make(map[int]*mtl.Program),
-		compiled: make(map[int]*mtl.CompiledProgram),
-		outs:     make(map[string]outgoing),
-		conns:    make(map[network.Conn]struct{}),
-		svcConns: make(map[network.Conn]struct{}),
-		idle:     make(map[network.Conn]struct{}),
+		cfg:        cfg,
+		retry:      retry,
+		flowBudget: flowBudget,
+		programs:   make(map[int]*mtl.Program),
+		compiled:   make(map[int]*mtl.CompiledProgram),
+		outs:       make(map[string]outgoing),
+		conns:      make(map[network.Conn]struct{}),
+		svcConns:   make(map[network.Conn]struct{}),
+		idle:       make(map[network.Conn]struct{}),
 	}
 	for c := range colors {
 		if c != cfg.ServerColor {
@@ -647,11 +729,27 @@ func (m *Mediator) poolOptions() pool.Options {
 	opts := pool.Options{
 		MaxActive:   m.cfg.PoolSize,
 		IdleTimeout: m.cfg.PoolIdle,
-		Dial: func(key pool.Key) (network.Conn, error) {
+		Dial: func(ctx context.Context, key pool.Key) (network.Conn, error) {
 			side := m.cfg.Sides[key.Color]
 			dial := side.Dialer
 			if dial == nil {
-				dial = network.Engine{DialTimeout: m.cfg.DialTimeout}.Dial
+				// The checkout context carries the dial timeout already
+				// clipped to the flow's deadline budget; honour it so
+				// dial time counts against the flow instead of running
+				// on its own clock.
+				timeout := m.cfg.DialTimeout
+				if timeout <= 0 {
+					timeout = network.DefaultDialTimeout
+				}
+				if dl, ok := ctx.Deadline(); ok {
+					if rem := time.Until(dl); rem < timeout {
+						timeout = rem
+					}
+				}
+				if timeout <= 0 {
+					return nil, fmt.Errorf("dial %v: %w", key, context.DeadlineExceeded)
+				}
+				dial = network.Engine{DialTimeout: timeout}.Dial
 			}
 			return dial(side.Net, key.Addr, side.Binder.Framer())
 		},
@@ -1023,14 +1121,21 @@ func (m *Mediator) unparkIdle(c network.Conn) {
 
 // checkout draws a service connection from the shared pool, bounding
 // the wait — dial time and pool exhaustion alike — by the configured
-// dial timeout. Checked-out connections are tracked so an abrupt
-// teardown can unblock sessions waiting on them.
-func (m *Mediator) checkout(color int, addr string) (network.Conn, error) {
+// dial timeout, clipped to the flow's deadline budget when one is set
+// (a non-zero budget deadline): time already spent on the flow shrinks
+// the dial window instead of extending the flow past its deadline.
+// Checked-out connections are tracked so an abrupt teardown can
+// unblock sessions waiting on them.
+func (m *Mediator) checkout(color int, addr string, budget time.Time) (network.Conn, error) {
 	timeout := m.cfg.DialTimeout
 	if timeout <= 0 {
 		timeout = network.DefaultDialTimeout
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	deadline := time.Now().Add(timeout)
+	if !budget.IsZero() && budget.Before(deadline) {
+		deadline = budget
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
 	defer cancel()
 	m.mu.Lock()
 	p := m.pool
@@ -1098,6 +1203,11 @@ type session struct {
 	flow     uint64
 	flowT0   time.Time
 	lastRecv []byte
+	// budget is the wall-clock deadline of the current flow, stamped
+	// when its first client request arrives (zero while idle between
+	// flows, or always when flow budgets are disabled). Every blocking
+	// step of the flow is charged against it.
+	budget time.Time
 	// flowStarted flips once the current traversal has received its
 	// first client request; until then the session counts as idle and
 	// may be harvested by Shutdown.
@@ -1158,6 +1268,9 @@ func (s *session) trace(ev TraceEvent) {
 	ev.Session = s.id
 	ev.Flow = s.flow
 	ev.Time = time.Now()
+	if !s.budget.IsZero() {
+		ev.Budget = s.budget.Sub(ev.Time)
+	}
 	if m.cfg.Trace != nil {
 		m.callHook(func() { m.cfg.Trace(ev) })
 	}
@@ -1207,6 +1320,7 @@ func (s *session) run() {
 		s.pendingAction, s.pendingRequest = "", nil
 		s.hostOverride = ""
 		s.flowStarted = false
+		s.budget = time.Time{}
 		s.flow++
 		if err := s.runAutomaton(); err != nil {
 			// A recv error on the very first transition of a flow is the
@@ -1234,20 +1348,26 @@ func (s *session) run() {
 // between flows, or the mediator drained it).
 var errSessionDone = errors.New("engine: session done")
 
-// recvClientRequest reads one client request without a deadline. The
-// flow-initial read parks the session as idle first, so a Shutdown can
-// harvest clients that are merely holding their keep-alive connection
-// open between flows.
+// recvClientRequest reads one client request. The flow-initial read
+// carries no deadline — an idle keep-alive connection may sit between
+// flows indefinitely — and parks the session as idle first, so a
+// Shutdown can harvest clients that are merely holding their
+// connection open. Once a flow has started its budget deadline is
+// stamped, and mid-flow reads (the client's next request of a
+// multi-exchange traversal) are bounded by it.
 func (s *session) recvClientRequest() ([]byte, error) {
-	if err := s.client.SetDeadline(time.Time{}); err != nil {
-		return nil, err
-	}
 	if s.flowStarted {
+		if err := s.client.SetDeadline(s.budget); err != nil {
+			return nil, err
+		}
 		data, err := s.client.Recv()
 		if err == nil {
 			s.lastRecv = data
 		}
 		return data, err
+	}
+	if err := s.client.SetDeadline(time.Time{}); err != nil {
+		return nil, err
 	}
 	if !s.med.parkIdle(s.client) {
 		return nil, errSessionDone
@@ -1259,9 +1379,44 @@ func (s *session) recvClientRequest() ([]byte, error) {
 	}
 	s.flowStarted = true
 	s.flowT0 = time.Now()
+	if fb := s.med.flowBudget; fb > 0 {
+		s.budget = s.flowT0.Add(fb)
+	}
 	s.lastRecv = data
 	s.trace(TraceEvent{Kind: TraceFlowStart})
 	return data, nil
+}
+
+// remaining reports the time left in the flow's deadline budget; ok is
+// false when budgets are disabled or the flow has not started.
+func (s *session) remaining() (time.Duration, bool) {
+	if s.budget.IsZero() {
+		return 0, false
+	}
+	return time.Until(s.budget), true
+}
+
+// exchangeDeadline is the per-attempt network deadline: the exchange
+// timeout, clipped to the flow's remaining budget so attempts cannot
+// stack past the flow deadline.
+func (s *session) exchangeDeadline() time.Time {
+	d := time.Now().Add(s.med.cfg.ExchangeTimeout)
+	if !s.budget.IsZero() && s.budget.Before(d) {
+		return s.budget
+	}
+	return d
+}
+
+// budgetExceeded records one flow-budget exhaustion and builds the
+// typed fast-fail error, carrying the last transport error (if any)
+// for diagnosis.
+func (s *session) budgetExceeded(op string, color int, lastErr error) error {
+	s.med.stats.deadlineExceeded.Add(1)
+	s.med.stats.serviceFailures.Add(1)
+	if lastErr != nil {
+		return fmt.Errorf("%s (color %d): %w (last attempt: %v)", op, color, ErrDeadline, lastErr)
+	}
+	return fmt.Errorf("%s (color %d): %w", op, color, ErrDeadline)
 }
 
 // sendErrorReply reports a mediation failure to a client that is still
@@ -1485,7 +1640,7 @@ func (s *session) execMessage(
 		if err != nil {
 			return fmt.Errorf("build client reply: %w", err)
 		}
-		if err := s.client.SetDeadline(time.Now().Add(cfg.ExchangeTimeout)); err != nil {
+		if err := s.client.SetDeadline(s.exchangeDeadline()); err != nil {
 			return err
 		}
 		if err := s.client.Send(data); err != nil {
@@ -1587,9 +1742,16 @@ func (s *session) cacheCheck(t automata.MergedTransition, abs *message.Message) 
 		return false
 	}
 	// Follower: wait for the leader's exchange. Bound the wait by the
-	// exchange timeout — the leader's own exchange is bounded by it too.
+	// exchange timeout — the leader's own exchange is bounded by it too
+	// — clipped to this flow's remaining budget. A budget already gone
+	// skips the wait entirely; the fallback exchange below then fails
+	// fast through serviceSend's own budget check.
+	wait := m.cfg.ExchangeTimeout
+	if rem, ok := s.remaining(); ok && rem < wait {
+		wait = rem
+	}
 	start := time.Now()
-	rep, err := flight.Wait(m.cfg.ExchangeTimeout)
+	rep, err := flight.Wait(wait)
 	if err == nil {
 		s.parkReply(t.Color, rep)
 		s.trace(TraceEvent{Kind: TraceCacheHit, Color: t.Color, State: t.Message,
@@ -1637,13 +1799,17 @@ func (s *session) abortFlights(err error) {
 // serviceSend delivers a composed request to a service color, retrying
 // on a fresh connection when the pooled one turns out to be broken. The
 // wire bytes are remembered so a later lost reply can replay them.
+// Every attempt — dial, send, backoff — is charged against the flow's
+// deadline budget; an exhausted budget fails fast with ErrDeadline.
 func (s *session) serviceSend(color int, data []byte) error {
-	cfg := s.med.cfg
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if rem, ok := s.remaining(); ok && rem <= 0 {
+			return s.budgetExceeded("send service request", color, lastErr)
+		}
 		link, err := s.serviceConn(color, attempt)
 		if err == nil {
-			if err = link.conn.SetDeadline(time.Now().Add(cfg.ExchangeTimeout)); err == nil {
+			if err = link.conn.SetDeadline(s.exchangeDeadline()); err == nil {
 				link.pending = true
 				err = link.conn.Send(data)
 			}
@@ -1664,15 +1830,24 @@ func (s *session) serviceSend(color int, data []byte) error {
 			s.med.stats.serviceFailures.Add(1)
 			return fmt.Errorf("send service request (color %d): retries exhausted: %w", color, lastErr)
 		}
-		s.backoff(attempt)
+		if !s.backoff(attempt) {
+			return s.budgetExceeded("send service request", color, lastErr)
+		}
 	}
 }
 
 // serviceRecv reads a service reply, recovering from transport faults by
 // redialling and replaying the in-flight request on the new connection.
+// Like serviceSend, every attempt is charged against the flow's
+// deadline budget: each read deadline is min(ExchangeTimeout,
+// remaining budget), and a flow whose budget runs out mid-recovery
+// fails fast with ErrDeadline instead of stacking further attempts.
 func (s *session) serviceRecv(color int) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if rem, ok := s.remaining(); ok && rem <= 0 {
+			return nil, s.budgetExceeded("recv service reply", color, lastErr)
+		}
 		data, err := s.tryServiceRecv(color, attempt)
 		if err == nil {
 			s.lastRecv = data
@@ -1706,7 +1881,9 @@ func (s *session) serviceRecv(color int) ([]byte, error) {
 			s.med.stats.serviceFailures.Add(1)
 			return nil, fmt.Errorf("recv service reply (color %d): retries exhausted: %w", color, lastErr)
 		}
-		s.backoff(attempt)
+		if !s.backoff(attempt) {
+			return nil, s.budgetExceeded("recv service reply", color, lastErr)
+		}
 	}
 }
 
@@ -1718,7 +1895,7 @@ func (s *session) tryServiceRecv(color, attempt int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := link.conn.SetDeadline(time.Now().Add(s.med.cfg.ExchangeTimeout)); err != nil {
+	if err := link.conn.SetDeadline(s.exchangeDeadline()); err != nil {
 		return nil, err
 	}
 	if attempt > 0 {
@@ -1730,12 +1907,20 @@ func (s *session) tryServiceRecv(color, attempt int) ([]byte, error) {
 	return link.conn.Recv()
 }
 
-// backoff sleeps before retry attempt+1, doubling the configured base
-// each attempt.
-func (s *session) backoff(attempt int) {
-	if d := s.med.retry.Backoff << uint(attempt); d > 0 && !s.med.retry.Disabled {
+// backoff sleeps the policy's jittered, capped delay before retry
+// attempt+1, bounded by the flow's remaining deadline budget. It
+// reports false — without sleeping — when the remaining budget could
+// not fit both the sleep and a meaningful retry, so the caller fails
+// fast instead of burning the budget's tail on a doomed attempt.
+func (s *session) backoff(attempt int) bool {
+	d := s.med.retry.delay(attempt)
+	if rem, ok := s.remaining(); ok && d >= rem {
+		return false
+	}
+	if d > 0 {
 		time.Sleep(d)
 	}
+	return true
 }
 
 // releaseService checks a color's connection back into the shared pool.
@@ -1839,7 +2024,7 @@ func (s *session) serviceConn(color, attempt int) (*serviceLink, error) {
 	if set != nil {
 		addr = set.Pick(s.lastFault[color])
 	}
-	conn, err := s.med.checkout(color, addr)
+	conn, err := s.med.checkout(color, addr, s.budget)
 	if err != nil {
 		if set != nil {
 			// The in-flight slot Pick took is never used; a failed

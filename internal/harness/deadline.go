@@ -1,0 +1,301 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/bind"
+	"starlink/internal/casestudy"
+	"starlink/internal/engine"
+	"starlink/internal/protocol/giop"
+	"starlink/internal/protocol/soap"
+	"starlink/internal/testutil"
+)
+
+// newDeadlineMediator builds the GIOP Add -> SOAP Plus mediator used by
+// the flow-deadline experiments, with the caller tweaking the engine
+// config (budget, timeouts, retry) before it starts.
+func newDeadlineMediator(target string, tweak func(*engine.Config)) (*engine.Mediator, error) {
+	merged, err := automata.Merge(casestudy.AddUsage(), casestudy.PlusUsage(), automata.MergeOptions{
+		Equiv: casestudy.AddPlusEquivalence(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	giopBinder, err := bind.NewGIOPBinder("calc", casestudy.AddUsage().Messages)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.Config{
+		Merged: merged,
+		Sides: map[int]*engine.Side{
+			1: {Binder: giopBinder},
+			2: {Binder: &bind.SOAPBinder{Path: "/soap"}, Target: target},
+		},
+		ExchangeTimeout: 5 * time.Second,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	med, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := med.Start("127.0.0.1:0"); err != nil {
+		med.Close()
+		return nil, err
+	}
+	return med, nil
+}
+
+// leakTB adapts testutil.NoLeaks to harness use: experiments are plain
+// functions, so a leak failure lands in an error instead of a
+// *testing.T.
+type leakTB struct{ err error }
+
+func (l *leakTB) Helper() {}
+
+func (l *leakTB) Errorf(format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf(format, args...)
+	}
+}
+
+// E19 is the slow-service storm soak for flow-deadline budgets: churning
+// clients hammer a mediator whose SOAP service stalls every exchange far
+// past the per-flow budget, with retries enabled and a generous exchange
+// timeout. This is exactly the stacked-timeout shape — without budgets
+// every flow would burn attempts × ExchangeTimeout (plus backoff) before
+// failing. With budgets every flow must fail within flow_deadline + ε,
+// the exhaustion must be counted, and tearing the storm down must leave
+// no hung goroutines parked on dials, pool waits, or backoff sleeps.
+func E19() Result {
+	r := Result{ID: "E19", Artifact: "flow-deadline storm soak"}
+	const (
+		budget   = 250 * time.Millisecond
+		stall    = time.Second
+		exchange = 5 * time.Second
+		clients  = 8
+		flows    = 3
+		// Generous scheduler/dial slack on top of the budget; still far
+		// below one ExchangeTimeout, let alone the stacked bound.
+		ceiling = budget + 750*time.Millisecond
+	)
+
+	var (
+		lt      leakTB
+		slowest time.Duration
+		total   int
+		stats   engine.Stats
+	)
+	testutil.NoLeaks(&lt, func() {
+		srv, err := soap.NewServer("127.0.0.1:0", "/soap", map[string]soap.Operation{
+			"Plus": func(params []soap.Param) ([]soap.Param, *soap.Fault) {
+				time.Sleep(stall)
+				x, _ := strconv.Atoi(findParam(params, "x"))
+				y, _ := strconv.Atoi(findParam(params, "y"))
+				return []soap.Param{{Name: "result", Value: strconv.Itoa(x + y)}}, nil
+			},
+		})
+		if err != nil {
+			r.Err = err
+			return
+		}
+		defer srv.Close()
+		med, err := newDeadlineMediator(srv.Addr(), func(cfg *engine.Config) {
+			cfg.FlowDeadline = budget
+			cfg.ExchangeTimeout = exchange
+			cfg.Retry = &engine.RetryPolicy{Attempts: 3, Backoff: 5 * time.Millisecond}
+		})
+		if err != nil {
+			r.Err = err
+			return
+		}
+		defer med.Close()
+
+		// Short-lived clients, as in E17: every flow is a fresh session, so
+		// the storm exercises dial, checkout, and exchange under budget on
+		// each iteration.
+		var (
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			first error
+		)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for f := 0; f < flows; f++ {
+					client, err := giop.Dial(med.Addr(), "calc")
+					if err != nil {
+						mu.Lock()
+						if first == nil {
+							first = fmt.Errorf("client %d dial: %w", n, err)
+						}
+						mu.Unlock()
+						return
+					}
+					start := time.Now()
+					_, err = client.Invoke("Add", giop.IntParam(20), giop.IntParam(22))
+					elapsed := time.Since(start)
+					client.Close()
+					mu.Lock()
+					total++
+					if elapsed > slowest {
+						slowest = elapsed
+					}
+					if first == nil {
+						if err == nil {
+							first = fmt.Errorf("client %d flow %d succeeded against a %v stall", n, f, stall)
+						} else if elapsed > ceiling {
+							first = fmt.Errorf("client %d flow %d took %v, want <= %v (budget %v + slack)",
+								n, f, elapsed, ceiling, budget)
+						}
+					}
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		stats = med.Stats()
+		if first != nil {
+			r.Err = first
+		}
+	})
+	if r.Err != nil {
+		return r
+	}
+	if lt.err != nil {
+		r.Err = fmt.Errorf("storm teardown leaked: %w", lt.err)
+		return r
+	}
+	if stats.DeadlineExceeded == 0 {
+		r.Err = fmt.Errorf("DeadlineExceeded = 0 after %d budget-bounded failures", total)
+		return r
+	}
+	r.Detail = fmt.Sprintf("%d flows vs %v stall: slowest failure %v (budget %v, stacked bound %v), %d deadline exhaustions, no leaks",
+		total, stall, slowest.Round(time.Millisecond), budget, 4*exchange, stats.DeadlineExceeded)
+	return r
+}
+
+// DeadlinePoint is one concurrency level of the deadline-overhead
+// measurement: per-flow latency with flow budgets disabled vs armed
+// with a budget generous enough never to trip.
+type DeadlinePoint struct {
+	// Sessions is the number of concurrent client sessions.
+	Sessions int `json:"sessions"`
+	// OffNsPerFlow and OnNsPerFlow are mean wall nanoseconds per
+	// mediated flow with FlowDeadline disabled resp. armed.
+	OffNsPerFlow float64 `json:"off_ns_per_flow"`
+	OnNsPerFlow  float64 `json:"on_ns_per_flow"`
+	// OverheadPct is (on-off)/off in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// DeadlineBench is the full deadline-overhead benchmark artifact
+// (BENCH_deadline.json).
+type DeadlineBench struct {
+	// Points are the per-concurrency overhead measurements.
+	Points []DeadlinePoint `json:"points"`
+}
+
+// MeasureDeadlineOverhead runs the GIOP Add -> SOAP Plus workload at
+// each concurrency level against a mediator with flow budgets disabled
+// (FlowDeadline < 0) and one with a generous budget armed — so the
+// delta is pure budget machinery (stamping the deadline, clamping every
+// SetDeadline and checkout to it, the remaining-budget checks in the
+// retry loop) on the healthy path where nothing ever trips. The
+// benchharness -deadline flag writes this as BENCH_deadline.json.
+func MeasureDeadlineOverhead(sessionCounts []int, flowsPerSession int) (*DeadlineBench, error) {
+	plus, err := soap.NewServer("127.0.0.1:0", "/soap", plusOperation)
+	if err != nil {
+		return nil, err
+	}
+	defer plus.Close()
+
+	off, err := newDeadlineMediator(plus.Addr(), func(cfg *engine.Config) {
+		cfg.FlowDeadline = -1
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer off.Close()
+	on, err := newDeadlineMediator(plus.Addr(), func(cfg *engine.Config) {
+		cfg.FlowDeadline = 30 * time.Second
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer on.Close()
+
+	runOnce := func(addr string, sessions int) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		start := time.Now()
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client, err := giop.Dial(addr, "calc")
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer client.Close()
+				for f := 0; f < flowsPerSession; f++ {
+					if _, err := client.Invoke("Add", giop.IntParam(2), giop.IntParam(3)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+		return elapsed / time.Duration(sessions*flowsPerSession), nil
+	}
+	// Best-of-N after a warmup run, as in MeasureBalanceOverhead: the
+	// minimum is the measurement least polluted by scheduler noise.
+	run := func(addr string, sessions int) (time.Duration, error) {
+		best := time.Duration(0)
+		for i := 0; i < 7; i++ {
+			d, err := runOnce(addr, sessions)
+			if err != nil {
+				return 0, err
+			}
+			if i == 0 { // warmup: prime pools, codecs and the page cache
+				continue
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	bench := &DeadlineBench{}
+	for _, sessions := range sessionCounts {
+		d, err := run(off.Addr(), sessions)
+		if err != nil {
+			return nil, err
+		}
+		b, err := run(on.Addr(), sessions)
+		if err != nil {
+			return nil, err
+		}
+		bench.Points = append(bench.Points, DeadlinePoint{
+			Sessions:     sessions,
+			OffNsPerFlow: float64(d.Nanoseconds()),
+			OnNsPerFlow:  float64(b.Nanoseconds()),
+			OverheadPct:  100 * float64(b-d) / float64(d),
+		})
+	}
+	return bench, nil
+}

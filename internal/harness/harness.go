@@ -60,7 +60,7 @@ func (r Result) String() string {
 // RunAll executes every experiment in order.
 func RunAll() []Result {
 	return []Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E16(), E17(), E18(),
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E16(), E17(), E18(), E19(),
 	}
 }
 

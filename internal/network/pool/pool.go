@@ -35,6 +35,13 @@ import (
 // ErrClosed is returned by Get after Close.
 var ErrClosed = errors.New("pool: closed")
 
+// ErrWaitTimeout is wrapped by Get's error when a checkout blocked on
+// the MaxActive bound was abandoned because its context expired (the
+// caller's dial timeout or flow deadline budget ran out) before any
+// connection was checked back in. errors.Is(err, ErrWaitTimeout)
+// detects it; Stats.WaitTimeouts counts it.
+var ErrWaitTimeout = errors.New("pool: checkout wait timed out")
+
 // Defaults applied when Options leave the knobs zero.
 const (
 	// DefaultMaxActive caps connections per key (checked out + idle).
@@ -57,8 +64,11 @@ func (k Key) String() string { return fmt.Sprintf("color %d @ %s", k.Color, k.Ad
 
 // Options configure a Pool.
 type Options struct {
-	// Dial opens a new connection for a key. Required.
-	Dial func(Key) (network.Conn, error)
+	// Dial opens a new connection for a key. Required. The context is
+	// the checkout's — it carries the caller's deadline (dial timeout
+	// clipped to the flow budget), so implementations should bound the
+	// dial by it rather than by an independent timeout.
+	Dial func(ctx context.Context, key Key) (network.Conn, error)
 	// MaxActive caps the connections alive per key, checked out plus
 	// idle; a checkout beyond the cap blocks until a connection is
 	// checked in or the Get context expires. 0 means DefaultMaxActive.
@@ -91,6 +101,9 @@ type Stats struct {
 	Overflow uint64
 	// Discarded counts connections reported broken via Discard/Flush.
 	Discarded uint64
+	// WaitTimeouts counts checkouts abandoned while blocked on the
+	// MaxActive bound (context expired before a checkin woke them).
+	WaitTimeouts uint64
 	// Active is the current number of live connections (all keys).
 	Active int
 	// Idle is the current number of idle connections (all keys).
@@ -139,6 +152,7 @@ type Pool struct {
 	hits, dials         atomic.Uint64
 	expired, unhealthy  atomic.Uint64
 	overflow, discarded atomic.Uint64
+	waitTimeouts        atomic.Uint64
 
 	mu     sync.Mutex
 	keys   map[Key]*bucket
@@ -222,7 +236,7 @@ func (p *Pool) Get(ctx context.Context, key Key) (network.Conn, error) {
 		if b.total < p.opts.MaxActive {
 			b.total++
 			p.mu.Unlock()
-			conn, err := p.opts.Dial(key)
+			conn, err := p.opts.Dial(ctx, key)
 			if err != nil {
 				p.release(key)
 				return nil, err
@@ -238,7 +252,8 @@ func (p *Pool) Get(ctx context.Context, key Key) (network.Conn, error) {
 			// A slot or an idle connection freed up; contend for it.
 		case <-ctx.Done():
 			p.abandon(key, w)
-			return nil, fmt.Errorf("pool: checkout (%v): %w", key, ctx.Err())
+			p.waitTimeouts.Add(1)
+			return nil, fmt.Errorf("%w (%v): %w", ErrWaitTimeout, key, ctx.Err())
 		}
 	}
 }
@@ -450,12 +465,13 @@ func (p *Pool) Close() error {
 // Stats snapshots the pool's counters and occupancy.
 func (p *Pool) Stats() Stats {
 	s := Stats{
-		Hits:      p.hits.Load(),
-		Dials:     p.dials.Load(),
-		Expired:   p.expired.Load(),
-		Unhealthy: p.unhealthy.Load(),
-		Overflow:  p.overflow.Load(),
-		Discarded: p.discarded.Load(),
+		Hits:         p.hits.Load(),
+		Dials:        p.dials.Load(),
+		Expired:      p.expired.Load(),
+		Unhealthy:    p.unhealthy.Load(),
+		Overflow:     p.overflow.Load(),
+		Discarded:    p.discarded.Load(),
+		WaitTimeouts: p.waitTimeouts.Load(),
 	}
 	p.mu.Lock()
 	s.PerKey = make(map[Key]KeyStats, len(p.keys))

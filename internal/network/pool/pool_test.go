@@ -33,7 +33,7 @@ type dialer struct {
 	err   error
 }
 
-func (d *dialer) dial(Key) (network.Conn, error) {
+func (d *dialer) dial(context.Context, Key) (network.Conn, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.err != nil {
@@ -173,8 +173,9 @@ func TestExhaustionBlocksUntilCheckin(t *testing.T) {
 	}
 }
 
-// TestExhaustionContextError: a bounded wait fails with the context's
-// error instead of blocking forever.
+// TestExhaustionContextError: a bounded wait fails with the typed
+// ErrWaitTimeout — still carrying the context's error — instead of
+// blocking forever, and the abandonment is counted.
 func TestExhaustionContextError(t *testing.T) {
 	p, _ := newTestPool(t, Options{MaxActive: 1})
 	if _, err := p.Get(context.Background(), testKey); err != nil {
@@ -183,8 +184,41 @@ func TestExhaustionContextError(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	_, err := p.Get(ctx, testKey)
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("err = %v, want ErrWaitTimeout", err)
+	}
 	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		t.Fatalf("err = %v, want context.DeadlineExceeded preserved", err)
+	}
+	if st := p.Stats(); st.WaitTimeouts != 1 {
+		t.Errorf("WaitTimeouts = %d, want 1", st.WaitTimeouts)
+	}
+}
+
+// TestDialSeesCheckoutContext: the checkout's context — carrying the
+// caller's deadline — reaches the Dial hook, so dial time can be
+// bounded by the flow budget instead of an independent clock.
+func TestDialSeesCheckoutContext(t *testing.T) {
+	var sawDeadline atomic.Bool
+	d := &dialer{}
+	opts := Options{Dial: func(ctx context.Context, key Key) (network.Conn, error) {
+		if _, ok := ctx.Deadline(); ok {
+			sawDeadline.Store(true)
+		}
+		return d.dial(ctx, key)
+	}}
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := p.Get(ctx, testKey); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDeadline.Load() {
+		t.Error("Dial hook never saw the checkout deadline")
 	}
 }
 

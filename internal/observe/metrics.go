@@ -196,6 +196,10 @@ func RegisterMediator(r *Registry, med *engine.Mediator) {
 		stat(func(s engine.Stats) uint64 { return s.PoolDials }))
 	r.Counter("starlink_pool_evictions_total", "Pooled connections closed early.",
 		stat(func(s engine.Stats) uint64 { return s.PoolEvictions }))
+	r.Counter("starlink_pool_wait_timeouts_total", "Pool checkouts abandoned while waiting at the MaxActive bound.",
+		stat(func(s engine.Stats) uint64 { return s.PoolWaitTimeouts }))
+	r.Counter("starlink_flow_deadline_exceeded_total", "Flows failed fast because their deadline budget ran out.",
+		stat(func(s engine.Stats) uint64 { return s.DeadlineExceeded }))
 	r.Counter("starlink_hook_panics_total", "Panics recovered from Trace/Observer hooks.",
 		stat(func(s engine.Stats) uint64 { return s.HookPanics }))
 	r.Counter("starlink_cache_hits_total", "Service exchanges served from the cross-flow response cache.",

@@ -188,6 +188,7 @@ func (o *Observer) ObserveTrace(ev engine.TraceEvent) {
 			Start:    ev.Time.Add(-ev.Elapsed),
 			Duration: ev.Elapsed,
 		}
+		sp.Budget = ev.Budget
 		if ts := o.transitions[ev.Transition]; ts != nil {
 			if ts.kind == automata.KindGamma {
 				sp.Kind = SpanGamma
@@ -234,6 +235,7 @@ func (o *Observer) ObserveTrace(ev engine.TraceEvent) {
 		}
 		st.cur.End = ev.Time
 		st.cur.Root.Duration = ev.Elapsed
+		st.cur.Root.Budget = ev.Budget
 		o.finishFlow(st.cur)
 		st.cur = nil
 	case engine.TraceError:
@@ -256,6 +258,7 @@ func (o *Observer) ObserveTrace(ev engine.TraceEvent) {
 		}
 		ft.End = ev.Time
 		ft.Root.Duration = ft.End.Sub(ft.Start)
+		ft.Root.Budget = ev.Budget
 		ft.Wire = hexdump(ev.Wire)
 		o.finishFlow(ft)
 		st.cur = nil

@@ -238,6 +238,11 @@ var (
 	ErrSpec = core.ErrSpec
 	// ErrGateway is additionally wrapped by gateway-spec failures.
 	ErrGateway = core.ErrGateway
+	// ErrDeadline is wrapped by flows that failed fast because their
+	// per-flow deadline budget (Config.FlowDeadline / the
+	// flow_deadline directive / a gateway route's deadline= option)
+	// ran out mid-mediation.
+	ErrDeadline = engine.ErrDeadline
 )
 
 // Wire classes the gateway sniffer distinguishes.
@@ -282,6 +287,9 @@ const (
 	// DefaultRetryAttempts is the default service-retry count applied
 	// when EngineConfig.Retry is nil.
 	DefaultRetryAttempts = engine.DefaultRetryAttempts
+	// DefaultMaxBackoff caps the exponential backoff growth whenever
+	// RetryPolicy.MaxBackoff is left zero.
+	DefaultMaxBackoff = engine.DefaultMaxBackoff
 	// DefaultBackoff is the default base backoff between retries applied
 	// when EngineConfig.Retry is nil.
 	DefaultBackoff = engine.DefaultBackoff
